@@ -1,0 +1,462 @@
+//! Coarse-to-fine mining for huge alphabets — the paper's stated future
+//! work ("strategies that can further improve the performance … where a
+//! huge number of distinct symbols exist (e.g., E-Commerce)", Section 6).
+//!
+//! The idea: compatible symbols are near-substitutes, so they cluster.
+//! Union-find over the compatibility matrix's strong entries yields symbol
+//! **groups**; mining first runs over the quotient alphabet (one symbol
+//! per group) with an upper-bounding quotient matrix, then refines each
+//! coarse survivor into concrete patterns. Soundness comes from the
+//! quotient matrix taking the **maximum** compatibility across group
+//! members: a coarse pattern's match upper-bounds every refinement's
+//! match, so coarse-infrequent skeletons can be pruned without ever
+//! enumerating their `|G|^k` refinements.
+//!
+//! The output is exactly the plain level-wise frequent set; only the number
+//! of evaluated candidates changes (see `table_hierarchical` in the bench
+//! crate).
+
+use std::collections::HashSet;
+
+use noisemine_core::candidates::{next_level, LevelTrace, PatternSpace};
+use noisemine_core::lattice::Border;
+use noisemine_core::matching::{sequence_match, SymbolMatchScratch};
+use noisemine_core::matrix::CompatibilityMatrix;
+use noisemine_core::pattern::{Pattern, PatternElem};
+use noisemine_core::Symbol;
+
+/// A partition of the alphabet into compatibility groups.
+#[derive(Debug, Clone)]
+pub struct SymbolGrouping {
+    /// `group_of[symbol] = group id`.
+    group_of: Vec<u16>,
+    /// Members of each group, sorted by symbol id.
+    members: Vec<Vec<Symbol>>,
+}
+
+impl SymbolGrouping {
+    /// Clusters symbols by union-find over matrix entries: `i` and `j` land
+    /// in one group when `C(i, j) ≥ min_compat` or `C(j, i) ≥ min_compat`
+    /// for `i ≠ j`. `min_compat = 1.0` (or any value above every
+    /// off-diagonal entry) yields singleton groups; small values merge
+    /// everything.
+    pub fn from_matrix(matrix: &CompatibilityMatrix, min_compat: f64) -> Self {
+        let m = matrix.len();
+        let mut parent: Vec<usize> = (0..m).collect();
+        fn find(parent: &mut [usize], x: usize) -> usize {
+            let mut root = x;
+            while parent[root] != root {
+                root = parent[root];
+            }
+            let mut cur = x;
+            while parent[cur] != root {
+                let next = parent[cur];
+                parent[cur] = root;
+                cur = next;
+            }
+            root
+        }
+        for j in 0..m {
+            for &(i, v) in matrix.column(Symbol(j as u16)) {
+                if i.index() != j && v >= min_compat {
+                    let (a, b) = (find(&mut parent, i.index()), find(&mut parent, j));
+                    if a != b {
+                        parent[a] = b;
+                    }
+                }
+            }
+        }
+        // Densify group ids in first-appearance order for determinism.
+        let mut group_of = vec![u16::MAX; m];
+        let mut members: Vec<Vec<Symbol>> = Vec::new();
+        for s in 0..m {
+            let root = find(&mut parent, s);
+            if group_of[root] == u16::MAX {
+                group_of[root] = members.len() as u16;
+                members.push(Vec::new());
+            }
+            group_of[s] = group_of[root];
+            members[group_of[s] as usize].push(Symbol(s as u16));
+        }
+        Self { group_of, members }
+    }
+
+    /// Number of groups (the quotient alphabet size).
+    pub fn num_groups(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The group id of a symbol.
+    pub fn group(&self, symbol: Symbol) -> Symbol {
+        Symbol(self.group_of[symbol.index()])
+    }
+
+    /// The member symbols of a group.
+    pub fn members(&self, group: Symbol) -> &[Symbol] {
+        &self.members[group.index()]
+    }
+
+    /// Maps a sequence to the quotient alphabet.
+    pub fn map_sequence(&self, sequence: &[Symbol]) -> Vec<Symbol> {
+        sequence.iter().map(|&s| self.group(s)).collect()
+    }
+
+    /// Maps a pattern to its group skeleton.
+    pub fn map_pattern(&self, pattern: &Pattern) -> Pattern {
+        let elems: Vec<PatternElem> = pattern
+            .elems()
+            .iter()
+            .map(|e| match e {
+                PatternElem::Any => PatternElem::Any,
+                PatternElem::Sym(s) => PatternElem::Sym(self.group(*s)),
+            })
+            .collect();
+        Pattern::new(elems).expect("group image preserves endpoints")
+    }
+
+    /// The upper-bounding quotient score matrix:
+    /// `C'(G, H) = max_{i∈G, j∈H} C(i, j)`. Not column-stochastic (it is a
+    /// bound, not a distribution), but every entry stays in `[0, 1]`, which
+    /// is all the Apriori machinery needs.
+    pub fn quotient_matrix(&self, matrix: &CompatibilityMatrix) -> CompatibilityMatrix {
+        let g = self.num_groups();
+        let mut cols: Vec<Vec<(Symbol, f64)>> = vec![Vec::new(); g];
+        let mut dense: Vec<f64> = vec![0.0; g * g];
+        for j in 0..matrix.len() {
+            let gj = self.group_of[j] as usize;
+            for &(i, v) in matrix.column(Symbol(j as u16)) {
+                let gi = self.group_of[i.index()] as usize;
+                let slot = &mut dense[gi * g + gj];
+                if v > *slot {
+                    *slot = v;
+                }
+            }
+        }
+        for (idx, &v) in dense.iter().enumerate() {
+            if v > 0.0 {
+                let (gi, gj) = (idx / g, idx % g);
+                cols[gj].push((Symbol(gi as u16), v));
+            }
+        }
+        CompatibilityMatrix::scores_from_sparse_columns(cols)
+            .expect("quotient entries are maxima of probabilities")
+    }
+}
+
+/// Result of a hierarchical mining run.
+#[derive(Debug, Clone, Default)]
+pub struct HierarchicalResult {
+    /// Every frequent (fine) pattern with its exact match.
+    pub frequent: Vec<(Pattern, f64)>,
+    /// The border of frequent patterns.
+    pub border: Border,
+    /// Number of groups used.
+    pub groups: usize,
+    /// Coarse candidates evaluated over the quotient alphabet.
+    pub coarse_evaluated: usize,
+    /// Fine candidates evaluated (after skeleton pruning).
+    pub fine_evaluated: usize,
+    /// Fine candidates pruned because their skeleton was coarse-infrequent.
+    pub skeleton_pruned: usize,
+    /// Per-level trace of the fine search.
+    pub trace: LevelTrace,
+}
+
+impl HierarchicalResult {
+    /// The frequent patterns as a set.
+    pub fn pattern_set(&self) -> HashSet<Pattern> {
+        self.frequent.iter().map(|(p, _)| p.clone()).collect()
+    }
+}
+
+/// Mines all patterns with match ≥ `min_match`, coarse-to-fine: symbols are
+/// grouped at `min_compat`, the quotient alphabet is mined with the
+/// upper-bounding quotient matrix, and fine candidates are enumerated only
+/// along coarse-frequent skeletons. Produces exactly the plain level-wise
+/// frequent set.
+pub fn mine_hierarchical(
+    sequences: &[Vec<Symbol>],
+    matrix: &CompatibilityMatrix,
+    min_match: f64,
+    space: &PatternSpace,
+    min_compat: f64,
+) -> HierarchicalResult {
+    let mut result = HierarchicalResult::default();
+    let n = sequences.len();
+    let m = matrix.len();
+    if n == 0 || m == 0 {
+        return result;
+    }
+
+    // Coarse pass over the quotient alphabet.
+    let grouping = SymbolGrouping::from_matrix(matrix, min_compat);
+    result.groups = grouping.num_groups();
+    let quotient = grouping.quotient_matrix(matrix);
+    let coarse_seqs: Vec<Vec<Symbol>> = sequences
+        .iter()
+        .map(|s| grouping.map_sequence(s))
+        .collect();
+    let coarse_frequent =
+        levelwise_set(&coarse_seqs, &quotient, min_match, space, &mut result.coarse_evaluated);
+
+    // Fine pass, pruning candidates whose skeleton is coarse-infrequent.
+    let mut scratch = SymbolMatchScratch::new(m);
+    let mut symbol_match = vec![0.0f64; m];
+    for seq in sequences {
+        for (acc, &v) in symbol_match.iter_mut().zip(scratch.sequence(seq, matrix)) {
+            *acc += v;
+        }
+    }
+    for v in &mut symbol_match {
+        *v /= n as f64;
+    }
+    result.fine_evaluated += m;
+
+    let mut alive: HashSet<Pattern> = HashSet::new();
+    let mut survivors: Vec<Pattern> = Vec::new();
+    let mut surviving_symbols: Vec<Symbol> = Vec::new();
+    let mut survived = 0usize;
+    for (i, &v) in symbol_match.iter().enumerate() {
+        let p = Pattern::single(Symbol(i as u16));
+        if v >= min_match {
+            debug_assert!(
+                coarse_frequent.contains(&grouping.map_pattern(&p)),
+                "coarse bound must dominate: {p}"
+            );
+            result.frequent.push((p.clone(), v));
+            alive.insert(p.clone());
+            surviving_symbols.push(Symbol(i as u16));
+            survivors.push(p);
+            survived += 1;
+        }
+    }
+    result.trace.record(m, survived);
+
+    while !survivors.is_empty() {
+        let candidates = next_level(&survivors, &alive, &surviving_symbols, space);
+        if candidates.is_empty() {
+            break;
+        }
+        // Skeleton pruning: only candidates whose group image is coarse-
+        // frequent can possibly reach the threshold.
+        let (keep, pruned): (Vec<Pattern>, Vec<Pattern>) = candidates
+            .into_iter()
+            .partition(|p| coarse_frequent.contains(&grouping.map_pattern(p)));
+        result.skeleton_pruned += pruned.len();
+        result.fine_evaluated += keep.len();
+
+        let mut next_survivors = Vec::new();
+        for pattern in keep.iter() {
+            let total: f64 = sequences
+                .iter()
+                .map(|s| sequence_match(pattern, s, matrix))
+                .sum();
+            let value = total / n as f64;
+            if value >= min_match {
+                result.frequent.push((pattern.clone(), value));
+                alive.insert(pattern.clone());
+                next_survivors.push(pattern.clone());
+            }
+        }
+        result
+            .trace
+            .record(keep.len() + pruned.len(), next_survivors.len());
+        survivors = next_survivors;
+    }
+
+    result.frequent.sort_by(|a, b| a.0.cmp(&b.0));
+    result.border = Border::from_patterns(result.frequent.iter().map(|(p, _)| p.clone()));
+    result
+}
+
+/// Plain level-wise frequent-set computation over in-memory sequences,
+/// counting evaluated candidates (used for the coarse pass).
+fn levelwise_set(
+    sequences: &[Vec<Symbol>],
+    matrix: &CompatibilityMatrix,
+    min_match: f64,
+    space: &PatternSpace,
+    evaluated: &mut usize,
+) -> HashSet<Pattern> {
+    let n = sequences.len();
+    let m = matrix.len();
+    let mut scratch = SymbolMatchScratch::new(m);
+    let mut symbol_match = vec![0.0f64; m];
+    for seq in sequences {
+        for (acc, &v) in symbol_match.iter_mut().zip(scratch.sequence(seq, matrix)) {
+            *acc += v;
+        }
+    }
+    for v in &mut symbol_match {
+        *v /= n as f64;
+    }
+    *evaluated += m;
+
+    let mut frequent: HashSet<Pattern> = HashSet::new();
+    let mut survivors: Vec<Pattern> = Vec::new();
+    let mut surviving_symbols: Vec<Symbol> = Vec::new();
+    for (i, &v) in symbol_match.iter().enumerate() {
+        if v >= min_match {
+            let p = Pattern::single(Symbol(i as u16));
+            frequent.insert(p.clone());
+            surviving_symbols.push(Symbol(i as u16));
+            survivors.push(p);
+        }
+    }
+    let mut alive = frequent.clone();
+    while !survivors.is_empty() {
+        let candidates = next_level(&survivors, &alive, &surviving_symbols, space);
+        if candidates.is_empty() {
+            break;
+        }
+        *evaluated += candidates.len();
+        let mut next_survivors = Vec::new();
+        for pattern in candidates {
+            let total: f64 = sequences
+                .iter()
+                .map(|s| sequence_match(&pattern, s, matrix))
+                .sum();
+            if total / n as f64 >= min_match {
+                frequent.insert(pattern.clone());
+                alive.insert(pattern.clone());
+                next_survivors.push(pattern);
+            }
+        }
+        survivors = next_survivors;
+    }
+    frequent
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::levelwise::mine_levelwise;
+    use noisemine_core::matching::MatchMetric;
+    use noisemine_core::Alphabet;
+    use noisemine_datagen::noise::{channel_to_compatibility, partner_channel};
+    use noisemine_datagen::{apply_channel, generate, Background, GeneratorConfig, PlantedMotif};
+    use noisemine_seqdb::MemoryDb;
+
+    /// A 12-symbol alphabet with symmetric substitute pairs.
+    fn paired_workload() -> (Vec<Vec<Symbol>>, CompatibilityMatrix) {
+        let alphabet = Alphabet::synthetic(12);
+        let motif = Pattern::parse("d0 d2 d4 d6", &alphabet).unwrap();
+        let standard = generate(&GeneratorConfig {
+            num_sequences: 200,
+            min_len: 15,
+            max_len: 20,
+            alphabet_size: 12,
+            background: Background::Uniform,
+            motifs: vec![PlantedMotif::new(motif, 0.5)],
+            seed: 77,
+        });
+        let partners: Vec<Vec<usize>> = (0..12).map(|i| vec![i ^ 1]).collect();
+        let channel = partner_channel(12, 0.25, &partners);
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(8);
+        let noisy = apply_channel(&standard, &channel, &mut rng);
+        let matrix = channel_to_compatibility(&channel)
+            .diagonal_normalized_clamped()
+            .unwrap();
+        (noisy, matrix)
+    }
+
+    #[test]
+    fn grouping_unions_compatible_pairs() {
+        let (_, matrix) = paired_workload();
+        // Pair partners are strongly compatible -> 6 groups of 2.
+        let grouping = SymbolGrouping::from_matrix(&matrix, 0.1);
+        assert_eq!(grouping.num_groups(), 6);
+        for i in 0..12u16 {
+            assert_eq!(grouping.group(Symbol(i)), grouping.group(Symbol(i ^ 1)));
+        }
+        assert_eq!(grouping.members(grouping.group(Symbol(0))).len(), 2);
+        // A threshold above every off-diagonal entry keeps singletons.
+        let singletons = SymbolGrouping::from_matrix(&matrix, 1.1);
+        assert_eq!(singletons.num_groups(), 12);
+    }
+
+    #[test]
+    fn quotient_matrix_upper_bounds_fine_matches() {
+        let (seqs, matrix) = paired_workload();
+        let grouping = SymbolGrouping::from_matrix(&matrix, 0.1);
+        let quotient = grouping.quotient_matrix(&matrix);
+        let alphabet = Alphabet::synthetic(12);
+        for text in ["d0 d2", "d1 d3 d5", "d0 * d4"] {
+            let fine = Pattern::parse(text, &alphabet).unwrap();
+            let coarse = grouping.map_pattern(&fine);
+            for seq in seqs.iter().take(30) {
+                let fine_v = sequence_match(&fine, seq, &matrix);
+                let coarse_v = sequence_match(&coarse, &grouping.map_sequence(seq), &quotient);
+                assert!(
+                    coarse_v >= fine_v - 1e-12,
+                    "{text}: coarse {coarse_v} < fine {fine_v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchical_equals_plain_levelwise() {
+        let (seqs, matrix) = paired_workload();
+        let space = PatternSpace::contiguous(5);
+        for threshold in [0.15, 0.3] {
+            let hier = mine_hierarchical(&seqs, &matrix, threshold, &space, 0.1);
+            let db = MemoryDb::from_sequences(seqs.clone());
+            let plain = mine_levelwise(
+                &db,
+                &MatchMetric { matrix: &matrix },
+                12,
+                threshold,
+                &space,
+                usize::MAX,
+            );
+            assert_eq!(
+                hier.pattern_set(),
+                plain.pattern_set(),
+                "threshold {threshold}"
+            );
+        }
+    }
+
+    #[test]
+    fn skeleton_pruning_reduces_fine_evaluations() {
+        let (seqs, matrix) = paired_workload();
+        let space = PatternSpace::contiguous(5);
+        let hier = mine_hierarchical(&seqs, &matrix, 0.2, &space, 0.1);
+        assert!(hier.groups < 12);
+        assert!(
+            hier.skeleton_pruned > 0,
+            "expected some skeleton-pruned candidates"
+        );
+        // Every pruned candidate is one the plain level-wise search would
+        // have evaluated against the full data; the coarse pass paid for
+        // the pruning over a 6-symbol quotient instead.
+        assert!(hier.coarse_evaluated > 0);
+    }
+
+    #[test]
+    fn singleton_grouping_degrades_gracefully() {
+        let (seqs, matrix) = paired_workload();
+        let space = PatternSpace::contiguous(4);
+        let hier = mine_hierarchical(&seqs, &matrix, 0.25, &space, 1.1);
+        assert_eq!(hier.groups, 12);
+        let db = MemoryDb::from_sequences(seqs);
+        let plain = mine_levelwise(
+            &db,
+            &MatchMetric { matrix: &matrix },
+            12,
+            0.25,
+            &space,
+            usize::MAX,
+        );
+        assert_eq!(hier.pattern_set(), plain.pattern_set());
+    }
+
+    #[test]
+    fn empty_input() {
+        let matrix = CompatibilityMatrix::identity(4);
+        let r = mine_hierarchical(&[], &matrix, 0.1, &PatternSpace::contiguous(3), 0.5);
+        assert!(r.frequent.is_empty());
+        assert_eq!(r.groups, 0);
+    }
+}

@@ -1,0 +1,190 @@
+//! Sampling-based level-wise mining (Toivonen, VLDB 1996 — the sampling
+//! baseline of the paper's Figure 14).
+//!
+//! The first two phases are identical to the paper's miner: one scan for
+//! per-symbol matches and a uniform sample, then Chernoff-bound
+//! classification of every candidate on the sample. The difference is the
+//! finalization: where the paper's algorithm collapses the two borders by
+//! probing halfway layers, the sampling-based approach verifies the
+//! ambiguous region **level by level** from the bottom — the "(advanced)
+//! starting position of a level-wise search" (§2.3) — which costs at least
+//! one scan per ambiguous level and is exactly what Figure 14 shows losing
+//! to border collapsing once patterns get long.
+
+use noisemine_core::border_collapse::{collapse, ProbeStrategy};
+use noisemine_core::candidates::PatternSpace;
+use noisemine_core::chernoff::SpreadMode;
+use noisemine_core::lattice::{AmbiguousSpace, Border};
+use noisemine_core::matching::SequenceScan;
+use noisemine_core::matrix::CompatibilityMatrix;
+use noisemine_core::miner::{phase1, FrequentPattern, MinerConfig};
+use noisemine_core::sample_miner::mine_sample_budgeted;
+use noisemine_core::Result;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Result of a sampling + level-wise run.
+#[derive(Debug, Clone)]
+pub struct ToivonenResult {
+    /// All frequent patterns (sample-confident plus verified).
+    pub frequent: Vec<FrequentPattern>,
+    /// The border of frequent patterns.
+    pub border: Border,
+    /// Full database scans consumed (phase 1 + verification).
+    pub scans: usize,
+    /// Ambiguous patterns the verification stage had to resolve.
+    pub ambiguous_verified: usize,
+    /// Exact counters evaluated during verification.
+    pub probes: usize,
+    /// Patterns counted per verification scan, in scan order.
+    pub probes_per_scan: Vec<usize>,
+}
+
+/// Runs sampling followed by level-wise finalization. Accepts the same
+/// configuration as the paper's miner (the `probe_strategy` field is
+/// ignored — this baseline always finalizes level-wise).
+pub fn mine_toivonen<S>(
+    db: &S,
+    matrix: &CompatibilityMatrix,
+    config: &MinerConfig,
+) -> Result<ToivonenResult>
+where
+    S: SequenceScan + ?Sized,
+{
+    config.validate()?;
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut scans = 0usize;
+
+    // Phase 1: symbol matches + sample (one scan).
+    let p1 = phase1(db, matrix, config.sample_size, &mut rng);
+    scans += 1;
+
+    // Phase 2: classify candidates on the sample.
+    let p2 = mine_sample_budgeted(
+        &p1.sample,
+        matrix,
+        &p1.symbol_match,
+        config.min_match,
+        config.delta,
+        config.spread_mode,
+        &config.space,
+        config.max_sample_patterns,
+    );
+    if p2.truncated {
+        return Err(noisemine_core::Error::InvalidConfig(
+            "phase 2 exceeded the candidate budget; raise the sample size, threshold, or delta"
+                .into(),
+        ));
+    }
+
+    // Finalization: level-wise verification of the ambiguous region.
+    let ambiguous = AmbiguousSpace::new(p2.ambiguous.iter().map(|(p, _)| p.clone()));
+    let ambiguous_verified = ambiguous.len();
+    let p3 = collapse(
+        ambiguous,
+        db,
+        matrix,
+        config.min_match,
+        config.counters_per_scan,
+        ProbeStrategy::LevelWise,
+    );
+    scans += p3.scans;
+
+    let (frequent, border) = noisemine_core::miner::assemble_outcome(&p2, &p3);
+
+    Ok(ToivonenResult {
+        frequent,
+        border,
+        scans,
+        ambiguous_verified,
+        probes: p3.probes,
+        probes_per_scan: p3.probes_per_scan,
+    })
+}
+
+/// Convenience: builds a [`MinerConfig`] for this baseline.
+pub fn toivonen_config(
+    min_match: f64,
+    delta: f64,
+    sample_size: usize,
+    counters_per_scan: usize,
+    space: PatternSpace,
+    seed: u64,
+) -> MinerConfig {
+    MinerConfig {
+        min_match,
+        delta,
+        sample_size,
+        counters_per_scan,
+        space,
+        spread_mode: SpreadMode::Restricted,
+        probe_strategy: ProbeStrategy::LevelWise,
+        seed,
+        max_sample_patterns: noisemine_core::sample_miner::DEFAULT_MAX_SAMPLE_PATTERNS,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noisemine_core::miner::mine;
+    use noisemine_core::Alphabet;
+    use noisemine_seqdb::MemoryDb;
+
+    fn db() -> MemoryDb {
+        let a = Alphabet::synthetic(5);
+        let mut seqs = Vec::new();
+        for _ in 0..5 {
+            seqs.push(a.encode("d0 d1 d2 d0").unwrap());
+            seqs.push(a.encode("d3 d1 d0").unwrap());
+            seqs.push(a.encode("d2 d3 d1 d0").unwrap());
+            seqs.push(a.encode("d1 d1").unwrap());
+        }
+        MemoryDb::from_sequences(seqs)
+    }
+
+    fn config() -> MinerConfig {
+        toivonen_config(0.15, 0.01, 20, 4, PatternSpace::contiguous(4), 7)
+    }
+
+    #[test]
+    fn same_frequent_set_as_border_collapsing() {
+        // Both finalizations resolve the same ambiguous region exactly, so
+        // the final pattern sets must be identical (only scan counts differ).
+        let database = db();
+        let matrix = noisemine_core::CompatibilityMatrix::paper_figure2();
+        let cfg = config();
+        let t = mine_toivonen(&database, &matrix, &cfg).unwrap();
+        let mut bc_cfg = cfg.clone();
+        bc_cfg.probe_strategy = ProbeStrategy::BorderCollapsing;
+        let b = mine(&database, &matrix, &bc_cfg).unwrap();
+        let tset: std::collections::HashSet<_> =
+            t.frequent.iter().map(|f| f.pattern.clone()).collect();
+        let bset: std::collections::HashSet<_> =
+            b.frequent.iter().map(|f| f.pattern.clone()).collect();
+        assert_eq!(tset, bset);
+        // Note: on tiny instances bottom-up verification can use *fewer*
+        // scans than border collapsing (one infrequent 1-pattern resolves
+        // everything above it); the paper's scan advantage materializes for
+        // long patterns and is exercised by the fig14 experiment instead.
+        assert!(t.scans >= 1 && b.stats.db_scans >= 1);
+    }
+
+    #[test]
+    fn scans_include_phase1() {
+        let database = db();
+        let matrix = noisemine_core::CompatibilityMatrix::paper_figure2();
+        let t = mine_toivonen(&database, &matrix, &config()).unwrap();
+        assert!(t.scans >= 1);
+        assert_eq!(database.scans_performed(), t.scans);
+    }
+
+    #[test]
+    fn rejects_invalid_config() {
+        let database = db();
+        let matrix = noisemine_core::CompatibilityMatrix::paper_figure2();
+        let mut cfg = config();
+        cfg.delta = 2.0;
+        assert!(mine_toivonen(&database, &matrix, &cfg).is_err());
+    }
+}

@@ -1,0 +1,57 @@
+#![allow(missing_docs)] // criterion macros expand to undocumented items
+
+//! Microbenchmarks of the lattice machinery behind phase 3: halfway-layer
+//! generation (Algorithm 4.4) and Apriori propagation through the
+//! ambiguous space (Figure 6's collapsing step).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use noisemine_core::lattice::{halfway, AmbiguousSpace};
+use noisemine_core::{Pattern, Symbol};
+
+/// A chain pattern d0 d1 ... d(k-1).
+fn chain(k: usize) -> Pattern {
+    let syms: Vec<Symbol> = (0..k).map(|i| Symbol(i as u16)).collect();
+    Pattern::contiguous(&syms).unwrap()
+}
+
+fn bench_halfway(c: &mut Criterion) {
+    let mut group = c.benchmark_group("halfway_generation");
+    for k in [6usize, 10, 14] {
+        let lower = vec![chain(2)];
+        let upper = vec![chain(k)];
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| halfway(black_box(&lower), black_box(&upper)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_propagation(c: &mut Criterion) {
+    // An ambiguous space holding every contiguous window of a long chain.
+    let full = chain(16);
+    let mut patterns = Vec::new();
+    for start in 0..16usize {
+        for end in (start + 1)..=16 {
+            let syms: Vec<Symbol> = (start..end).map(|i| Symbol(i as u16)).collect();
+            patterns.push(Pattern::contiguous(&syms).unwrap());
+        }
+    }
+    let mut group = c.benchmark_group("ambiguous_space");
+    group.bench_function("resolve_frequent_full_chain", |b| {
+        b.iter(|| {
+            let mut space = AmbiguousSpace::new(patterns.clone());
+            black_box(space.resolve_frequent(&full)).len()
+        })
+    });
+    group.bench_function("resolve_infrequent_bottom", |b| {
+        let bottom = chain(1);
+        b.iter(|| {
+            let mut space = AmbiguousSpace::new(patterns.clone());
+            black_box(space.resolve_infrequent(&bottom)).len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_halfway, bench_propagation);
+criterion_main!(benches);

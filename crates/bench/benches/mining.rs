@@ -1,0 +1,123 @@
+#![allow(missing_docs)] // criterion macros expand to undocumented items
+
+//! End-to-end miner benchmarks on a fixed noisy workload: the three-phase
+//! border-collapsing miner vs exact level-wise, Max-Miner, and the
+//! Toivonen-style baseline (ablations ✦4/✦5 of DESIGN.md, the
+//! wall-clock companion to Figure 14's scan counts).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noisemine_baselines::{mine_depth_first, mine_levelwise, mine_maxminer, mine_toivonen, MaxMinerConfig};
+use noisemine_core::border_collapse::ProbeStrategy;
+use noisemine_core::chernoff::SpreadMode;
+use noisemine_core::matching::MatchMetric;
+use noisemine_core::miner::{mine, MinerConfig};
+use noisemine_core::{CompatibilityMatrix, PatternSpace};
+use noisemine_datagen::noise::{apply_channel, channel_to_compatibility, partner_channel};
+use noisemine_datagen::{generate, Background, GeneratorConfig, PlantedMotif};
+use noisemine_seqdb::MemoryDb;
+
+fn workload() -> (MemoryDb, CompatibilityMatrix) {
+    let (seqs, matrix) = workload_raw();
+    (MemoryDb::from_sequences(seqs), matrix)
+}
+
+fn workload_raw() -> (Vec<Vec<noisemine_core::Symbol>>, CompatibilityMatrix) {
+    let motif_syms: Vec<_> = (0..10).map(noisemine_core::Symbol).collect();
+    let motif = noisemine_core::Pattern::contiguous(&motif_syms).unwrap();
+    let standard = generate(&GeneratorConfig {
+        num_sequences: 400,
+        min_len: 30,
+        max_len: 40,
+        alphabet_size: 20,
+        background: Background::Uniform,
+        motifs: vec![PlantedMotif::new(motif, 0.5)],
+        seed: 21,
+    });
+    let partners: Vec<Vec<usize>> = (0..20).map(|i| vec![i ^ 1]).collect();
+    let channel = partner_channel(20, 0.25, &partners);
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(9);
+    let noisy = apply_channel(&standard, &channel, &mut rng);
+    let matrix = channel_to_compatibility(&channel)
+        .diagonal_normalized_clamped()
+        .unwrap();
+    (noisy, matrix)
+}
+
+fn config(strategy: ProbeStrategy) -> MinerConfig {
+    MinerConfig {
+        min_match: 0.15,
+        delta: 0.01,
+        sample_size: 200,
+        counters_per_scan: 512,
+        space: PatternSpace::contiguous(12),
+        spread_mode: SpreadMode::Restricted,
+        probe_strategy: strategy,
+        seed: 5,
+        ..MinerConfig::default()
+    }
+}
+
+fn bench_miners(c: &mut Criterion) {
+    let (db, matrix) = workload();
+    let mut group = c.benchmark_group("miners");
+    group.sample_size(10);
+
+    group.bench_function("three_phase_border_collapsing", |b| {
+        b.iter(|| mine(&db, &matrix, &config(ProbeStrategy::BorderCollapsing)).unwrap())
+    });
+    group.bench_function("three_phase_levelwise_verification", |b| {
+        b.iter(|| mine(&db, &matrix, &config(ProbeStrategy::LevelWise)).unwrap())
+    });
+    group.bench_function("toivonen", |b| {
+        b.iter(|| mine_toivonen(&db, &matrix, &config(ProbeStrategy::LevelWise)).unwrap())
+    });
+    group.bench_function("exact_levelwise", |b| {
+        b.iter(|| {
+            mine_levelwise(
+                &db,
+                &MatchMetric { matrix: &matrix },
+                20,
+                0.15,
+                &PatternSpace::contiguous(12),
+                512,
+            )
+        })
+    });
+    group.bench_function("depth_first", |b| {
+        let (seqs, matrix2) = workload_raw();
+        b.iter(|| mine_depth_first(&seqs, &matrix2, 0.15, &PatternSpace::contiguous(12)))
+    });
+    group.bench_function("maxminer", |b| {
+        b.iter(|| {
+            mine_maxminer(
+                &db,
+                &MatchMetric { matrix: &matrix },
+                20,
+                0.15,
+                &PatternSpace::contiguous(12),
+                &MaxMinerConfig {
+                    lookaheads_per_scan: 64,
+                    counters_per_scan: 512,
+                },
+            )
+        })
+    });
+
+    // Ablation: restricted spread vs full spread (Claim 4.2, Fig. 11(b)).
+    let mut full = config(ProbeStrategy::BorderCollapsing);
+    full.spread_mode = SpreadMode::Full;
+    full.min_match = 0.2; // full spread needs wider margins to terminate
+    let mut restricted = full.clone();
+    restricted.spread_mode = SpreadMode::Restricted;
+    group.bench_function("spread_full", |b| {
+        b.iter(|| mine(&db, &matrix, &full).unwrap())
+    });
+    group.bench_function("spread_restricted", |b| {
+        b.iter(|| mine(&db, &matrix, &restricted).unwrap())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_miners);
+criterion_main!(benches);

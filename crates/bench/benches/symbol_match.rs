@@ -1,0 +1,65 @@
+#![allow(missing_docs)] // criterion macros expand to undocumented items
+
+//! Ablation ✦3 (DESIGN.md): Algorithm 4.1's per-symbol match scan with and
+//! without the first-occurrence optimization — the paper's
+//! `O(N·l̄·m)` vs `O(N·(l̄ + m²))` complexity claim (§4.1).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use noisemine_core::matching::{
+    symbol_sequence_match_into, symbol_sequence_match_naive_into, SymbolMatchScratch,
+};
+use noisemine_core::{CompatibilityMatrix, Symbol};
+use noisemine_datagen::{generate, Background, GeneratorConfig};
+
+fn sequences(m: usize, len: usize) -> Vec<Vec<Symbol>> {
+    generate(&GeneratorConfig {
+        num_sequences: 100,
+        min_len: len,
+        max_len: len,
+        alphabet_size: m,
+        background: Background::Uniform,
+        motifs: Vec::new(),
+        seed: 3,
+    })
+}
+
+fn bench_symbol_match(c: &mut Criterion) {
+    let mut group = c.benchmark_group("symbol_match_scan");
+    // Long sequences over a small alphabet: the regime where the
+    // first-occurrence optimization pays (l >> m).
+    for (m, len) in [(20usize, 1000usize), (100, 1000), (20, 100)] {
+        let seqs = sequences(m, len);
+        let matrix = CompatibilityMatrix::uniform_noise(m, 0.2).unwrap();
+        let id = format!("m{m}_len{len}");
+        group.bench_with_input(BenchmarkId::new("naive", &id), &id, |b, _| {
+            let mut out = vec![0.0f64; m];
+            b.iter(|| {
+                for s in &seqs {
+                    out.fill(0.0);
+                    symbol_sequence_match_naive_into(black_box(s), &matrix, &mut out);
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("first_occurrence", &id), &id, |b, _| {
+            let mut out = vec![0.0f64; m];
+            b.iter(|| {
+                for s in &seqs {
+                    out.fill(0.0);
+                    symbol_sequence_match_into(black_box(s), &matrix, &mut out);
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("scratch_reuse", &id), &id, |b, _| {
+            let mut scratch = SymbolMatchScratch::new(m);
+            b.iter(|| {
+                for s in &seqs {
+                    black_box(scratch.sequence(s, &matrix));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_symbol_match);
+criterion_main!(benches);

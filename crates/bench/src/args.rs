@@ -1,0 +1,193 @@
+//! A tiny `--key value` argument parser for the experiment binaries.
+//!
+//! Kept dependency-free on purpose (the workspace's allowed dependency set
+//! does not include a CLI crate, and the experiment binaries only need flat
+//! key/value overrides).
+
+use std::collections::HashMap;
+
+/// Parsed command-line overrides.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses `std::env::args()` (skipping the binary name). Accepts
+    /// `--key value`, `--key=value`, and bare `--flag` forms.
+    pub fn parse() -> Self {
+        Self::from_tokens(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit token list (used by tests).
+    pub fn from_tokens<I, S>(tokens: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let tokens: Vec<String> = tokens.into_iter().map(Into::into).collect();
+        let mut values = HashMap::new();
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < tokens.len() {
+            let tok = &tokens[i];
+            if let Some(stripped) = tok.strip_prefix("--") {
+                if let Some((k, v)) = stripped.split_once('=') {
+                    values.insert(k.to_string(), v.to_string());
+                } else if i + 1 < tokens.len() && !tokens[i + 1].starts_with("--") {
+                    values.insert(stripped.to_string(), tokens[i + 1].clone());
+                    i += 1;
+                } else {
+                    flags.push(stripped.to_string());
+                }
+            }
+            i += 1;
+        }
+        Self { values, flags }
+    }
+
+    /// Whether a bare `--flag` was given.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// Panics if any parsed key or flag is not in `known` — call once per
+    /// binary so a typo'd flag (`--thresold`) fails loudly instead of
+    /// silently running with defaults.
+    pub fn deny_unknown(&self, known: &[&str]) {
+        for key in self.values.keys().chain(self.flags.iter()) {
+            assert!(
+                known.contains(&key.as_str()),
+                "unrecognized argument --{key}; known arguments: {}",
+                known
+                    .iter()
+                    .map(|k| format!("--{k}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+        }
+    }
+
+    /// String override or default.
+    pub fn get<'a>(&'a self, name: &str, default: &'a str) -> &'a str {
+        self.values.get(name).map(String::as_str).unwrap_or(default)
+    }
+
+    /// `usize` override or default.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a clear message on an unparsable value — wrong CLI input
+    /// should fail loudly.
+    pub fn usize(&self, name: &str, default: usize) -> usize {
+        self.values
+            .get(name)
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{name} expects an integer, got {v:?}"))
+            })
+            .unwrap_or(default)
+    }
+
+    /// `u64` override or default.
+    pub fn u64(&self, name: &str, default: u64) -> u64 {
+        self.values
+            .get(name)
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{name} expects an integer, got {v:?}"))
+            })
+            .unwrap_or(default)
+    }
+
+    /// `f64` override or default.
+    pub fn f64(&self, name: &str, default: f64) -> f64 {
+        self.values
+            .get(name)
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{name} expects a number, got {v:?}"))
+            })
+            .unwrap_or(default)
+    }
+
+    /// Comma-separated `f64` list override or default.
+    pub fn f64_list(&self, name: &str, default: &[f64]) -> Vec<f64> {
+        self.values
+            .get(name)
+            .map(|v| {
+                v.split(',')
+                    .map(|t| {
+                        t.trim()
+                            .parse()
+                            .unwrap_or_else(|_| panic!("--{name} expects numbers, got {t:?}"))
+                    })
+                    .collect()
+            })
+            .unwrap_or_else(|| default.to_vec())
+    }
+
+    /// Comma-separated `usize` list override or default.
+    pub fn usize_list(&self, name: &str, default: &[usize]) -> Vec<usize> {
+        self.values
+            .get(name)
+            .map(|v| {
+                v.split(',')
+                    .map(|t| {
+                        t.trim()
+                            .parse()
+                            .unwrap_or_else(|_| panic!("--{name} expects integers, got {t:?}"))
+                    })
+                    .collect()
+            })
+            .unwrap_or_else(|| default.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_key_value_and_flags() {
+        let a = Args::from_tokens(["--n", "100", "--alpha=0.2", "--fast", "--list", "1,2,3"]);
+        assert_eq!(a.usize("n", 5), 100);
+        assert!((a.f64("alpha", 0.0) - 0.2).abs() < 1e-12);
+        assert!(a.flag("fast"));
+        assert!(!a.flag("slow"));
+        assert_eq!(a.usize_list("list", &[9]), vec![1, 2, 3]);
+        assert_eq!(a.usize("missing", 7), 7);
+        assert_eq!(a.get("name", "x"), "x");
+    }
+
+    #[test]
+    fn negative_numbers_are_values_not_flags() {
+        let a = Args::from_tokens(["--x", "-1"]);
+        // "-1" does not start with --, so it is consumed as the value.
+        assert_eq!(a.get("x", ""), "-1");
+    }
+
+    #[test]
+    fn f64_list_with_spaces() {
+        let a = Args::from_tokens(["--alphas=0.1, 0.2 ,0.3"]);
+        assert_eq!(a.f64_list("alphas", &[]), vec![0.1, 0.2, 0.3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects an integer")]
+    fn bad_integer_panics() {
+        Args::from_tokens(["--n", "abc"]).usize("n", 0);
+    }
+
+    #[test]
+    fn deny_unknown_accepts_known() {
+        Args::from_tokens(["--n", "3", "--fast"]).deny_unknown(&["n", "fast"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unrecognized argument --thresold")]
+    fn deny_unknown_rejects_typo() {
+        Args::from_tokens(["--thresold", "0.1"]).deny_unknown(&["threshold"]);
+    }
+}

@@ -1,0 +1,83 @@
+//! Figure 8: robustness of the match model to *error in the compatibility
+//! matrix itself* (α = 0.2 test database).
+//!
+//! The matrix handed to the miner is a perturbed copy of the true one: each
+//! diagonal entry `C(dᵢ, dᵢ)` is moved by `e%` (direction random) and the
+//! rest of the column is rescaled to keep it stochastic — the paper's exact
+//! protocol. Accuracy/completeness are measured against the result of
+//! mining the same test database with the *true* matrix.
+
+use std::collections::HashSet;
+
+use noisemine_baselines::mine_levelwise;
+use noisemine_bench::args::Args;
+use noisemine_bench::table::{pct, Table};
+use noisemine_core::matching::{MatchMetric, MemorySequences};
+use noisemine_core::{Pattern, PatternSpace};
+use noisemine_datagen::accuracy_completeness;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = Args::parse();
+    args.deny_unknown(&["seed", "threshold", "alpha", "errors", "max-len"]);
+    let seed = args.u64("seed", 2002);
+    let min_value = args.f64("threshold", 0.05);
+    let alpha = args.f64("alpha", 0.2);
+    let errors = args.f64_list("errors", &[0.0, 0.02, 0.05, 0.08, 0.10, 0.15, 0.20]);
+    let space = PatternSpace::contiguous(args.usize("max-len", 14));
+    let workload = noisemine_bench::default_protein_workload(seed);
+
+    // Test database at alpha = 0.2 under the structured channel (where the
+    // matrix actually matters; with uniform noise the matrix is nearly
+    // uninformative and perturbing it changes almost nothing).
+    let (noisy, true_matrix) = workload.partner_test_db(alpha, seed ^ 0x0801);
+    let noisy_db = MemorySequences(noisy);
+
+    let norm_true = true_matrix
+        .diagonal_normalized_clamped()
+        .expect("positive diagonals");
+    let reference: HashSet<Pattern> = mine_levelwise(
+        &noisy_db,
+        &MatchMetric { matrix: &norm_true },
+        20,
+        min_value,
+        &space,
+        usize::MAX,
+    )
+    .pattern_set();
+
+    let mut t = Table::new(
+        &format!("Figure 8: match-model quality vs compatibility-matrix error (alpha = {alpha})"),
+        ["error", "accuracy", "completeness"],
+    );
+    for &e in &errors {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x0802 ^ (e * 1000.0) as u64);
+        let perturbed = if e == 0.0 {
+            true_matrix.clone()
+        } else {
+            true_matrix
+                .perturb_diagonal(e, &mut rng)
+                .expect("error fraction in range")
+        };
+        let norm = perturbed
+            .diagonal_normalized_clamped()
+            .expect("positive diagonals");
+        let result: HashSet<Pattern> = mine_levelwise(
+            &noisy_db,
+            &MatchMetric { matrix: &norm },
+            20,
+            min_value,
+            &space,
+            usize::MAX,
+        )
+        .pattern_set();
+        let (acc, com) = accuracy_completeness(&result, &reference);
+        t.row([format!("{:.0}%", e * 100.0), pct(acc), pct(com)]);
+    }
+    t.emit(Some(std::path::Path::new("results/fig08.csv")));
+    println!(
+        "paper reports (10% error): 88% accuracy, 85% completeness — moderate degradation \
+         with increasing matrix error is the reproduction target"
+    );
+}

@@ -1,0 +1,89 @@
+//! Figure 9: number of candidate patterns at each level of the lattice,
+//! support model vs match model (α = 0.2 test database, same threshold).
+//!
+//! The paper's observation: candidate counts peak around the 10th–14th
+//! level and then diminish, but under the match model they diminish *much*
+//! more slowly — partial credit keeps diluted patterns alive at deep
+//! levels, which is precisely what makes match mining harder and motivates
+//! the probabilistic algorithm.
+//!
+//! The workload plants one long motif (default 18 symbols) plus the usual
+//! graded motifs so the deep lattice levels are populated.
+
+use noisemine_baselines::mine_levelwise;
+use noisemine_bench::args::Args;
+use noisemine_bench::table::Table;
+use noisemine_core::matching::{MatchMetric, MemorySequences, SupportMetric};
+use noisemine_core::PatternSpace;
+use noisemine_datagen::{ProteinWorkload, ProteinWorkloadConfig};
+
+fn main() {
+    let args = Args::parse();
+    args.deny_unknown(&["seed", "threshold", "alpha", "motif-len", "max-len", "sequences"]);
+    let seed = args.u64("seed", 2002);
+    let min_value = args.f64("threshold", 0.05);
+    let alpha = args.f64("alpha", 0.2);
+    let long_motif = args.usize("motif-len", 18);
+    let space = PatternSpace::contiguous(args.usize("max-len", long_motif + 2));
+
+    let workload = ProteinWorkload::new(ProteinWorkloadConfig {
+        num_sequences: args.usize("sequences", 400),
+        min_len: 40,
+        max_len: 60,
+        num_motifs: 5,
+        min_motif_len: 4,
+        max_motif_len: long_motif,
+        occurrence: 0.5,
+        seed,
+    });
+    let (noisy, matrix) = workload.partner_test_db(alpha, seed ^ 0x0901);
+    let noisy_db = MemorySequences(noisy);
+
+    let support = mine_levelwise(&noisy_db, &SupportMetric, 20, min_value, &space, usize::MAX);
+    let norm = matrix
+        .diagonal_normalized_clamped()
+        .expect("positive diagonals");
+    let matched = mine_levelwise(
+        &noisy_db,
+        &MatchMetric { matrix: &norm },
+        20,
+        min_value,
+        &space,
+        usize::MAX,
+    );
+
+    let levels = support.trace.levels().max(matched.trace.levels());
+    let mut t = Table::new(
+        &format!(
+            "Figure 9: candidate patterns per level (alpha = {alpha}, threshold = {min_value})"
+        ),
+        [
+            "level",
+            "support candidates",
+            "support frequent",
+            "match candidates",
+            "match frequent",
+        ],
+    );
+    for k in 0..levels {
+        let sc = support.trace.candidates.get(k).copied().unwrap_or(0);
+        let sf = support.trace.survivors.get(k).copied().unwrap_or(0);
+        let mc = matched.trace.candidates.get(k).copied().unwrap_or(0);
+        let mf = matched.trace.survivors.get(k).copied().unwrap_or(0);
+        t.row([
+            (k + 1).to_string(),
+            sc.to_string(),
+            sf.to_string(),
+            mc.to_string(),
+            mf.to_string(),
+        ]);
+    }
+    t.emit(Some(std::path::Path::new("results/fig09.csv")));
+    println!(
+        "support explored {} levels / {} candidates total; match explored {} levels / {} candidates total",
+        support.trace.levels(),
+        support.trace.total_candidates(),
+        matched.trace.levels(),
+        matched.trace.total_candidates(),
+    );
+}

@@ -1,0 +1,98 @@
+//! Figure 12: effect of the Chernoff confidence `1 − δ`.
+//!
+//! - 12(a): number of ambiguous patterns vs confidence — smaller confidence
+//!   shrinks ε and with it the ambiguous band;
+//! - 12(b): the error rate (mislabeled patterns over frequent patterns) vs
+//!   confidence — because the Chernoff bound is conservative, the measured
+//!   error stays far below δ (the paper sees ~0.01 at 1 − δ = 0.9 and
+//!   ~10⁻⁶ at 0.9999).
+//!
+//! The error rate is measured against exact level-wise mining of the full
+//! database.
+
+use std::collections::HashSet;
+
+use noisemine_baselines::mine_levelwise;
+use noisemine_bench::args::Args;
+use noisemine_bench::table::{fmt, Table};
+use noisemine_core::border_collapse::ProbeStrategy;
+use noisemine_core::chernoff::SpreadMode;
+use noisemine_core::matching::{MatchMetric, MemorySequences};
+use noisemine_core::miner::{mine, MinerConfig};
+use noisemine_core::{Pattern, PatternSpace};
+
+fn main() {
+    let args = Args::parse();
+    args.deny_unknown(&["seed", "threshold", "alpha", "samples", "confidences", "max-len", "sequences"]);
+    let seed = args.u64("seed", 2002);
+    let min_match = args.f64("threshold", 0.1);
+    let alpha = args.f64("alpha", 0.2);
+    let sample_size = args.usize("samples", 1500);
+    let confidences = args.f64_list("confidences", &[0.9, 0.99, 0.999, 0.9999]);
+    let space = PatternSpace::contiguous(args.usize("max-len", 14));
+    let workload =
+        noisemine_bench::sampling_protein_workload(seed, args.usize("sequences", 4000));
+
+    let (noisy, matrix) = workload.partner_test_db(alpha, seed ^ 0x1201);
+    let norm = matrix
+        .diagonal_normalized_clamped()
+        .expect("positive diagonals");
+    let db = MemorySequences(noisy);
+
+    // Exact oracle.
+    let oracle: HashSet<Pattern> = mine_levelwise(
+        &db,
+        &MatchMetric { matrix: &norm },
+        20,
+        min_match,
+        &space,
+        usize::MAX,
+    )
+    .pattern_set();
+
+    let mut t = Table::new(
+        &format!("Figure 12: effect of confidence 1-delta (alpha = {alpha}, {sample_size} samples)"),
+        [
+            "confidence",
+            "delta",
+            "ambiguous",
+            "mislabeled",
+            "error rate",
+        ],
+    );
+    for &confidence in &confidences {
+        let delta = 1.0 - confidence;
+        let config = MinerConfig {
+            min_match,
+            delta,
+            sample_size,
+            counters_per_scan: 100_000,
+            space,
+            spread_mode: SpreadMode::Restricted,
+            probe_strategy: ProbeStrategy::BorderCollapsing,
+            seed: seed ^ 0x1202,
+            ..MinerConfig::default()
+        };
+        let outcome = mine(&db, &norm, &config).expect("valid config");
+        let mined: HashSet<Pattern> = outcome.patterns().into_iter().collect();
+        let mislabeled =
+            oracle.symmetric_difference(&mined).count();
+        let error_rate = if oracle.is_empty() {
+            0.0
+        } else {
+            mislabeled as f64 / oracle.len() as f64
+        };
+        t.row([
+            format!("{confidence}"),
+            format!("{delta:.4}"),
+            outcome.stats.ambiguous_after_sample.to_string(),
+            mislabeled.to_string(),
+            fmt(error_rate, 5),
+        ]);
+    }
+    t.emit(Some(std::path::Path::new("results/fig12.csv")));
+    println!(
+        "paper reports: ambiguity shrinks sharply as confidence drops; the measured error rate \
+         stays orders of magnitude below delta (conservatism of the Chernoff bound)"
+    );
+}

@@ -1,0 +1,106 @@
+//! Figure 13: distribution of the true match of *missed* patterns.
+//!
+//! A pattern is "missed" when the probabilistic miner labels it infrequent
+//! (or drops it) although its exact database match is at least `min_match`.
+//! The paper's analysis (Section 4) predicts that the probability a missed
+//! pattern lies `ρ` above the threshold decays as `exp(−2nρ²/R²)` — so
+//! nearly all misses sit within a few percent of the threshold. The paper
+//! reports >90 % of misses within 5 % of the threshold and none beyond
+//! 15 %.
+//!
+//! To make misses observable at laptop scale the sample is kept small and
+//! δ moderately large; the histogram is aggregated over many seeds.
+
+use std::collections::HashSet;
+
+use noisemine_baselines::mine_levelwise;
+use noisemine_bench::args::Args;
+use noisemine_bench::table::{pct, Table};
+use noisemine_core::border_collapse::ProbeStrategy;
+use noisemine_core::chernoff::SpreadMode;
+use noisemine_core::matching::{MatchMetric, MemorySequences};
+use noisemine_core::miner::{mine, MinerConfig};
+use noisemine_core::{Pattern, PatternSpace};
+
+fn main() {
+    let args = Args::parse();
+    args.deny_unknown(&["seed", "threshold", "alpha", "samples", "delta", "runs", "max-len", "sequences"]);
+    let seed = args.u64("seed", 2002);
+    let min_match = args.f64("threshold", 0.1);
+    let alpha = args.f64("alpha", 0.2);
+    let sample_size = args.usize("samples", 100);
+    let delta = args.f64("delta", 0.4);
+    let runs = args.usize("runs", 30);
+    let space = PatternSpace::contiguous(args.usize("max-len", 14));
+    let workload =
+        noisemine_bench::sampling_protein_workload(seed, args.usize("sequences", 4000));
+
+    let (noisy, matrix) = workload.partner_test_db(alpha, seed ^ 0x1301);
+    let norm = matrix
+        .diagonal_normalized_clamped()
+        .expect("positive diagonals");
+    let db = MemorySequences(noisy);
+
+    // Exact oracle with values.
+    let oracle = mine_levelwise(
+        &db,
+        &MatchMetric { matrix: &norm },
+        20,
+        min_match,
+        &space,
+        usize::MAX,
+    );
+    let oracle_set: HashSet<Pattern> = oracle.pattern_set();
+
+    // Histogram buckets over dis(P) = (true match - min_match)/min_match.
+    let bucket_edges = [0.05, 0.10, 0.15];
+    let mut buckets = [0usize; 4];
+    let mut total_missed = 0usize;
+
+    for run in 0..runs {
+        let config = MinerConfig {
+            min_match,
+            delta,
+            sample_size,
+            counters_per_scan: 100_000,
+            space,
+            spread_mode: SpreadMode::Restricted,
+            probe_strategy: ProbeStrategy::BorderCollapsing,
+            seed: seed ^ 0x1302 ^ (run as u64),
+            ..MinerConfig::default()
+        };
+        let outcome = mine(&db, &norm, &config).expect("valid config");
+        let mined: HashSet<Pattern> = outcome.patterns().into_iter().collect();
+        for p in &oracle_set {
+            if !mined.contains(p) {
+                let true_match = oracle.value_of(p).expect("oracle pattern has a value");
+                let dis = (true_match - min_match) / min_match;
+                total_missed += 1;
+                let idx = bucket_edges.iter().position(|&e| dis < e).unwrap_or(3);
+                buckets[idx] += 1;
+            }
+        }
+    }
+
+    let mut t = Table::new(
+        &format!(
+            "Figure 13: true match of missed patterns, distance above threshold \
+             ({runs} runs, {sample_size} samples, delta = {delta})"
+        ),
+        ["distance above threshold", "missed patterns", "share"],
+    );
+    let labels = ["0-5%", "5-10%", "10-15%", ">15%"];
+    for (label, &count) in labels.iter().zip(&buckets) {
+        let share = if total_missed == 0 {
+            0.0
+        } else {
+            count as f64 / total_missed as f64
+        };
+        t.row([label.to_string(), count.to_string(), pct(share)]);
+    }
+    t.emit(Some(std::path::Path::new("results/fig13.csv")));
+    println!(
+        "total missed across runs: {total_missed} (paper: >90% of misses within 5% of the \
+         threshold, none beyond 15%)"
+    );
+}

@@ -1,0 +1,69 @@
+//! Runs the full experiment suite — every figure/table binary with its
+//! default (laptop-scale) parameters — and reports per-experiment wall
+//! time. CSV outputs land in `results/`.
+//!
+//! Usage: `cargo run --release -p noisemine-bench --bin run_all`
+//! (pass `--skip-slow` to omit the two multi-minute experiments).
+
+use std::process::Command;
+use std::time::Instant;
+
+use noisemine_bench::args::Args;
+
+fn main() {
+    let args = Args::parse();
+    args.deny_unknown(&["skip-slow"]);
+    let skip_slow = args.flag("skip-slow");
+    let binaries: &[(&str, &[&str], bool)] = &[
+        ("table_fig4", &[], false),
+        ("fig07_robustness", &[], true),
+        ("fig07_robustness", &["--by-length"], true),
+        ("table_blosum", &[], false),
+        ("fig08_matrix_error", &[], false),
+        ("fig09_candidates", &[], false),
+        ("fig10_sample_size", &[], true),
+        ("fig11_spread", &[], false),
+        ("fig12_confidence", &[], false),
+        ("fig13_missed", &[], true),
+        ("fig14_performance", &[], true),
+        ("fig15_scalability", &[], false),
+        ("ablations", &[], false),
+        ("table_gapped", &[], false),
+        ("table_hierarchical", &[], false),
+        ("stress", &[], true),
+    ];
+
+    let exe_dir = std::env::current_exe()
+        .expect("current exe path")
+        .parent()
+        .expect("exe has a parent dir")
+        .to_path_buf();
+
+    let total = Instant::now();
+    for &(name, extra_args, slow) in binaries {
+        if slow && skip_slow {
+            println!("=== {name} (skipped: --skip-slow)\n");
+            continue;
+        }
+        println!("=== {name} {}", extra_args.join(" "));
+        let start = Instant::now();
+        // `cargo run --bin run_all` only builds this target, so sibling
+        // binaries may be absent on a fresh checkout; fall back to cargo.
+        let exe = exe_dir.join(name);
+        let status = if exe.exists() {
+            Command::new(&exe).args(extra_args).status()
+        } else {
+            Command::new("cargo")
+                .args(["run", "--release", "-q", "-p", "noisemine-bench", "--bin", name, "--"])
+                .args(extra_args)
+                .status()
+        }
+        .unwrap_or_else(|e| panic!("failed to launch {name}: {e}"));
+        assert!(status.success(), "{name} exited with {status}");
+        println!("[{name} finished in {:.1}s]\n", start.elapsed().as_secs_f64());
+    }
+    println!(
+        "all experiments finished in {:.1}s; tables printed above, CSVs in results/",
+        total.elapsed().as_secs_f64()
+    );
+}

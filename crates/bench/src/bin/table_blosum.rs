@@ -1,0 +1,58 @@
+//! The §5.1 in-text BLOSUM50 experiment: a test database generated
+//! according to the BLOSUM50 substitution model, mined under both models
+//! with the same threshold. The paper reports match accuracy/completeness
+//! "well over 99 %" versus 70 % / 50 % for support.
+
+use noisemine_baselines::mine_levelwise;
+use noisemine_bench::args::Args;
+use noisemine_bench::table::{pct, Table};
+use noisemine_core::matching::{MatchMetric, MemorySequences, SupportMetric};
+use noisemine_core::PatternSpace;
+use noisemine_datagen::accuracy_completeness;
+
+fn main() {
+    let args = Args::parse();
+    args.deny_unknown(&["seed", "threshold", "mu", "max-len"]);
+    let seed = args.u64("seed", 2002);
+    let min_value = args.f64("threshold", 0.05);
+    let mu = args.f64("mu", 0.25);
+    let space = PatternSpace::contiguous(args.usize("max-len", 14));
+    let workload = noisemine_bench::default_protein_workload(seed);
+    let std_db = MemorySequences(workload.standard.clone());
+
+    let reference = mine_levelwise(&std_db, &SupportMetric, 20, min_value, &space, usize::MAX)
+        .pattern_set();
+
+    let (noisy, matrix) = workload.blosum_test_db(mu, seed ^ 0xb105);
+    let noisy_db = MemorySequences(noisy);
+
+    let s_test = mine_levelwise(&noisy_db, &SupportMetric, 20, min_value, &space, usize::MAX)
+        .pattern_set();
+    let (s_acc, s_com) = accuracy_completeness(&s_test, &reference);
+
+    let norm = matrix
+        .diagonal_normalized_clamped()
+        .expect("BLOSUM posterior has positive diagonals");
+    let m_test = mine_levelwise(
+        &noisy_db,
+        &MatchMetric { matrix: &norm },
+        20,
+        min_value,
+        &space,
+        usize::MAX,
+    )
+    .pattern_set();
+    let (m_acc, m_com) = accuracy_completeness(&m_test, &reference);
+
+    let mut t = Table::new(
+        &format!("§5.1 in-text: BLOSUM50-mutated test database (mu = {mu})"),
+        ["model", "accuracy", "completeness"],
+    );
+    t.row(["support", &pct(s_acc), &pct(s_com)]);
+    t.row(["match", &pct(m_acc), &pct(m_com)]);
+    t.emit(Some(std::path::Path::new("results/table_blosum.csv")));
+    println!(
+        "paper reports: match > 99% / > 99%, support 70% / 50% (600K real sequences; shape — match \
+         dominating support on both measures — is the reproduction target)"
+    );
+}

@@ -1,0 +1,112 @@
+//! Future-work experiment (paper §6): coarse-to-fine mining over symbol
+//! groups for large alphabets.
+//!
+//! Workload: an `m`-symbol catalog where every product has a near-
+//! substitute (symmetric pairs), Zipf-distributed usage, a planted
+//! purchase habit, and substitution noise — the paper's E-Commerce
+//! setting. For each `m`, plain level-wise mining is compared against the
+//! hierarchical miner (identical outputs asserted); the win is the number
+//! of full-data candidate evaluations avoided by skeleton pruning.
+
+use std::time::Instant;
+
+use noisemine_baselines::{mine_hierarchical, mine_levelwise};
+use noisemine_bench::args::Args;
+use noisemine_bench::table::Table;
+use noisemine_core::matching::MatchMetric;
+use noisemine_core::{Pattern, PatternSpace, Symbol};
+use noisemine_datagen::noise::{apply_channel, channel_to_compatibility, partner_channel};
+use noisemine_datagen::{generate, Background, GeneratorConfig, PlantedMotif};
+use noisemine_seqdb::MemoryDb;
+
+fn main() {
+    let args = Args::parse();
+    args.deny_unknown(&["seed", "sequences", "threshold", "symbols", "alpha"]);
+    let seed = args.u64("seed", 2002);
+    let n = args.usize("sequences", 300);
+    let threshold = args.f64("threshold", 0.2);
+    let alpha = args.f64("alpha", 0.3);
+    let ms = args.usize_list("symbols", &[40, 100, 200, 400]);
+
+    let mut t = Table::new(
+        &format!(
+            "Future work (paper §6): hierarchical mining over symbol groups \
+             (threshold = {threshold}, alpha = {alpha})"
+        ),
+        [
+            "m",
+            "groups",
+            "plain candidates",
+            "hier fine evals",
+            "skeleton pruned",
+            "plain (s)",
+            "hier (s)",
+        ],
+    );
+
+    for &m in &ms {
+        // Planted habit over the first few even symbols.
+        let motif_syms: Vec<Symbol> = (0..5).map(|i| Symbol((i * 2) as u16)).collect();
+        let motif = Pattern::contiguous(&motif_syms).unwrap();
+        let standard = generate(&GeneratorConfig {
+            num_sequences: n,
+            min_len: 20,
+            max_len: 30,
+            alphabet_size: m,
+            background: Background::Zipf(0.7),
+            motifs: vec![PlantedMotif::new(motif, 0.5)],
+            seed,
+        });
+        let partners: Vec<Vec<usize>> = (0..m)
+            .map(|i| {
+                let p = i ^ 1;
+                vec![if p >= m { i - 1 } else { p }]
+            })
+            .collect();
+        let channel = partner_channel(m, alpha, &partners);
+        let mut rng =
+            <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed ^ m as u64);
+        let noisy = apply_channel(&standard, &channel, &mut rng);
+        let matrix = channel_to_compatibility(&channel)
+            .diagonal_normalized_clamped()
+            .expect("positive diagonals");
+        let space = PatternSpace::contiguous(8);
+
+        let start = Instant::now();
+        let db = MemoryDb::from_sequences(noisy.clone());
+        let plain = mine_levelwise(
+            &db,
+            &MatchMetric { matrix: &matrix },
+            m,
+            threshold,
+            &space,
+            usize::MAX,
+        );
+        let plain_time = start.elapsed();
+
+        let start = Instant::now();
+        let hier = mine_hierarchical(&noisy, &matrix, threshold, &space, 0.05);
+        let hier_time = start.elapsed();
+
+        assert_eq!(
+            plain.pattern_set(),
+            hier.pattern_set(),
+            "hierarchical mining must be exact (m = {m})"
+        );
+
+        t.row([
+            m.to_string(),
+            hier.groups.to_string(),
+            plain.trace.total_candidates().to_string(),
+            hier.fine_evaluated.to_string(),
+            hier.skeleton_pruned.to_string(),
+            noisemine_bench::secs(plain_time),
+            noisemine_bench::secs(hier_time),
+        ]);
+    }
+    t.emit(Some(std::path::Path::new("results/table_hierarchical.csv")));
+    println!(
+        "identical frequent sets asserted at every m; 'skeleton pruned' candidates were \
+         discarded from the cheap quotient pass instead of being counted against the full data"
+    );
+}

@@ -1,0 +1,596 @@
+//! Implementations of the `noisemine` subcommands.
+
+use std::path::Path;
+
+use noisemine_baselines::{mine_depth_first, mine_levelwise, mine_maxminer, mine_top_k, MaxMinerConfig};
+use noisemine_core::border_collapse::ProbeStrategy;
+use noisemine_core::matching::{
+    db_match, db_support, MatchMetric, MemorySequences, SequenceScan,
+};
+use noisemine_core::miner::{mine, MinerConfig};
+use noisemine_core::{matrix_io, Alphabet, CompatibilityMatrix, Pattern, PatternSpace, Symbol};
+use noisemine_datagen::noise::{channel_to_compatibility, partner_channel};
+use noisemine_datagen::{
+    apply_channel, apply_uniform_noise, blosum, generate, Background, GeneratorConfig,
+    PlantedMotif,
+};
+use noisemine_seqdb::{text, DiskDb, MemoryDb};
+use noisemine_datagen::learn_matrix;
+
+use crate::opts::{CliResult, Opts};
+
+/// `noisemine gen` — generate a synthetic sequence database (and its
+/// compatibility matrix) as text files.
+pub fn cmd_gen(opts: &Opts) -> CliResult<()> {
+    opts.deny_unknown(&[
+        "out",
+        "matrix-out",
+        "sequences",
+        "min-len",
+        "max-len",
+        "alphabet",
+        "motifs",
+        "occurrence",
+        "noise",
+        "seed",
+    ])?;
+    let out = opts.required("out")?;
+    let n = opts.num("sequences", 1000usize)?;
+    let min_len = opts.num("min-len", 40usize)?;
+    let max_len = opts.num("max-len", 60usize)?;
+    let seed = opts.num("seed", 2002u64)?;
+    let occurrence = opts.num("occurrence", 0.4f64)?;
+
+    let alphabet = parse_alphabet(opts.get_or("alphabet", "amino"))?;
+    let m = alphabet.len();
+
+    let motifs: Vec<PlantedMotif> = match opts.get("motifs") {
+        None => Vec::new(),
+        Some(spec) => spec
+            .split(',')
+            .map(|tok| {
+                let (pat, occ) = match tok.split_once(':') {
+                    Some((p, o)) => (
+                        p,
+                        o.parse::<f64>()
+                            .map_err(|_| format!("motif occurrence {o:?} is not a number"))?,
+                    ),
+                    None => (tok, occurrence),
+                };
+                let pattern = Pattern::parse(pat.trim(), &alphabet)
+                    .map_err(|e| format!("motif {pat:?}: {e}"))?;
+                Ok(PlantedMotif::new(pattern, occ))
+            })
+            .collect::<CliResult<_>>()?,
+    };
+
+    let standard = generate(&GeneratorConfig {
+        num_sequences: n,
+        min_len,
+        max_len,
+        alphabet_size: m,
+        background: Background::Uniform,
+        motifs,
+        seed,
+    });
+
+    // Optional noise channel: "uniform:0.2", "partner:0.3", "blosum:0.2".
+    let (sequences, matrix) = match opts.get("noise") {
+        None => (standard, CompatibilityMatrix::identity(m)),
+        Some(spec) => {
+            let (kind, level) = spec
+                .split_once(':')
+                .ok_or_else(|| format!("--noise {spec:?} must be kind:level, e.g. uniform:0.2"))?;
+            let level: f64 = level
+                .parse()
+                .map_err(|_| format!("noise level {level:?} is not a number"))?;
+            let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed ^ 0x006e_015e);
+            match kind {
+                "uniform" => {
+                    let noisy = apply_uniform_noise(&standard, level, m, &mut rng);
+                    let matrix = CompatibilityMatrix::uniform_noise(m, level)
+                        .map_err(|e| e.to_string())?;
+                    (noisy, matrix)
+                }
+                "partner" => {
+                    let partners: Vec<Vec<usize>> = if m == 20 {
+                        blosum::partner_map(1)
+                    } else {
+                        (0..m).map(|i| vec![i_xor_1_clamped(i, m)]).collect()
+                    };
+                    let channel = partner_channel(m, level, &partners);
+                    let noisy = apply_channel(&standard, &channel, &mut rng);
+                    (noisy, channel_to_compatibility(&channel))
+                }
+                "blosum" => {
+                    if m != 20 {
+                        return Err("--noise blosum requires the amino alphabet".into());
+                    }
+                    let channel = blosum::mutation_channel(level);
+                    let noisy = apply_channel(&standard, &channel, &mut rng);
+                    (noisy, blosum::compatibility_matrix(level))
+                }
+                other => return Err(format!("unknown noise kind {other:?}").into()),
+            }
+        }
+    };
+
+    text::write_sequences_file(out, &sequences, &alphabet).map_err(|e| e.to_string())?;
+    println!("wrote {} sequences to {out}", sequences.len());
+    if let Some(matrix_out) = opts.get("matrix-out") {
+        let rendered = if m > 64 {
+            matrix_io::to_sparse_string(&alphabet, &matrix)
+        } else {
+            matrix_io::to_dense_string(&alphabet, &matrix)
+        }
+        .map_err(|e| e.to_string())?;
+        std::fs::write(matrix_out, rendered).map_err(|e| e.to_string())?;
+        println!("wrote compatibility matrix to {matrix_out}");
+    }
+    Ok(())
+}
+
+/// `noisemine learn` — estimate a compatibility matrix from paired
+/// (truth, observed) sequence files.
+pub fn cmd_learn(opts: &Opts) -> CliResult<()> {
+    opts.deny_unknown(&["truth", "observed", "out", "lambda"])?;
+    let truth_path = opts.required("truth")?;
+    let observed_path = opts.required("observed")?;
+    let out = opts.required("out")?;
+    let lambda = opts.num("lambda", 0.0f64)?;
+
+    // The alphabet must cover both files; infer from their concatenation.
+    let mut text_both = std::fs::read_to_string(truth_path)
+        .map_err(|e| format!("{truth_path}: {e}"))?;
+    text_both.push('\n');
+    text_both.push_str(
+        &std::fs::read_to_string(observed_path).map_err(|e| format!("{observed_path}: {e}"))?,
+    );
+    let alphabet = noisemine_seqdb::infer_alphabet(text_both.as_bytes())
+        .map_err(|e| e.to_string())?;
+
+    let truth = text::read_sequences_file(truth_path, &alphabet).map_err(|e| e.to_string())?;
+    let observed =
+        text::read_sequences_file(observed_path, &alphabet).map_err(|e| e.to_string())?;
+    let matrix =
+        learn_matrix(&truth, &observed, alphabet.len(), lambda).map_err(|e| e.to_string())?;
+
+    let rendered = if alphabet.len() > 64 {
+        matrix_io::to_sparse_string(&alphabet, &matrix)
+    } else {
+        matrix_io::to_dense_string(&alphabet, &matrix)
+    }
+    .map_err(|e| e.to_string())?;
+    std::fs::write(out, rendered).map_err(|e| e.to_string())?;
+    println!(
+        "learned a {m}x{m} compatibility matrix from {} paired sequences (lambda = {lambda});          wrote {out}",
+        truth.len(),
+        m = alphabet.len(),
+    );
+    Ok(())
+}
+
+/// `noisemine stats` — database statistics (and per-symbol matches when a
+/// matrix is given).
+pub fn cmd_stats(opts: &Opts) -> CliResult<()> {
+    opts.deny_unknown(&["db", "matrix"])?;
+    let (alphabet, sequences) = load_db(opts)?;
+    let db = MemorySequences(sequences);
+    let n = db.num_sequences();
+    let total: usize = db.0.iter().map(Vec::len).sum();
+    let (min_l, max_l) = db
+        .0
+        .iter()
+        .map(Vec::len)
+        .fold((usize::MAX, 0), |(lo, hi), l| (lo.min(l), hi.max(l)));
+    println!("sequences:        {n}");
+    println!("symbols total:    {total}");
+    println!("alphabet size:    {}", alphabet.len());
+    if n > 0 {
+        println!("length min/avg/max: {min_l} / {:.1} / {max_l}", total as f64 / n as f64);
+    }
+
+    // Symbol frequencies.
+    let mut counts = vec![0usize; alphabet.len()];
+    for seq in &db.0 {
+        for s in seq {
+            counts[s.index()] += 1;
+        }
+    }
+    println!("\n{:<10} {:>10} {:>10}", "symbol", "count", "freq");
+    let mut order: Vec<usize> = (0..alphabet.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(counts[i]));
+    for &i in order.iter().take(20) {
+        println!(
+            "{:<10} {:>10} {:>9.2}%",
+            alphabet.name(Symbol(i as u16)).map_err(|e| e.to_string())?,
+            counts[i],
+            100.0 * counts[i] as f64 / total.max(1) as f64,
+        );
+    }
+
+    if let Some(matrix_path) = opts.get("matrix") {
+        let (_, matrix) = load_matrix(matrix_path, &alphabet)?;
+        let matches = noisemine_core::matching::symbol_db_match(&db, &matrix);
+        println!("\n{:<10} {:>10}", "symbol", "match");
+        for &i in order.iter().take(20) {
+            println!(
+                "{:<10} {:>10.4}",
+                alphabet.name(Symbol(i as u16)).map_err(|e| e.to_string())?,
+                matches[i],
+            );
+        }
+    }
+    Ok(())
+}
+
+/// `noisemine match` — support and match of one pattern.
+pub fn cmd_match(opts: &Opts) -> CliResult<()> {
+    opts.deny_unknown(&["db", "matrix", "pattern", "normalize"])?;
+    let (alphabet, sequences) = load_db(opts)?;
+    let db = MemorySequences(sequences);
+    let pattern = Pattern::parse(opts.required("pattern")?, &alphabet)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "pattern {} (length {}, {} concrete symbols)",
+        pattern.display(&alphabet).map_err(|e| e.to_string())?,
+        pattern.len(),
+        pattern.non_eternal_count(),
+    );
+    println!("support: {:.6}", db_support(&pattern, &db));
+    if let Some(matrix_path) = opts.get("matrix") {
+        let (_, matrix) = load_matrix(matrix_path, &alphabet)?;
+        let matrix = maybe_normalize(matrix, opts)?;
+        println!("match:   {:.6}", db_match(&pattern, &db, &matrix));
+    }
+    Ok(())
+}
+
+/// `noisemine convert` — text ↔ binary sequence database conversion.
+pub fn cmd_convert(opts: &Opts) -> CliResult<()> {
+    opts.deny_unknown(&["db", "out"])?;
+    let input = opts.required("db")?;
+    let out = opts.required("out")?;
+    let to_binary = out.ends_with(".nmdb");
+    if to_binary {
+        let alphabet = infer(input)?;
+        let sequences =
+            text::read_sequences_file(input, &alphabet).map_err(|e| e.to_string())?;
+        DiskDb::create_from(out, sequences.iter().map(Vec::as_slice))
+            .map_err(|e| e.to_string())?;
+        println!(
+            "wrote {} sequences to binary database {out} (alphabet inferred: {} symbols; \
+             note: binary files store ids, keep the alphabet alongside)",
+            sequences.len(),
+            alphabet.len(),
+        );
+    } else {
+        return Err("convert currently writes binary .nmdb only; name the output *.nmdb".into());
+    }
+    Ok(())
+}
+
+/// `noisemine mine` — run a miner over a text database.
+pub fn cmd_mine(opts: &Opts) -> CliResult<()> {
+    opts.deny_unknown(&[
+        "db",
+        "matrix",
+        "min-match",
+        "normalize",
+        "max-gap",
+        "max-len",
+        "algorithm",
+        "sample",
+        "delta",
+        "counters",
+        "strategy",
+        "seed",
+        "limit",
+        "top",
+        "format",
+    ])?;
+    let (alphabet, sequences) = load_db(opts)?;
+    let m = alphabet.len();
+    let matrix = match opts.get("matrix") {
+        Some(path) => load_matrix(path, &alphabet)?.1,
+        None => CompatibilityMatrix::identity(m),
+    };
+    let matrix = maybe_normalize(matrix, opts)?;
+    let min_match = opts.num("min-match", 0.1f64)?;
+    let space = PatternSpace::new(opts.num("max-gap", 0usize)?, opts.num("max-len", 16usize)?)
+        .map_err(|e| e.to_string())?;
+    let algorithm = opts.get_or("algorithm", "three-phase");
+    let limit = opts.num("limit", 50usize)?;
+
+    let format = opts.get_or("format", "table");
+    if !["table", "csv", "json"].contains(&format) {
+        return Err(format!("unknown --format {format:?}; use table, csv, or json").into());
+    }
+
+    // `--top k` switches to threshold-free best-first mining.
+    if let Some(k) = opts.get("top") {
+        let k: usize = k
+            .parse()
+            .map_err(|_| format!("--top got unparsable value {k:?}"))?;
+        let r = mine_top_k(&sequences, &matrix, k, &space);
+        eprintln!(
+            "top-{k} patterns ({} evaluated, implied threshold {:.4}):",
+            r.evaluated, r.implied_threshold
+        );
+        return emit(&r.patterns, r.patterns.len(), &alphabet, format);
+    }
+
+    let frequent: Vec<(Pattern, f64)> = match algorithm {
+        "three-phase" => {
+            let db = MemoryDb::from_sequences(sequences);
+            let config = MinerConfig {
+                min_match,
+                delta: opts.num("delta", 0.001f64)?,
+                sample_size: opts.num("sample", db.sequences().len())?,
+                counters_per_scan: opts.num("counters", 100_000usize)?,
+                space,
+                probe_strategy: match opts.get_or("strategy", "border") {
+                    "border" => ProbeStrategy::BorderCollapsing,
+                    "levelwise" => ProbeStrategy::LevelWise,
+                    other => return Err(format!("unknown strategy {other:?}").into()),
+                },
+                seed: opts.num("seed", 2002u64)?,
+                ..MinerConfig::default()
+            };
+            let outcome = mine(&db, &matrix, &config).map_err(|e| e.to_string())?;
+            eprintln!(
+                "three-phase miner: {} db scans, {} sample-confident, {} verified, {} implied",
+                outcome.stats.db_scans,
+                outcome.stats.sample_frequent,
+                outcome.stats.verified_patterns,
+                outcome.stats.propagated_patterns,
+            );
+            outcome
+                .frequent
+                .into_iter()
+                .map(|f| (f.pattern, f.match_estimate))
+                .collect()
+        }
+        "levelwise" => {
+            let db = MemoryDb::from_sequences(sequences);
+            let r = mine_levelwise(
+                &db,
+                &MatchMetric { matrix: &matrix },
+                m,
+                min_match,
+                &space,
+                usize::MAX,
+            );
+            eprintln!("level-wise miner: {} scans, {} levels", r.scans, r.trace.levels());
+            r.frequent
+        }
+        "depth-first" => {
+            let r = mine_depth_first(&sequences, &matrix, min_match, &space);
+            eprintln!(
+                "depth-first miner: {} patterns evaluated, depth {}",
+                r.patterns_evaluated, r.max_depth
+            );
+            r.frequent
+        }
+        "max-miner" => {
+            let db = MemoryDb::from_sequences(sequences);
+            let r = mine_maxminer(
+                &db,
+                &MatchMetric { matrix: &matrix },
+                m,
+                min_match,
+                &space,
+                &MaxMinerConfig::default(),
+            );
+            eprintln!(
+                "max-miner: {} scans, {} look-ahead hits",
+                r.scans, r.lookahead_hits
+            );
+            r.frequent
+                .into_iter()
+                .map(|(p, v)| (p, v.unwrap_or(min_match)))
+                .collect()
+        }
+        other => {
+            return Err(format!(
+                "unknown algorithm {other:?}; use three-phase, levelwise, depth-first, or max-miner"
+            )
+            .into())
+        }
+    };
+
+    let mut sorted = frequent;
+    sorted.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    eprintln!(
+        "{} frequent patterns (match >= {min_match}); top {}:",
+        sorted.len(),
+        limit.min(sorted.len())
+    );
+    emit(&sorted, limit, &alphabet, format)
+}
+
+/// Prints mined patterns in the chosen output format. `json` emits an
+/// array of `{"pattern": ..., "match": ...}` objects (strings escaped per
+/// RFC 8259); `csv` a two-column file; `table` an aligned listing.
+fn emit(
+    patterns: &[(Pattern, f64)],
+    limit: usize,
+    alphabet: &Alphabet,
+    format: &str,
+) -> CliResult<()> {
+    use std::io::Write;
+    let rows: Vec<(String, f64)> = patterns
+        .iter()
+        .take(limit)
+        .map(|(p, v)| Ok((p.display(alphabet).map_err(|e| e.to_string())?, *v)))
+        .collect::<CliResult<_>>()?;
+    // Buffered and broken-pipe tolerant: `noisemine mine ... | head` must
+    // exit cleanly when the reader closes early.
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    let result: std::io::Result<()> = (|| {
+        match format {
+        "table" => {
+            writeln!(out, "{:<30} {:>10}", "pattern", "match")?;
+            for (p, v) in &rows {
+                writeln!(out, "{p:<30} {v:>10.4}")?;
+            }
+        }
+        "csv" => {
+            writeln!(out, "pattern,match")?;
+            for (p, v) in &rows {
+                let field = if p.contains(',') || p.contains('"') {
+                    format!("\"{}\"", p.replace('"', "\"\""))
+                } else {
+                    p.clone()
+                };
+                writeln!(out, "{field},{v}")?;
+            }
+        }
+        "json" => {
+            writeln!(out, "[")?;
+            for (i, (p, v)) in rows.iter().enumerate() {
+                let escaped: String = p
+                    .chars()
+                    .flat_map(|c| match c {
+                        '"' => "\\\"".chars().collect::<Vec<_>>(),
+                        '\\' => "\\\\".chars().collect(),
+                        c if (c as u32) < 0x20 => {
+                            format!("\\u{:04x}", c as u32).chars().collect()
+                        }
+                        c => vec![c],
+                    })
+                    .collect();
+                let comma = if i + 1 < rows.len() { "," } else { "" };
+                writeln!(out, "  {{\"pattern\": \"{escaped}\", \"match\": {v}}}{comma}")?;
+            }
+            writeln!(out, "]")?;
+        }
+        _ => unreachable!("format validated in cmd_mine"),
+        }
+        out.flush()
+    })();
+    match result {
+        Ok(()) => Ok(()),
+        // Reader went away (e.g. `| head`); not an error for a CLI.
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => Ok(()),
+        Err(e) => Err(format!("i/o error: {e}").into()),
+    }
+}
+
+// -- helpers ---------------------------------------------------------------
+
+/// Symmetric pairing partner (`i ^ 1`); the last symbol of an odd-sized
+/// alphabet pairs with its predecessor instead of falling off the end.
+fn i_xor_1_clamped(i: usize, m: usize) -> usize {
+    let p = i ^ 1;
+    if p >= m {
+        i - 1
+    } else {
+        p
+    }
+}
+
+fn parse_alphabet(spec: &str) -> CliResult<Alphabet> {
+    if spec == "amino" {
+        Ok(Alphabet::amino_acids())
+    } else if let Some(n) = spec.strip_prefix('d') {
+        let m: usize = n
+            .parse()
+            .map_err(|_| format!("alphabet {spec:?}: expected `amino` or `dN`"))?;
+        if m < 2 {
+            return Err("alphabet needs at least 2 symbols".into());
+        }
+        Ok(Alphabet::synthetic(m))
+    } else {
+        Err(format!("alphabet {spec:?}: expected `amino` or `dN` (e.g. d50)").into())
+    }
+}
+
+fn infer(path: &str) -> CliResult<Alphabet> {
+    let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    noisemine_seqdb::infer_alphabet(file).map_err(|e| e.to_string().into())
+}
+
+/// Loads `--db` (text) with the alphabet from `--matrix` when given, else
+/// inferred from the data.
+fn load_db(opts: &Opts) -> CliResult<(Alphabet, Vec<Vec<Symbol>>)> {
+    let path = opts.required("db")?;
+    if !Path::new(path).exists() {
+        return Err(format!("database file {path} does not exist").into());
+    }
+    let alphabet = match opts.get("matrix") {
+        Some(matrix_path) => load_matrix_alphabet(matrix_path)?,
+        None => infer(path)?,
+    };
+    let sequences =
+        text::read_sequences_file(path, &alphabet).map_err(|e| e.to_string())?;
+    Ok((alphabet, sequences))
+}
+
+fn load_matrix_alphabet(path: &str) -> CliResult<Alphabet> {
+    let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let (alphabet, _) = matrix_io::read_matrix(file).map_err(|e| e.to_string())?;
+    Ok(alphabet)
+}
+
+fn load_matrix(path: &str, expected: &Alphabet) -> CliResult<(Alphabet, CompatibilityMatrix)> {
+    let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let (alphabet, matrix) = matrix_io::read_matrix(file).map_err(|e| e.to_string())?;
+    if alphabet.len() != expected.len() {
+        return Err(format!(
+            "matrix alphabet has {} symbols but the database alphabet has {}",
+            alphabet.len(),
+            expected.len()
+        )
+        .into());
+    }
+    Ok((alphabet, matrix))
+}
+
+fn maybe_normalize(
+    matrix: CompatibilityMatrix,
+    opts: &Opts,
+) -> CliResult<CompatibilityMatrix> {
+    if opts.flag("normalize") {
+        matrix
+            .diagonal_normalized_clamped()
+            .map_err(|e| e.to_string().into())
+    } else {
+        Ok(matrix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_alphabet_variants() {
+        assert_eq!(parse_alphabet("amino").unwrap().len(), 20);
+        assert_eq!(parse_alphabet("d50").unwrap().len(), 50);
+        assert!(parse_alphabet("d1").is_err()); // below 2 symbols
+        assert!(parse_alphabet("protein").is_err());
+        assert!(parse_alphabet("dxyz").is_err());
+    }
+
+    #[test]
+    fn symmetric_pairing_clamps_at_odd_end() {
+        assert_eq!(i_xor_1_clamped(0, 5), 1);
+        assert_eq!(i_xor_1_clamped(1, 5), 0);
+        assert_eq!(i_xor_1_clamped(3, 5), 2);
+        // Last symbol of an odd alphabet pairs backwards.
+        assert_eq!(i_xor_1_clamped(4, 5), 3);
+    }
+
+    #[test]
+    fn maybe_normalize_respects_flag() {
+        let matrix = CompatibilityMatrix::uniform_noise(4, 0.2).unwrap();
+        let plain = Opts::parse(["mine", "--db", "x"]).unwrap();
+        let kept = maybe_normalize(matrix.clone(), &plain).unwrap();
+        assert!((kept.get(Symbol(0), Symbol(0)) - 0.8).abs() < 1e-12);
+        let normalized = Opts::parse(["mine", "--db", "x", "--normalize"]).unwrap();
+        let scaled = maybe_normalize(matrix, &normalized).unwrap();
+        assert!((scaled.get(Symbol(0), Symbol(0)) - 1.0).abs() < 1e-12);
+    }
+}

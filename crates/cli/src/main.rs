@@ -1,0 +1,64 @@
+//! `noisemine` — mine long sequential patterns in noisy data.
+//!
+//! ```text
+//! noisemine gen     --out db.txt [--matrix-out m.txt] [--sequences N] [--alphabet amino|dN]
+//!                   [--motifs "AMTKY:0.4,QVC"] [--noise uniform:0.2|partner:0.3|blosum:0.2]
+//! noisemine stats   --db db.txt [--matrix m.txt]
+//! noisemine match   --db db.txt --pattern "A*TKY" [--matrix m.txt] [--normalize]
+//! noisemine mine    --db db.txt [--matrix m.txt] [--normalize] [--min-match 0.1]
+//!                   [--algorithm three-phase|levelwise|depth-first|max-miner] [--top k]
+//!                   [--max-gap 0] [--max-len 16] [--sample N] [--strategy border|levelwise]
+//! noisemine convert --db db.txt --out db.nmdb
+//! ```
+
+mod commands;
+mod opts;
+
+use opts::{CliResult, Opts};
+
+const USAGE: &str = "\
+noisemine — mine long sequential patterns in noisy data (Yang/Wang/Yu/Han, SIGMOD 2002)
+
+USAGE:
+  noisemine gen     --out db.txt [--matrix-out m.txt] [--sequences 1000]
+                    [--min-len 40] [--max-len 60] [--alphabet amino|dN]
+                    [--motifs \"AMTKY:0.4,QVCER\"] [--occurrence 0.4]
+                    [--noise uniform:0.2|partner:0.3|blosum:0.2] [--seed 2002]
+  noisemine stats   --db db.txt [--matrix m.txt]
+  noisemine match   --db db.txt --pattern \"A*TKY\" [--matrix m.txt] [--normalize]
+  noisemine mine    --db db.txt [--matrix m.txt] [--normalize] [--min-match 0.1]
+                    [--algorithm three-phase|levelwise|depth-first|max-miner]
+                    [--max-gap 0] [--max-len 16] [--sample N] [--delta 0.001]
+                    [--counters 100000] [--strategy border|levelwise]
+                    [--seed 2002] [--limit 50] [--top k]
+  noisemine learn   --truth clean.txt --observed noisy.txt --out m.txt [--lambda 0.1]
+  noisemine convert --db db.txt --out db.nmdb
+
+Databases are plain text (one sequence per line, single letters or
+whitespace-separated tokens; `#`, `>` and blank lines skipped). Matrices use
+the #noisemine-matrix dense/sparse text format. --normalize mines with the
+diagonal-normalized score matrix (match on the noise-free support scale).";
+
+fn run() -> CliResult<()> {
+    let opts = Opts::parse(std::env::args().skip(1))?;
+    match opts.command.as_str() {
+        "gen" => commands::cmd_gen(&opts),
+        "stats" => commands::cmd_stats(&opts),
+        "match" => commands::cmd_match(&opts),
+        "mine" => commands::cmd_mine(&opts),
+        "convert" => commands::cmd_convert(&opts),
+        "learn" => commands::cmd_learn(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand {other:?}").into()),
+    }
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("error: {e}\n\n{USAGE}");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,365 @@
+//! Integration tests driving the `noisemine` binary end to end through its
+//! real command-line surface (via `CARGO_BIN_EXE_noisemine`).
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn noisemine(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_noisemine"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("noisemine-cli-test-{}-{name}", std::process::id()))
+}
+
+/// Generates a small noisy database + matrix for the other tests.
+fn generate(db: &Path, matrix: &Path) {
+    let out = noisemine(&[
+        "gen",
+        "--out",
+        db.to_str().unwrap(),
+        "--matrix-out",
+        matrix.to_str().unwrap(),
+        "--sequences",
+        "120",
+        "--min-len",
+        "20",
+        "--max-len",
+        "30",
+        "--motifs",
+        "AMTKY:0.5",
+        "--noise",
+        "partner:0.3",
+        "--seed",
+        "11",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+}
+
+#[test]
+fn gen_stats_match_mine_round_trip() {
+    let db = tmp("db.txt");
+    let matrix = tmp("m.txt");
+    generate(&db, &matrix);
+
+    // stats reports the generated shape.
+    let out = noisemine(&["stats", "--db", db.to_str().unwrap(), "--matrix", matrix.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("sequences:        120"), "{text}");
+    assert!(text.contains("alphabet size:    20"), "{text}");
+    assert!(text.contains("match"), "{text}");
+
+    // match: the planted motif survives under --normalize.
+    let out = noisemine(&[
+        "match",
+        "--db",
+        db.to_str().unwrap(),
+        "--matrix",
+        matrix.to_str().unwrap(),
+        "--pattern",
+        "AMTKY",
+        "--normalize",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("support:"), "{text}");
+    assert!(text.contains("match:"), "{text}");
+
+    // mine finds the motif with every algorithm.
+    for algorithm in ["three-phase", "levelwise", "depth-first", "max-miner"] {
+        let out = noisemine(&[
+            "mine",
+            "--db",
+            db.to_str().unwrap(),
+            "--matrix",
+            matrix.to_str().unwrap(),
+            "--normalize",
+            "--min-match",
+            "0.15",
+            "--max-len",
+            "6",
+            "--algorithm",
+            algorithm,
+            "--limit",
+            "2000",
+        ]);
+        assert!(out.status.success(), "{algorithm}: {}", stderr(&out));
+        let text = stdout(&out);
+        assert!(
+            text.contains("AMTKY"),
+            "{algorithm} did not recover the motif:\n{text}"
+        );
+    }
+
+    std::fs::remove_file(&db).ok();
+    std::fs::remove_file(&matrix).ok();
+}
+
+#[test]
+fn top_k_mode() {
+    let db = tmp("topk-db.txt");
+    let matrix = tmp("topk-m.txt");
+    generate(&db, &matrix);
+    let out = noisemine(&[
+        "mine",
+        "--db",
+        db.to_str().unwrap(),
+        "--matrix",
+        matrix.to_str().unwrap(),
+        "--normalize",
+        "--top",
+        "5",
+        "--max-len",
+        "6",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let status = stderr(&out);
+    assert!(status.contains("top-5 patterns"), "{status}");
+    assert!(status.contains("implied threshold"), "{status}");
+    assert!(stdout(&out).contains("pattern"), "{}", stdout(&out));
+    std::fs::remove_file(&db).ok();
+    std::fs::remove_file(&matrix).ok();
+}
+
+#[test]
+fn convert_to_binary() {
+    let db = tmp("conv-db.txt");
+    let matrix = tmp("conv-m.txt");
+    let bin = tmp("conv.nmdb");
+    generate(&db, &matrix);
+    let out = noisemine(&[
+        "convert",
+        "--db",
+        db.to_str().unwrap(),
+        "--out",
+        bin.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(bin.exists());
+    // The binary file carries the seqdb magic.
+    let bytes = std::fs::read(&bin).unwrap();
+    assert_eq!(&bytes[..8], b"NMSEQDB\0");
+    std::fs::remove_file(&db).ok();
+    std::fs::remove_file(&matrix).ok();
+    std::fs::remove_file(&bin).ok();
+}
+
+#[test]
+fn error_paths_exit_nonzero_with_usage() {
+    // Unknown subcommand.
+    let out = noisemine(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown subcommand"));
+    assert!(stderr(&out).contains("USAGE"));
+
+    // Missing required option.
+    let out = noisemine(&["mine"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--db"));
+
+    // Typo'd option names the command's known options.
+    let out = noisemine(&["stats", "--bd", "x"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unrecognized option --bd"));
+
+    // Nonexistent database file.
+    let out = noisemine(&["stats", "--db", "/definitely/not/here.txt"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("does not exist"));
+
+    // Bad noise spec.
+    let db = tmp("noise-db.txt");
+    let out = noisemine(&[
+        "gen",
+        "--out",
+        db.to_str().unwrap(),
+        "--noise",
+        "gamma:0.5",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown noise kind"));
+
+    // blosum noise requires the amino alphabet.
+    let out = noisemine(&[
+        "gen",
+        "--out",
+        db.to_str().unwrap(),
+        "--alphabet",
+        "d10",
+        "--noise",
+        "blosum:0.2",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("amino"));
+    std::fs::remove_file(&db).ok();
+}
+
+#[test]
+fn output_formats() {
+    let db = tmp("fmt-db.txt");
+    let matrix = tmp("fmt-m.txt");
+    generate(&db, &matrix);
+    // JSON is machine-parseable and status lines stay on stderr.
+    let out = noisemine(&[
+        "mine",
+        "--db",
+        db.to_str().unwrap(),
+        "--matrix",
+        matrix.to_str().unwrap(),
+        "--normalize",
+        "--top",
+        "3",
+        "--max-len",
+        "4",
+        "--format",
+        "json",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.trim_start().starts_with('['), "{text}");
+    assert!(text.contains("\"pattern\""), "{text}");
+    assert!(!text.contains("top-3"), "status leaked into stdout: {text}");
+    assert!(stderr(&out).contains("top-3"), "{}", stderr(&out));
+
+    // CSV has a clean header as the first stdout line.
+    let out = noisemine(&[
+        "mine",
+        "--db",
+        db.to_str().unwrap(),
+        "--matrix",
+        matrix.to_str().unwrap(),
+        "--normalize",
+        "--min-match",
+        "0.5",
+        "--max-len",
+        "3",
+        "--format",
+        "csv",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).starts_with("pattern,match"), "{}", stdout(&out));
+
+    // Unknown format fails before mining.
+    let out = noisemine(&["mine", "--db", db.to_str().unwrap(), "--format", "yaml"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown --format"));
+
+    std::fs::remove_file(&db).ok();
+    std::fs::remove_file(&matrix).ok();
+}
+
+#[test]
+fn learn_round_trip() {
+    let clean = tmp("learn-clean.txt");
+    let noisy = tmp("learn-noisy.txt");
+    let matrix = tmp("learn-m.txt");
+    for (path, noise) in [(&clean, None), (&noisy, Some("partner:0.3"))] {
+        let mut args = vec![
+            "gen",
+            "--out",
+            path.to_str().unwrap(),
+            "--sequences",
+            "150",
+            "--min-len",
+            "30",
+            "--max-len",
+            "30",
+            "--seed",
+            "3",
+        ];
+        if let Some(n) = noise {
+            args.push("--noise");
+            args.push(n);
+        }
+        let out = noisemine(&args);
+        assert!(out.status.success(), "{}", stderr(&out));
+    }
+    let out = noisemine(&[
+        "learn",
+        "--truth",
+        clean.to_str().unwrap(),
+        "--observed",
+        noisy.to_str().unwrap(),
+        "--out",
+        matrix.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("learned a 20x20"), "{}", stdout(&out));
+    let contents = std::fs::read_to_string(&matrix).unwrap();
+    assert!(contents.starts_with("#noisemine-matrix dense"));
+    // The learned matrix is usable downstream.
+    let out = noisemine(&[
+        "stats",
+        "--db",
+        noisy.to_str().unwrap(),
+        "--matrix",
+        matrix.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    std::fs::remove_file(&clean).ok();
+    std::fs::remove_file(&noisy).ok();
+    std::fs::remove_file(&matrix).ok();
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = noisemine(&["help"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("USAGE"));
+}
+
+#[test]
+fn synthetic_alphabet_and_uniform_noise() {
+    let db = tmp("synth-db.txt");
+    let matrix = tmp("synth-m.txt");
+    let out = noisemine(&[
+        "gen",
+        "--out",
+        db.to_str().unwrap(),
+        "--matrix-out",
+        matrix.to_str().unwrap(),
+        "--sequences",
+        "50",
+        "--min-len",
+        "10",
+        "--max-len",
+        "15",
+        "--alphabet",
+        "d8",
+        "--motifs",
+        "d0 d1 d2:0.6",
+        "--noise",
+        "uniform:0.2",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let out = noisemine(&[
+        "mine",
+        "--db",
+        db.to_str().unwrap(),
+        "--matrix",
+        matrix.to_str().unwrap(),
+        "--normalize",
+        "--min-match",
+        "0.2",
+        "--max-len",
+        "4",
+        "--algorithm",
+        "levelwise",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("d0 d1 d2"), "{}", stdout(&out));
+    std::fs::remove_file(&db).ok();
+    std::fs::remove_file(&matrix).ok();
+}

@@ -1,0 +1,267 @@
+//! Symbols and alphabets.
+//!
+//! The paper works over a finite set of distinct symbols
+//! `Θ = {d₁, d₂, …, d_m}` (Section 3). We intern symbol names into compact
+//! [`Symbol`] ids (a `u16`), which keeps disk-resident sequences at two bytes
+//! per position and supports the paper's scalability sweep up to `m = 10⁴`
+//! distinct symbols (Figure 15).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Error, Result};
+
+/// An interned symbol: an index into an [`Alphabet`].
+///
+/// `Symbol` is deliberately a thin `u16` newtype — sequences in this library
+/// can contain thousands of symbols and databases hundreds of thousands of
+/// sequences, so per-symbol size matters both in memory and in the on-disk
+/// format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Symbol(pub u16);
+
+impl Symbol {
+    /// The symbol's index into its alphabet, as a `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+/// A bidirectional mapping between symbol names and [`Symbol`] ids.
+///
+/// An alphabet is immutable once built; all sequences, patterns, and
+/// compatibility matrices that refer to it share the same id space.
+/// Serialization stores only the name list; the lookup index is rebuilt on
+/// deserialization.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(try_from = "AlphabetRepr", into = "AlphabetRepr")]
+pub struct Alphabet {
+    names: Vec<String>,
+    index: HashMap<String, Symbol>,
+}
+
+/// Serialized form of [`Alphabet`]: just the names, in id order.
+#[derive(Serialize, Deserialize)]
+struct AlphabetRepr {
+    names: Vec<String>,
+}
+
+impl From<Alphabet> for AlphabetRepr {
+    fn from(a: Alphabet) -> Self {
+        Self { names: a.names }
+    }
+}
+
+impl TryFrom<AlphabetRepr> for Alphabet {
+    type Error = Error;
+    fn try_from(repr: AlphabetRepr) -> Result<Self> {
+        Alphabet::new(repr.names)
+    }
+}
+
+impl Alphabet {
+    /// Builds an alphabet from a list of distinct symbol names.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if a name is duplicated or if more
+    /// than `u16::MAX + 1` names are supplied.
+    pub fn new<I, S>(names: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let names: Vec<String> = names.into_iter().map(Into::into).collect();
+        if names.len() > (u16::MAX as usize) + 1 {
+            return Err(Error::InvalidConfig(format!(
+                "alphabet of {} symbols exceeds the maximum of {}",
+                names.len(),
+                (u16::MAX as usize) + 1
+            )));
+        }
+        let mut index = HashMap::with_capacity(names.len());
+        for (i, name) in names.iter().enumerate() {
+            if index.insert(name.clone(), Symbol(i as u16)).is_some() {
+                return Err(Error::InvalidConfig(format!(
+                    "duplicate symbol name {name:?} in alphabet"
+                )));
+            }
+        }
+        Ok(Self { names, index })
+    }
+
+    /// Builds a synthetic alphabet `d0, d1, …, d(m-1)`, matching the paper's
+    /// notation for abstract symbol sets.
+    pub fn synthetic(m: usize) -> Self {
+        Self::new((0..m).map(|i| format!("d{i}"))).expect("synthetic names are distinct")
+    }
+
+    /// The 20 canonical amino acids in single-letter code, used by the
+    /// paper's protein-database experiments (Section 5.1).
+    pub fn amino_acids() -> Self {
+        Self::new(AMINO_ACIDS.iter().map(|c| c.to_string()))
+            .expect("amino acid letters are distinct")
+    }
+
+    /// Number of distinct symbols `m`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` when the alphabet has no symbols.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Looks up a symbol id by name.
+    pub fn symbol(&self, name: &str) -> Result<Symbol> {
+        self.index
+            .get(name)
+            .copied()
+            .ok_or_else(|| Error::UnknownSymbol(name.to_string()))
+    }
+
+    /// Returns the name of a symbol.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::SymbolOutOfRange`] if the id does not belong to this
+    /// alphabet.
+    pub fn name(&self, symbol: Symbol) -> Result<&str> {
+        self.names
+            .get(symbol.index())
+            .map(String::as_str)
+            .ok_or(Error::SymbolOutOfRange {
+                symbol: symbol.0,
+                alphabet_size: self.names.len(),
+            })
+    }
+
+    /// Iterates over all symbols in id order.
+    pub fn symbols(&self) -> impl Iterator<Item = Symbol> + '_ {
+        (0..self.names.len()).map(|i| Symbol(i as u16))
+    }
+
+    /// Iterates over `(symbol, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> + '_ {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Symbol(i as u16), n.as_str()))
+    }
+
+    /// Encodes a whitespace- or contiguously-written sequence of single-name
+    /// symbols into ids. Names are matched greedily against single characters
+    /// when `text` contains no whitespace (convenient for amino-acid strings
+    /// such as `"AMTKYQV"`), or split on whitespace otherwise.
+    pub fn encode(&self, text: &str) -> Result<Vec<Symbol>> {
+        if text.contains(char::is_whitespace) {
+            text.split_whitespace().map(|t| self.symbol(t)).collect()
+        } else if let Ok(sym) = self.symbol(text) {
+            // A single multi-character name like "d12".
+            Ok(vec![sym])
+        } else {
+            text.chars()
+                .map(|c| self.symbol(&c.to_string()))
+                .collect()
+        }
+    }
+
+    /// Decodes a sequence of ids back to a string, joining multi-character
+    /// names with spaces and single-character names without separators.
+    pub fn decode(&self, symbols: &[Symbol]) -> Result<String> {
+        let names: Vec<&str> = symbols
+            .iter()
+            .map(|&s| self.name(s))
+            .collect::<Result<_>>()?;
+        let single_char = names.iter().all(|n| n.chars().count() == 1);
+        Ok(if single_char {
+            names.concat()
+        } else {
+            names.join(" ")
+        })
+    }
+}
+
+/// Single-letter codes of the 20 canonical amino acids.
+pub const AMINO_ACIDS: [char; 20] = [
+    'A', 'R', 'N', 'D', 'C', 'Q', 'E', 'G', 'H', 'I', 'L', 'K', 'M', 'F', 'P', 'S', 'T', 'W', 'V',
+    'Y',
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_resolves_symbols() {
+        let a = Alphabet::new(["x", "y", "z"]).unwrap();
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.symbol("y").unwrap(), Symbol(1));
+        assert_eq!(a.name(Symbol(2)).unwrap(), "z");
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        assert!(Alphabet::new(["x", "x"]).is_err());
+    }
+
+    #[test]
+    fn unknown_symbol_errors() {
+        let a = Alphabet::new(["x"]).unwrap();
+        assert!(matches!(a.symbol("q"), Err(Error::UnknownSymbol(_))));
+        assert!(matches!(
+            a.name(Symbol(9)),
+            Err(Error::SymbolOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn synthetic_alphabet_matches_paper_notation() {
+        let a = Alphabet::synthetic(5);
+        assert_eq!(a.len(), 5);
+        assert_eq!(a.name(Symbol(0)).unwrap(), "d0");
+        assert_eq!(a.symbol("d4").unwrap(), Symbol(4));
+    }
+
+    #[test]
+    fn amino_acid_alphabet_has_twenty_letters() {
+        let a = Alphabet::amino_acids();
+        assert_eq!(a.len(), 20);
+        assert!(a.symbol("W").is_ok());
+    }
+
+    #[test]
+    fn encode_decode_contiguous() {
+        let a = Alphabet::amino_acids();
+        let ids = a.encode("AMTKY").unwrap();
+        assert_eq!(ids.len(), 5);
+        assert_eq!(a.decode(&ids).unwrap(), "AMTKY");
+    }
+
+    #[test]
+    fn encode_decode_whitespace() {
+        let a = Alphabet::synthetic(3);
+        let ids = a.encode("d0 d2 d1").unwrap();
+        assert_eq!(ids, vec![Symbol(0), Symbol(2), Symbol(1)]);
+        assert_eq!(a.decode(&ids).unwrap(), "d0 d2 d1");
+    }
+
+    #[test]
+    fn symbols_iterator_covers_alphabet() {
+        let a = Alphabet::synthetic(4);
+        let all: Vec<Symbol> = a.symbols().collect();
+        assert_eq!(all, vec![Symbol(0), Symbol(1), Symbol(2), Symbol(3)]);
+    }
+}

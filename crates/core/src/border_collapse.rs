@@ -1,0 +1,408 @@
+//! Phase 3: border collapsing (§4.3, Algorithms 4.3 / 4.4).
+//!
+//! The ambiguous patterns left by phase 2 occupy a contiguous region of the
+//! lattice between the FQT and INFQT borders. Verifying them level by level
+//! costs one scan per level; border collapsing instead probes the patterns
+//! with the highest *collapsing power* — the halfway layer between the two
+//! borders, then the quarter-way layers, and so on — so that each exact
+//! verification resolves, via the Apriori property, as many other ambiguous
+//! patterns as possible without ever counting them. With a memory budget of
+//! `x` layers per scan the ambiguous space shrinks to `1/x` per scan, giving
+//! `O(log_x y)` scans where a level-wise search needs `y`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::lattice::AmbiguousSpace;
+use crate::matching::{db_match_many, SequenceScan};
+use crate::matrix::CompatibilityMatrix;
+use crate::pattern::Pattern;
+
+/// How a pattern's frequency was established during phase 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Resolution {
+    /// Its exact match was counted against the full database.
+    Probed,
+    /// It was resolved by Apriori propagation from a probed pattern.
+    Propagated,
+}
+
+/// One resolved ambiguous pattern.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ResolvedPattern {
+    /// The pattern.
+    pub pattern: Pattern,
+    /// Exact database match — known only for probed patterns.
+    pub match_value: Option<f64>,
+    /// How it was resolved.
+    pub resolution: Resolution,
+}
+
+/// The outcome of phase 3.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CollapseResult {
+    /// Ambiguous patterns that turned out to be frequent.
+    pub frequent: Vec<ResolvedPattern>,
+    /// Ambiguous patterns that turned out to be infrequent.
+    pub infrequent: Vec<ResolvedPattern>,
+    /// Number of full database scans performed.
+    pub scans: usize,
+    /// Number of patterns whose exact match was counted.
+    pub probes: usize,
+    /// Number of patterns resolved purely by Apriori propagation.
+    pub propagated: usize,
+    /// Patterns counted in each scan, in scan order — the per-scan probe
+    /// sizes behind the paper's Figure 14(c) discussion (how far the final
+    /// border sits from the estimate shows up as how much counting each
+    /// verification scan needs).
+    pub probes_per_scan: Vec<usize>,
+}
+
+/// The order in which ambiguous patterns are probed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ProbeStrategy {
+    /// Border collapsing: halfway layer first, then quarter-way layers, …
+    /// (Algorithm 4.3) — the paper's contribution.
+    #[default]
+    BorderCollapsing,
+    /// Level-wise from the bottom (the Toivonen-style finalization the
+    /// paper compares against, §5.6).
+    LevelWise,
+}
+
+/// Resolves every ambiguous pattern against the full database.
+///
+/// `counters_per_scan` models the memory available for match counters: each
+/// database scan evaluates at most that many patterns ("until the memory is
+/// filled up", Algorithm 4.3).
+pub fn collapse<S: SequenceScan + ?Sized>(
+    mut space: AmbiguousSpace,
+    db: &S,
+    matrix: &CompatibilityMatrix,
+    min_match: f64,
+    counters_per_scan: usize,
+    strategy: ProbeStrategy,
+) -> CollapseResult {
+    assert!(counters_per_scan >= 1, "need room for at least one counter");
+    let mut result = CollapseResult::default();
+
+    while !space.is_empty() {
+        let probes = select_probes(&space, counters_per_scan, strategy);
+        debug_assert!(!probes.is_empty());
+        let values = db_match_many(&probes, db, matrix);
+        result.scans += 1;
+        result.probes += probes.len();
+        result.probes_per_scan.push(probes.len());
+
+        // Apply probe outcomes bottom-up (ascending concrete-symbol count);
+        // the exact values make the final verdicts order-independent, and
+        // probed patterns always get their exact value recorded even when a
+        // sibling probe in the same batch already propagated over them.
+        let mut order: Vec<usize> = (0..probes.len()).collect();
+        order.sort_by_key(|&i| probes[i].non_eternal_count());
+        for &i in &order {
+            let pattern = &probes[i];
+            let value = values[i];
+            if !space.contains(pattern) {
+                attach_exact_value(&mut result, pattern, value, min_match);
+                continue;
+            }
+            if value >= min_match {
+                for p in space.resolve_frequent(pattern) {
+                    push(&mut result, p, true);
+                }
+                replace_probe_record(&mut result, pattern, value, true);
+            } else {
+                for p in space.resolve_infrequent(pattern) {
+                    push(&mut result, p, false);
+                }
+                replace_probe_record(&mut result, pattern, value, false);
+            }
+        }
+    }
+
+    result.propagated = result
+        .frequent
+        .iter()
+        .chain(&result.infrequent)
+        .filter(|r| r.resolution == Resolution::Propagated)
+        .count();
+    result
+}
+
+/// Records a resolved pattern; the probe pattern itself is upgraded to
+/// `Probed` by [`replace_probe_record`].
+fn push(result: &mut CollapseResult, pattern: Pattern, frequent: bool) {
+    let rec = ResolvedPattern {
+        pattern,
+        match_value: None,
+        resolution: Resolution::Propagated,
+    };
+    if frequent {
+        result.frequent.push(rec);
+    } else {
+        result.infrequent.push(rec);
+    }
+}
+
+/// Upgrades the record of the probed pattern itself with its exact value.
+fn replace_probe_record(
+    result: &mut CollapseResult,
+    pattern: &Pattern,
+    value: f64,
+    frequent: bool,
+) {
+    let list = if frequent {
+        &mut result.frequent
+    } else {
+        &mut result.infrequent
+    };
+    if let Some(rec) = list.iter_mut().find(|r| &r.pattern == pattern) {
+        rec.match_value = Some(value);
+        rec.resolution = Resolution::Probed;
+    } else {
+        list.push(ResolvedPattern {
+            pattern: pattern.clone(),
+            match_value: Some(value),
+            resolution: Resolution::Probed,
+        });
+    }
+}
+
+/// A probed pattern that was propagated earlier in the same batch still has
+/// an exact value available — attach it.
+fn attach_exact_value(
+    result: &mut CollapseResult,
+    pattern: &Pattern,
+    value: f64,
+    min_match: f64,
+) {
+    let frequent = value >= min_match;
+    replace_probe_record(result, pattern, value, frequent);
+}
+
+/// Selects up to `budget` patterns to probe in the next scan.
+fn select_probes(
+    space: &AmbiguousSpace,
+    budget: usize,
+    strategy: ProbeStrategy,
+) -> Vec<Pattern> {
+    let (lo, hi) = space
+        .level_range()
+        .expect("select_probes requires a non-empty space");
+    let levels = match strategy {
+        ProbeStrategy::BorderCollapsing => levels_in_collapse_order(lo, hi),
+        ProbeStrategy::LevelWise => (lo..=hi).collect(),
+    };
+    let mut probes = Vec::with_capacity(budget);
+    for level in levels {
+        if probes.len() >= budget {
+            break;
+        }
+        for p in space.at_level(level) {
+            if probes.len() >= budget {
+                break;
+            }
+            probes.push(p);
+        }
+        // A level-wise search verifies one level per scan: never mix levels
+        // within a scan (this is what makes it need many scans).
+        if strategy == ProbeStrategy::LevelWise && !probes.is_empty() {
+            break;
+        }
+    }
+    probes
+}
+
+/// The probe order of Algorithm 4.3 expressed on levels: the halfway level
+/// of `[lo, hi]` first, then the halfway levels of the two halves
+/// (quarter-way layers), then the ⅛ layers, … — a breadth-first traversal
+/// of the binary interval subdivision.
+pub fn levels_in_collapse_order(lo: usize, hi: usize) -> Vec<usize> {
+    let mut out = Vec::with_capacity(hi - lo + 1);
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back((lo, hi));
+    while let Some((a, b)) = queue.pop_front() {
+        if a > b {
+            continue;
+        }
+        let mid = (a + b).div_ceil(2);
+        out.push(mid);
+        if a <= b {
+            if mid > a {
+                queue.push_back((a, mid - 1));
+            }
+            if mid < b {
+                queue.push_back((mid + 1, b));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::matching::{db_match, MemorySequences};
+    use crate::matrix::CompatibilityMatrix;
+
+    fn pat(text: &str) -> Pattern {
+        Pattern::parse(text, &Alphabet::synthetic(5)).unwrap()
+    }
+
+    fn db() -> MemorySequences {
+        let a = Alphabet::synthetic(5);
+        MemorySequences(vec![
+            a.encode("d0 d1 d2 d0").unwrap(),
+            a.encode("d3 d1 d0").unwrap(),
+            a.encode("d2 d3 d1 d0").unwrap(),
+            a.encode("d1 d1").unwrap(),
+        ])
+    }
+
+    #[test]
+    fn collapse_order_is_halfway_first() {
+        // Levels 1..=5: halfway 3, then halves [1,2] -> 2 and [4,5] -> 5,
+        // then 1 and 4.
+        assert_eq!(levels_in_collapse_order(1, 5), vec![3, 2, 5, 1, 4]);
+        assert_eq!(levels_in_collapse_order(2, 2), vec![2]);
+        assert_eq!(levels_in_collapse_order(1, 2), vec![2, 1]);
+    }
+
+    #[test]
+    fn chain_collapses_in_one_scan_with_enough_memory() {
+        // Figure 6(a)'s chain: with a big enough budget every layer fits in
+        // one scan.
+        let chain = vec![
+            pat("d1"),
+            pat("d1 d2"),
+            pat("d1 d2 d0"),
+        ];
+        let space = AmbiguousSpace::new(chain);
+        let database = db();
+        let matrix = CompatibilityMatrix::paper_figure2();
+        let r = collapse(
+            space,
+            &database,
+            &matrix,
+            0.15,
+            100,
+            ProbeStrategy::BorderCollapsing,
+        );
+        assert_eq!(r.scans, 1);
+        assert_eq!(r.frequent.len() + r.infrequent.len(), 3);
+    }
+
+    #[test]
+    fn collapse_matches_exact_verification() {
+        let database = db();
+        let matrix = CompatibilityMatrix::paper_figure2();
+        let min_match = 0.15;
+        let patterns = vec![
+            pat("d0"),
+            pat("d1"),
+            pat("d3"),
+            pat("d1 d0"),
+            pat("d3 d1"),
+            pat("d3 d1 d0"),
+            pat("d0 d1"),
+            pat("d0 d1 d2"),
+        ];
+        let r = collapse(
+            AmbiguousSpace::new(patterns.clone()),
+            &database,
+            &matrix,
+            min_match,
+            2, // tiny budget forces multiple scans
+            ProbeStrategy::BorderCollapsing,
+        );
+        assert!(r.scans >= 2);
+        // Every pattern must be resolved exactly as the oracle says.
+        for p in &patterns {
+            let exact = db_match(p, &database, &matrix);
+            let in_frequent = r.frequent.iter().any(|x| x.pattern == *p);
+            let in_infrequent = r.infrequent.iter().any(|x| x.pattern == *p);
+            assert!(in_frequent ^ in_infrequent, "{p} resolved twice or never");
+            assert_eq!(
+                in_frequent,
+                exact >= min_match,
+                "{p}: exact match {exact}, threshold {min_match}"
+            );
+        }
+    }
+
+    #[test]
+    fn levelwise_uses_at_least_one_scan_per_level() {
+        let database = db();
+        let matrix = CompatibilityMatrix::paper_figure2();
+        let patterns = vec![pat("d1"), pat("d1 d0"), pat("d2 d1 d0")];
+        let r = collapse(
+            AmbiguousSpace::new(patterns),
+            &database,
+            &matrix,
+            0.15,
+            100,
+            ProbeStrategy::LevelWise,
+        );
+        // Three levels present; level-wise probes one level per scan, but
+        // Apriori propagation may resolve later levels early.
+        assert!(r.scans >= 1 && r.scans <= 3);
+    }
+
+    #[test]
+    fn collapsing_never_uses_more_scans_than_levelwise() {
+        let database = db();
+        let matrix = CompatibilityMatrix::paper_figure2();
+        let patterns: Vec<Pattern> = vec![
+            pat("d1"),
+            pat("d1 d0"),
+            pat("d1 d1"),
+            pat("d2 d1 d0"),
+            pat("d3 d1 d0"),
+            pat("d0 d1 d2 d0"),
+        ];
+        let budget = 3;
+        let bc = collapse(
+            AmbiguousSpace::new(patterns.clone()),
+            &database,
+            &matrix,
+            0.1,
+            budget,
+            ProbeStrategy::BorderCollapsing,
+        );
+        let lw = collapse(
+            AmbiguousSpace::new(patterns),
+            &database,
+            &matrix,
+            0.1,
+            budget,
+            ProbeStrategy::LevelWise,
+        );
+        assert!(
+            bc.scans <= lw.scans,
+            "border collapsing {} scans > level-wise {}",
+            bc.scans,
+            lw.scans
+        );
+        // Both strategies agree on the verdicts.
+        let freq_bc: std::collections::HashSet<_> =
+            bc.frequent.iter().map(|r| r.pattern.clone()).collect();
+        let freq_lw: std::collections::HashSet<_> =
+            lw.frequent.iter().map(|r| r.pattern.clone()).collect();
+        assert_eq!(freq_bc, freq_lw);
+    }
+
+    #[test]
+    fn empty_space_needs_no_scans() {
+        let r = collapse(
+            AmbiguousSpace::default(),
+            &db(),
+            &CompatibilityMatrix::paper_figure2(),
+            0.1,
+            10,
+            ProbeStrategy::BorderCollapsing,
+        );
+        assert_eq!(r.scans, 0);
+        assert!(r.frequent.is_empty() && r.infrequent.is_empty());
+    }
+}

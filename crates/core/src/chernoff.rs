@@ -1,0 +1,178 @@
+//! Additive Chernoff/Hoeffding bound machinery (Section 4, Claim 4.1/4.2).
+//!
+//! For a random variable with spread `R` observed `n` times with sample mean
+//! `μ`, the true mean lies in `[μ − ε, μ + ε]` with probability `1 − δ`,
+//! where `ε = sqrt(R² · ln(1/δ) / (2n))`. The miner uses this to classify
+//! every pattern, from its match in the *sample*, as frequent / infrequent /
+//! ambiguous with respect to the `min_match` threshold (Claim 4.1).
+//!
+//! The *restricted spread* refinement (Claim 4.2) replaces the default
+//! `R = 1` by `R = minᵢ match[dᵢ]` over the pattern's concrete symbols —
+//! valid because the Apriori property caps the match of a pattern by the
+//! match of each of its symbols — and shrinks `ε` proportionally.
+
+use serde::{Deserialize, Serialize};
+
+use crate::pattern::Pattern;
+
+/// Classification of a pattern after the sample phase (Claim 4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Label {
+    /// Sample match exceeds `min_match + ε`: frequent with probability ≥ 1−δ.
+    Frequent,
+    /// Sample match within `±ε` of the threshold: needs exact verification.
+    Ambiguous,
+    /// Sample match below `min_match − ε`: infrequent with probability ≥ 1−δ.
+    Infrequent,
+}
+
+/// The additive Chernoff bound error `ε = sqrt(R² ln(1/δ) / 2n)`.
+///
+/// `spread` is the spread `R` of the random variable, `n` the number of
+/// independent observations, and `delta` the allowed failure probability.
+///
+/// # Panics
+///
+/// Panics (debug assertion) on non-positive `n`, `delta ∉ (0, 1)`, or a
+/// negative spread. Callers validate configuration up front.
+#[inline]
+pub fn epsilon(spread: f64, n: usize, delta: f64) -> f64 {
+    debug_assert!(n > 0, "epsilon needs at least one observation");
+    debug_assert!(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
+    debug_assert!(spread >= 0.0, "spread must be non-negative");
+    (spread * spread * (1.0 / delta).ln() / (2.0 * n as f64)).sqrt()
+}
+
+/// The sample size needed to achieve a given `ε` at spread `R` and failure
+/// probability `δ`: `n = R² ln(1/δ) / (2ε²)`, rounded up.
+pub fn sample_size_for(epsilon: f64, spread: f64, delta: f64) -> usize {
+    assert!(epsilon > 0.0, "target epsilon must be positive");
+    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
+    (spread * spread * (1.0 / delta).ln() / (2.0 * epsilon * epsilon)).ceil() as usize
+}
+
+/// Three-way classification of a pattern from its sample match (Claim 4.1).
+#[inline]
+pub fn classify(sample_match: f64, min_match: f64, eps: f64) -> Label {
+    if sample_match > min_match + eps {
+        Label::Frequent
+    } else if sample_match < min_match - eps {
+        Label::Infrequent
+    } else {
+        Label::Ambiguous
+    }
+}
+
+/// The restricted spread of a pattern (Claim 4.2):
+/// `R = minᵢ match[dᵢ]` over the pattern's concrete symbols, where
+/// `symbol_match[d]` is the match of symbol `d` in the *entire* database
+/// (computed in phase 1). Returns 1 for a pattern with no concrete symbols
+/// (which cannot occur for valid patterns).
+pub fn restricted_spread(pattern: &Pattern, symbol_match: &[f64]) -> f64 {
+    pattern
+        .symbols()
+        .map(|s| symbol_match[s.index()])
+        .fold(f64::INFINITY, f64::min)
+        .min(1.0)
+}
+
+/// How the spread `R` is chosen when classifying patterns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum SpreadMode {
+    /// The conservative default `R = 1`.
+    Full,
+    /// The restricted spread of Claim 4.2 (`R = minᵢ match[dᵢ]`).
+    #[default]
+    Restricted,
+}
+
+impl SpreadMode {
+    /// The spread to use for `pattern` given the phase-1 per-symbol matches.
+    pub fn spread(self, pattern: &Pattern, symbol_match: &[f64]) -> f64 {
+        match self {
+            SpreadMode::Full => 1.0,
+            SpreadMode::Restricted => restricted_spread(pattern, symbol_match),
+        }
+    }
+}
+
+/// The probability that a frequent pattern's sample match under-shoots the
+/// classification threshold by more than `rho` beyond ε — i.e. the tail
+/// `P(dis(P) > ρ)` of Section 4's mislabeling analysis, which decays as
+/// `exp(−2nρ²/R²)` (so `P(dis > 2ρ) = P(dis > ρ)⁴`).
+pub fn mislabel_tail(rho: f64, spread: f64, n: usize) -> f64 {
+    if spread <= 0.0 {
+        return 0.0;
+    }
+    (-2.0 * n as f64 * rho * rho / (spread * spread)).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+
+    #[test]
+    fn paper_numeric_example() {
+        // §4: spread 1, n = 10000, confidence 99.99% → ε ≈ 0.0215.
+        let e = epsilon(1.0, 10_000, 0.0001);
+        assert!((e - 0.0215).abs() < 5e-4, "epsilon {e}");
+    }
+
+    #[test]
+    fn epsilon_scales_linearly_with_spread() {
+        // "Note that ε is linearly proportional to R" — reducing R from 1 to
+        // 0.05 cuts ε by 95 % (§4 example).
+        let full = epsilon(1.0, 5_000, 0.001);
+        let restricted = epsilon(0.05, 5_000, 0.001);
+        assert!((restricted / full - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn epsilon_shrinks_with_samples() {
+        assert!(epsilon(1.0, 100, 0.01) > epsilon(1.0, 10_000, 0.01));
+        // Quadrupling n halves epsilon.
+        let e1 = epsilon(1.0, 1_000, 0.01);
+        let e2 = epsilon(1.0, 4_000, 0.01);
+        assert!((e1 / e2 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sample_size_inverts_epsilon() {
+        let n = sample_size_for(0.01, 1.0, 0.001);
+        let e = epsilon(1.0, n, 0.001);
+        assert!(e <= 0.01 + 1e-12);
+        let e_fewer = epsilon(1.0, n - 1, 0.001);
+        assert!(e_fewer > 0.01);
+    }
+
+    #[test]
+    fn classification_bands() {
+        let eps = 0.05;
+        assert_eq!(classify(0.20, 0.10, eps), Label::Frequent);
+        assert_eq!(classify(0.12, 0.10, eps), Label::Ambiguous);
+        assert_eq!(classify(0.08, 0.10, eps), Label::Ambiguous);
+        assert_eq!(classify(0.04, 0.10, eps), Label::Infrequent);
+    }
+
+    #[test]
+    fn restricted_spread_is_min_symbol_match() {
+        let a = Alphabet::synthetic(5);
+        let p = Pattern::parse("d0 * d3", &a).unwrap();
+        let symbol_match = [0.10, 0.9, 0.9, 0.05, 0.9];
+        // §4: match of (d1, *, d2) with symbol matches 0.1 and 0.05 → R = 0.05.
+        assert!((restricted_spread(&p, &symbol_match) - 0.05).abs() < 1e-12);
+        assert_eq!(SpreadMode::Full.spread(&p, &symbol_match), 1.0);
+        assert!(
+            (SpreadMode::Restricted.spread(&p, &symbol_match) - 0.05).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn mislabel_tail_has_quartic_relation() {
+        // P(dis > 2ρ) = P(dis > ρ)^4 (Section 4).
+        let p1 = mislabel_tail(0.01, 1.0, 5_000);
+        let p2 = mislabel_tail(0.02, 1.0, 5_000);
+        assert!((p2 - p1.powi(4)).abs() < 1e-12);
+    }
+}

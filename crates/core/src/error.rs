@@ -1,0 +1,50 @@
+//! Error types for the noisemine core library.
+
+use std::fmt;
+
+/// Errors produced by the core library.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A symbol name was looked up in an [`crate::alphabet::Alphabet`] that does
+    /// not contain it.
+    UnknownSymbol(String),
+    /// A symbol id was out of range for the alphabet or matrix it was used with.
+    SymbolOutOfRange {
+        /// The offending symbol id.
+        symbol: u16,
+        /// The number of symbols in the alphabet/matrix.
+        alphabet_size: usize,
+    },
+    /// A compatibility matrix failed validation.
+    InvalidMatrix(String),
+    /// A pattern failed a structural invariant (empty, or starts/ends with `*`).
+    InvalidPattern(String),
+    /// A configuration value was out of its legal range.
+    InvalidConfig(String),
+    /// A parse error while reading a pattern from text.
+    PatternParse(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownSymbol(name) => write!(f, "unknown symbol {name:?}"),
+            Error::SymbolOutOfRange {
+                symbol,
+                alphabet_size,
+            } => write!(
+                f,
+                "symbol id {symbol} out of range for alphabet of {alphabet_size} symbols"
+            ),
+            Error::InvalidMatrix(msg) => write!(f, "invalid compatibility matrix: {msg}"),
+            Error::InvalidPattern(msg) => write!(f, "invalid pattern: {msg}"),
+            Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::PatternParse(msg) => write!(f, "pattern parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;

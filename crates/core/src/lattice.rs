@@ -1,0 +1,320 @@
+//! Pattern-lattice utilities: borders and halfway layers (§3, §4.2–4.3).
+//!
+//! The sub-/super-pattern relation (Definition 3.3) organizes all patterns
+//! into a lattice. By the Apriori property (Claim 3.2) the frequent patterns
+//! occupy a downward-closed region whose upper boundary is the **border**:
+//! the set of frequent patterns whose immediate superpatterns are all
+//! infrequent. Phase 2 produces two borders — `FQT` between frequent and
+//! ambiguous patterns and `INFQT` between ambiguous and infrequent — and
+//! phase 3 collapses the gap between them.
+
+use std::collections::HashSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::pattern::Pattern;
+
+/// A border in the pattern lattice: an antichain of patterns kept maximal
+/// under the sub-pattern relation. Inserting a pattern removes any existing
+/// element that is a subpattern of it, and is a no-op if an existing element
+/// already covers it (mirrors lines 22–23 / 28–29 of Algorithm 4.2).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Border {
+    elements: Vec<Pattern>,
+}
+
+impl Border {
+    /// Creates an empty border.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a border from arbitrary patterns, keeping only maximal ones.
+    pub fn from_patterns<I: IntoIterator<Item = Pattern>>(patterns: I) -> Self {
+        let mut b = Self::new();
+        for p in patterns {
+            b.insert(p);
+        }
+        b
+    }
+
+    /// Inserts a pattern, maintaining maximality. Returns `true` if the
+    /// pattern is now represented on the border (i.e. it was not already
+    /// covered by a superpattern).
+    pub fn insert(&mut self, pattern: Pattern) -> bool {
+        if self
+            .elements
+            .iter()
+            .any(|e| pattern.is_subpattern_of(e))
+        {
+            return false;
+        }
+        self.elements.retain(|e| !e.is_subpattern_of(&pattern));
+        self.elements.push(pattern);
+        true
+    }
+
+    /// `true` if `pattern` is covered by the border, i.e. is a subpattern of
+    /// (or equal to) some border element.
+    pub fn covers(&self, pattern: &Pattern) -> bool {
+        self.elements.iter().any(|e| pattern.is_subpattern_of(e))
+    }
+
+    /// The border elements.
+    pub fn elements(&self) -> &[Pattern] {
+        &self.elements
+    }
+
+    /// Number of border elements.
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// `true` when the border has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// Maximum number of concrete symbols among the border elements, or 0.
+    pub fn max_level(&self) -> usize {
+        self.elements
+            .iter()
+            .map(Pattern::non_eternal_count)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Consumes the border, returning its elements.
+    pub fn into_elements(self) -> Vec<Pattern> {
+        self.elements
+    }
+}
+
+/// The halfway layer between two layers of patterns (Algorithm 4.4): for
+/// every pair `(P₁, P₂)` with `P₁` from `lower`, `P₂` from `upper`, and
+/// `P₁ ⊑ P₂`, all patterns with `⌈(k₁+k₂)/2⌉` concrete symbols lying between
+/// them in the lattice.
+pub fn halfway(lower: &[Pattern], upper: &[Pattern]) -> Vec<Pattern> {
+    let mut seen: HashSet<Pattern> = HashSet::new();
+    let mut out = Vec::new();
+    for p1 in lower {
+        for p2 in upper {
+            if !p1.is_subpattern_of(p2) {
+                continue;
+            }
+            let k1 = p1.non_eternal_count();
+            let k2 = p2.non_eternal_count();
+            let k = (k1 + k2).div_ceil(2);
+            for candidate in p1.between(p2, k) {
+                if seen.insert(candidate.clone()) {
+                    out.push(candidate);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The set of still-ambiguous patterns tracked during phase 3, with Apriori
+/// propagation: an exact verification of one probed pattern resolves every
+/// related pattern on the appropriate side (Figure 6's collapsing step).
+#[derive(Debug, Clone, Default)]
+pub struct AmbiguousSpace {
+    patterns: HashSet<Pattern>,
+}
+
+impl AmbiguousSpace {
+    /// Builds the space from the phase-2 ambiguous patterns.
+    pub fn new<I: IntoIterator<Item = Pattern>>(patterns: I) -> Self {
+        Self {
+            patterns: patterns.into_iter().collect(),
+        }
+    }
+
+    /// Number of unresolved ambiguous patterns.
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// `true` when every ambiguous pattern has been resolved.
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// Whether a pattern is still unresolved.
+    pub fn contains(&self, pattern: &Pattern) -> bool {
+        self.patterns.contains(pattern)
+    }
+
+    /// Iterates over the unresolved patterns (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = &Pattern> {
+        self.patterns.iter()
+    }
+
+    /// Minimum and maximum number of concrete symbols among unresolved
+    /// patterns, or `None` when empty.
+    pub fn level_range(&self) -> Option<(usize, usize)> {
+        let mut it = self.patterns.iter().map(Pattern::non_eternal_count);
+        let first = it.next()?;
+        let (mut lo, mut hi) = (first, first);
+        for k in it {
+            lo = lo.min(k);
+            hi = hi.max(k);
+        }
+        Some((lo, hi))
+    }
+
+    /// Unresolved patterns with exactly `k` concrete symbols.
+    pub fn at_level(&self, k: usize) -> Vec<Pattern> {
+        let mut v: Vec<Pattern> = self
+            .patterns
+            .iter()
+            .filter(|p| p.non_eternal_count() == k)
+            .cloned()
+            .collect();
+        v.sort(); // deterministic probe order
+        v
+    }
+
+    /// Marks `pattern` frequent: by the Apriori property all of its
+    /// subpatterns are frequent too, so every unresolved subpattern is
+    /// resolved (frequent) and removed. Returns the resolved patterns.
+    pub fn resolve_frequent(&mut self, pattern: &Pattern) -> Vec<Pattern> {
+        let resolved: Vec<Pattern> = self
+            .patterns
+            .iter()
+            .filter(|p| p.is_subpattern_of(pattern))
+            .cloned()
+            .collect();
+        for p in &resolved {
+            self.patterns.remove(p);
+        }
+        resolved
+    }
+
+    /// Marks `pattern` infrequent: all of its superpatterns are infrequent,
+    /// so every unresolved superpattern is resolved (infrequent) and
+    /// removed. Returns the resolved patterns.
+    pub fn resolve_infrequent(&mut self, pattern: &Pattern) -> Vec<Pattern> {
+        let resolved: Vec<Pattern> = self
+            .patterns
+            .iter()
+            .filter(|p| pattern.is_subpattern_of(p))
+            .cloned()
+            .collect();
+        for p in &resolved {
+            self.patterns.remove(p);
+        }
+        resolved
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+
+    fn pat(text: &str) -> Pattern {
+        Pattern::parse(text, &Alphabet::synthetic(10)).unwrap()
+    }
+
+    #[test]
+    fn border_keeps_maximal_elements() {
+        let mut b = Border::new();
+        assert!(b.insert(pat("d1 d2")));
+        assert!(b.insert(pat("d4 d5")));
+        // Superpattern subsumes d1 d2 (but not d4 d5).
+        assert!(b.insert(pat("d1 d2 d3")));
+        assert_eq!(b.len(), 2);
+        assert!(b.covers(&pat("d1 d2")));
+        assert!(b.covers(&pat("d2 d3")));
+        assert!(b.covers(&pat("d3"))); // suffix of a border element
+        assert!(!b.covers(&pat("d6")));
+        // Inserting a covered pattern is a no-op.
+        assert!(!b.insert(pat("d2 d3")));
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn border_figure3_example() {
+        // Figure 3: frequent patterns with border {d1d2d3, d1d2**d5, d1**d4}.
+        let b = Border::from_patterns([
+            pat("d1"),
+            pat("d1 d2"),
+            pat("d1 * * d4"),
+            pat("d1 d2 d3"),
+            pat("d1 d2 * * d5"),
+        ]);
+        let mut els: Vec<String> = b.elements().iter().map(|p| p.to_string()).collect();
+        els.sort();
+        assert_eq!(els, vec!["d1 * * d4", "d1 d2 * * d5", "d1 d2 d3"]);
+    }
+
+    #[test]
+    fn halfway_between_borders() {
+        // Figure 6(b): halfway between {d1} and {d1d2d3d4d5}.
+        let mids = halfway(&[pat("d1")], &[pat("d1 d2 d3 d4 d5")]);
+        assert_eq!(mids.len(), 6);
+        for p in &mids {
+            assert_eq!(p.non_eternal_count(), 3);
+        }
+    }
+
+    #[test]
+    fn halfway_skips_unrelated_pairs() {
+        let mids = halfway(&[pat("d7")], &[pat("d1 d2 d3")]);
+        assert!(mids.is_empty());
+    }
+
+    #[test]
+    fn halfway_dedups_across_pairs() {
+        let mids = halfway(
+            &[pat("d1"), pat("d2")],
+            &[pat("d1 d2 d3"), pat("d1 d2 d4")],
+        );
+        let set: HashSet<&Pattern> = mids.iter().collect();
+        assert_eq!(set.len(), mids.len(), "halfway output contains duplicates");
+    }
+
+    #[test]
+    fn ambiguous_space_collapse() {
+        // Figure 6(a): chain d1, d1d2, d1d2d3, d1d2d3d4, d1d2d3d4d5.
+        let chain = [
+            pat("d1"),
+            pat("d1 d2"),
+            pat("d1 d2 d3"),
+            pat("d1 d2 d3 d4"),
+            pat("d1 d2 d3 d4 d5"),
+        ];
+        // Probing the halfway element d1d2d3 as frequent resolves d1 and
+        // d1d2 as well (three resolved in total).
+        let mut space = AmbiguousSpace::new(chain.clone());
+        let resolved = space.resolve_frequent(&pat("d1 d2 d3"));
+        assert_eq!(resolved.len(), 3);
+        assert_eq!(space.len(), 2);
+        assert!(space.contains(&pat("d1 d2 d3 d4")));
+
+        // Probing it as infrequent instead resolves the two superpatterns.
+        let mut space = AmbiguousSpace::new(chain);
+        let resolved = space.resolve_infrequent(&pat("d1 d2 d3"));
+        assert_eq!(resolved.len(), 3); // itself + two superpatterns
+        assert_eq!(space.len(), 2);
+        assert!(space.contains(&pat("d1")));
+        assert!(space.contains(&pat("d1 d2")));
+    }
+
+    #[test]
+    fn ambiguous_space_levels() {
+        let space = AmbiguousSpace::new([pat("d1"), pat("d1 d2"), pat("d1 d2 d3")]);
+        assert_eq!(space.level_range(), Some((1, 3)));
+        assert_eq!(space.at_level(2), vec![pat("d1 d2")]);
+        assert!(space.at_level(7).is_empty());
+    }
+
+    #[test]
+    fn empty_space_reports_empty() {
+        let space = AmbiguousSpace::default();
+        assert!(space.is_empty());
+        assert_eq!(space.level_range(), None);
+    }
+}

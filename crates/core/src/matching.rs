@@ -1,0 +1,711 @@
+//! Match computation (Definitions 3.5–3.7 and Algorithms 4.1 / 4.2).
+//!
+//! - the match of a pattern in a *segment* is the product of per-position
+//!   compatibilities, `M(P, s) = ∏ C(pᵢ, sᵢ)`, with `C(*, x) = 1`;
+//! - the match in a *sequence* is the maximum over all sliding windows;
+//! - the match in a *database* is the mean over its sequences.
+//!
+//! The module also implements the per-symbol match scan of Algorithm 4.1 in
+//! both the straightforward `O(N·l̄·m)` form and the first-occurrence
+//! optimized `O(N·(l̄ + m²))` form (§4.1), and the exact-occurrence
+//! *support* metric used by the paper as the baseline model.
+
+use crate::alphabet::Symbol;
+use crate::matrix::CompatibilityMatrix;
+use crate::pattern::{Pattern, PatternElem};
+
+/// A source of sequences that can be scanned front to back.
+///
+/// This is the minimal contract the mining algorithms need; the
+/// `noisemine-seqdb` crate provides in-memory and disk-resident
+/// implementations with scan accounting. A "scan" in the paper's
+/// cost model corresponds to exactly one call of [`SequenceScan::scan`].
+pub trait SequenceScan {
+    /// Number of sequences `N` in the database.
+    fn num_sequences(&self) -> usize;
+
+    /// Visits every sequence in order, calling `visit(id, symbols)` once per
+    /// sequence. Implementations that track I/O cost count one database scan
+    /// per call.
+    fn scan(&self, visit: &mut dyn FnMut(u64, &[Symbol]));
+}
+
+impl<T: SequenceScan + ?Sized> SequenceScan for &T {
+    fn num_sequences(&self) -> usize {
+        (**self).num_sequences()
+    }
+    fn scan(&self, visit: &mut dyn FnMut(u64, &[Symbol])) {
+        (**self).scan(visit)
+    }
+}
+
+/// A plain in-memory sequence collection. The `noisemine-seqdb` crate offers
+/// a richer store (ids, disk residency, scan counters); this type exists so
+/// the core crate is usable and testable on its own.
+#[derive(Debug, Clone, Default)]
+pub struct MemorySequences(pub Vec<Vec<Symbol>>);
+
+impl SequenceScan for MemorySequences {
+    fn num_sequences(&self) -> usize {
+        self.0.len()
+    }
+    fn scan(&self, visit: &mut dyn FnMut(u64, &[Symbol])) {
+        for (i, s) in self.0.iter().enumerate() {
+            visit(i as u64, s);
+        }
+    }
+}
+
+/// Match of a pattern in a segment of equal length (Definition 3.5):
+/// `M(P, s) = ∏ᵢ C(pᵢ, sᵢ)`, with early abort on a zero factor.
+///
+/// Returns 0 when the segment is shorter than the pattern.
+#[inline]
+pub fn segment_match(pattern: &Pattern, segment: &[Symbol], matrix: &CompatibilityMatrix) -> f64 {
+    if segment.len() < pattern.len() {
+        return 0.0;
+    }
+    let mut product = 1.0;
+    for (elem, &obs) in pattern.elems().iter().zip(segment) {
+        match elem {
+            PatternElem::Any => {}
+            PatternElem::Sym(s) => {
+                product *= matrix.get(*s, obs);
+                if product == 0.0 {
+                    return 0.0;
+                }
+            }
+        }
+    }
+    product
+}
+
+/// Match of a pattern in a sequence (Definition 3.6): the maximum of
+/// [`segment_match`] over all `|S| − l + 1` sliding windows (Algorithm 4.2).
+///
+/// Each window's product is abandoned as soon as it falls to (or below) the
+/// best window seen so far — factors never exceed 1, so the product can only
+/// shrink. On dense matrices (where the zero-abort of [`segment_match`]
+/// never fires) this prunes most windows after a couple of positions.
+pub fn sequence_match(pattern: &Pattern, sequence: &[Symbol], matrix: &CompatibilityMatrix) -> f64 {
+    let l = pattern.len();
+    if sequence.len() < l {
+        return 0.0;
+    }
+    let mut best = 0.0f64;
+    for window in sequence.windows(l) {
+        let m = segment_match_pruned(pattern, window, matrix, best);
+        if m > best {
+            best = m;
+            if best >= 1.0 {
+                break; // cannot improve on a perfect match
+            }
+        }
+    }
+    best
+}
+
+/// [`segment_match`] that abandons the product once it is `<= floor` (the
+/// caller's best-so-far). Returns 0 for abandoned windows, which is safe
+/// because the caller only takes the maximum.
+#[inline]
+fn segment_match_pruned(
+    pattern: &Pattern,
+    segment: &[Symbol],
+    matrix: &CompatibilityMatrix,
+    floor: f64,
+) -> f64 {
+    let mut product = 1.0;
+    for (elem, &obs) in pattern.elems().iter().zip(segment) {
+        if let PatternElem::Sym(s) = elem {
+            product *= matrix.get(*s, obs);
+            if product <= floor {
+                return 0.0;
+            }
+        }
+    }
+    product
+}
+
+/// Match of a pattern in a database (Definition 3.7): the average of
+/// [`sequence_match`] over every sequence. Performs exactly one scan.
+pub fn db_match<S: SequenceScan + ?Sized>(
+    pattern: &Pattern,
+    db: &S,
+    matrix: &CompatibilityMatrix,
+) -> f64 {
+    let n = db.num_sequences();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    db.scan(&mut |_, seq| {
+        total += sequence_match(pattern, seq, matrix);
+    });
+    total / n as f64
+}
+
+/// Computes the match of many patterns in one scan of the database — the
+/// building block of phase 3, where a memory-budgeted set of counters is
+/// evaluated per scan (§4.3). Returns values aligned with `patterns`.
+///
+/// Large counter batches are evaluated across all cores: the scan buffers
+/// sequences in fixed-size batches and hands each batch to the
+/// deterministic parallel kernel of [`crate::parallel`]; batch and chunk
+/// boundaries are constants, so results are bit-identical on any machine
+/// and core count. Small batches take the direct single-pass path (no
+/// buffering copies).
+pub fn db_match_many<S: SequenceScan + ?Sized>(
+    patterns: &[Pattern],
+    db: &S,
+    matrix: &CompatibilityMatrix,
+) -> Vec<f64> {
+    let n = db.num_sequences();
+    let mut totals = vec![0.0f64; patterns.len()];
+    if n == 0 || patterns.is_empty() {
+        return totals;
+    }
+    let threads = std::thread::available_parallelism().map_or(1, |t| t.get());
+    if threads == 1 || patterns.len() < 16 {
+        db.scan(&mut |_, seq| {
+            for (t, p) in totals.iter_mut().zip(patterns) {
+                *t += sequence_match(p, seq, matrix);
+            }
+        });
+    } else {
+        // Batch size is a constant (not a function of the core count) so
+        // the floating-point accumulation grouping — and therefore the
+        // exact result — is machine-independent.
+        let batch_size = crate::parallel::CHUNK_SIZE * 64;
+        let mut buffer: Vec<Vec<Symbol>> = Vec::with_capacity(batch_size);
+        db.scan(&mut |_, seq| {
+            buffer.push(seq.to_vec());
+            if buffer.len() >= batch_size {
+                let partial =
+                    crate::parallel::sum_sequence_matches(patterns, &buffer, matrix, threads);
+                for (t, v) in totals.iter_mut().zip(&partial) {
+                    *t += v;
+                }
+                buffer.clear();
+            }
+        });
+        if !buffer.is_empty() {
+            let partial =
+                crate::parallel::sum_sequence_matches(patterns, &buffer, matrix, threads);
+            for (t, v) in totals.iter_mut().zip(&partial) {
+                *t += v;
+            }
+        }
+    }
+    for t in &mut totals {
+        *t /= n as f64;
+    }
+    totals
+}
+
+/// Exact-occurrence support of a pattern in a sequence: 1 if some window
+/// matches the pattern exactly (with `*` matching any symbol), else 0. This
+/// is the traditional *support model* the paper compares against.
+pub fn sequence_support(pattern: &Pattern, sequence: &[Symbol]) -> f64 {
+    let l = pattern.len();
+    if sequence.len() < l {
+        return 0.0;
+    }
+    let hit = sequence.windows(l).any(|w| {
+        pattern
+            .elems()
+            .iter()
+            .zip(w)
+            .all(|(e, &obs)| match e {
+                PatternElem::Any => true,
+                PatternElem::Sym(s) => *s == obs,
+            })
+    });
+    if hit {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// Support of a pattern in a database: the fraction of sequences containing
+/// an exact occurrence.
+pub fn db_support<S: SequenceScan + ?Sized>(pattern: &Pattern, db: &S) -> f64 {
+    let n = db.num_sequences();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    db.scan(&mut |_, seq| total += sequence_support(pattern, seq));
+    total / n as f64
+}
+
+/// A significance metric on `(pattern, sequence)` pairs, averaged over the
+/// database by level-wise engines. The two models of the paper — *match*
+/// and *support* — both implement this trait, which lets every miner run
+/// under either model (the paper notes any support-model algorithm
+/// generalizes to match).
+pub trait PatternMetric {
+    /// The metric value of `pattern` in one sequence, in `[0, 1]`.
+    fn sequence_value(&self, pattern: &Pattern, sequence: &[Symbol]) -> f64;
+
+    /// The per-symbol values in one sequence — used by Algorithm 4.1 to
+    /// obtain the restricted spread. Default: evaluate each symbol as a
+    /// 1-pattern.
+    fn symbol_values(&self, sequence: &[Symbol], m: usize, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), m);
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.sequence_value(&Pattern::single(Symbol(i as u16)), sequence);
+        }
+    }
+
+    /// Short human-readable name ("match" / "support").
+    fn name(&self) -> &'static str;
+}
+
+/// The paper's match model, parameterized by a compatibility matrix.
+#[derive(Debug, Clone)]
+pub struct MatchMetric<'a> {
+    /// The compatibility matrix defining symbol compatibilities.
+    pub matrix: &'a CompatibilityMatrix,
+}
+
+impl PatternMetric for MatchMetric<'_> {
+    fn sequence_value(&self, pattern: &Pattern, sequence: &[Symbol]) -> f64 {
+        sequence_match(pattern, sequence, self.matrix)
+    }
+
+    fn symbol_values(&self, sequence: &[Symbol], m: usize, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), m);
+        out.fill(0.0);
+        symbol_sequence_match_into(sequence, self.matrix, out);
+    }
+
+    fn name(&self) -> &'static str {
+        "match"
+    }
+}
+
+/// The traditional exact-occurrence support model.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SupportMetric;
+
+impl PatternMetric for SupportMetric {
+    fn sequence_value(&self, pattern: &Pattern, sequence: &[Symbol]) -> f64 {
+        sequence_support(pattern, sequence)
+    }
+
+    fn symbol_values(&self, sequence: &[Symbol], m: usize, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), m);
+        out.fill(0.0);
+        for &s in sequence {
+            if s.index() < m {
+                out[s.index()] = 1.0;
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "support"
+    }
+}
+
+/// Fills `max_match[d] = max over positions x of C(d, x)` for one sequence —
+/// the inner loop of Algorithm 4.1, using the first-occurrence optimization
+/// of §4.1: only the first occurrence of each distinct observed symbol can
+/// change any maximum, so work is `O(l̄ + (#distinct)·nnz_col)` rather than
+/// `O(l̄ · m)`.
+///
+/// `out` must be zero-filled (or hold a lower bound) on entry and have
+/// length `m`.
+pub fn symbol_sequence_match_into(
+    sequence: &[Symbol],
+    matrix: &CompatibilityMatrix,
+    out: &mut [f64],
+) {
+    let m = matrix.len();
+    debug_assert_eq!(out.len(), m);
+    // Seen flags, small enough to allocate per call for clarity; callers on
+    // the hot path use `SymbolMatchScratch` to reuse the buffer.
+    let mut seen = vec![false; m];
+    for &obs in sequence {
+        let j = obs.index();
+        assert!(
+            j < m,
+            "sequence symbol d{} lies outside the {m}-symbol compatibility matrix \
+             (alphabet/matrix mismatch)",
+            obs.0
+        );
+        if seen[j] {
+            continue;
+        }
+        seen[j] = true;
+        for &(true_sym, v) in matrix.column(obs) {
+            let slot = &mut out[true_sym.index()];
+            if v > *slot {
+                *slot = v;
+            }
+        }
+    }
+}
+
+/// The unoptimized variant of [`symbol_sequence_match_into`], processing
+/// every position (`O(l̄·m)` worst case). Retained for the ablation
+/// benchmark of §4.1's complexity claim; results are identical.
+pub fn symbol_sequence_match_naive_into(
+    sequence: &[Symbol],
+    matrix: &CompatibilityMatrix,
+    out: &mut [f64],
+) {
+    debug_assert_eq!(out.len(), matrix.len());
+    for &obs in sequence {
+        for &(true_sym, v) in matrix.column(obs) {
+            let slot = &mut out[true_sym.index()];
+            if v > *slot {
+                *slot = v;
+            }
+        }
+    }
+}
+
+/// Reusable scratch buffers for the per-symbol match scan.
+#[derive(Debug, Clone)]
+pub struct SymbolMatchScratch {
+    max_match: Vec<f64>,
+    seen: Vec<bool>,
+    touched: Vec<u16>,
+}
+
+impl SymbolMatchScratch {
+    /// Creates scratch space for an `m`-symbol alphabet.
+    pub fn new(m: usize) -> Self {
+        Self {
+            max_match: vec![0.0; m],
+            seen: vec![false; m],
+            touched: Vec::with_capacity(m.min(1024)),
+        }
+    }
+
+    /// Computes `max_match` for one sequence, reusing buffers; returns the
+    /// slice of per-symbol maxima.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message if the sequence contains a symbol
+    /// id outside the matrix's alphabet — the mining entry points all pass
+    /// through this scan first, so an alphabet/matrix mismatch is caught
+    /// here, up front, instead of surfacing as a raw index error (dense
+    /// storage) or silent zero matches (sparse storage) deep in phase 2.
+    pub fn sequence(&mut self, sequence: &[Symbol], matrix: &CompatibilityMatrix) -> &[f64] {
+        let m = matrix.len();
+        // Reset only what the previous call touched.
+        for &j in &self.touched {
+            self.seen[j as usize] = false;
+        }
+        self.touched.clear();
+        self.max_match.fill(0.0);
+        for &obs in sequence {
+            let j = obs.index();
+            assert!(
+                j < m,
+                "sequence symbol d{} lies outside the {m}-symbol compatibility matrix \
+                 (alphabet/matrix mismatch)",
+                obs.0
+            );
+            if self.seen[j] {
+                continue;
+            }
+            self.seen[j] = true;
+            self.touched.push(obs.0);
+            for &(true_sym, v) in matrix.column(obs) {
+                let slot = &mut self.max_match[true_sym.index()];
+                if v > *slot {
+                    *slot = v;
+                }
+            }
+        }
+        &self.max_match
+    }
+}
+
+/// Match of every individual symbol across the whole database — the output
+/// of Algorithm 4.1 (sampling is layered on top by the miner). One scan.
+pub fn symbol_db_match<S: SequenceScan + ?Sized>(
+    db: &S,
+    matrix: &CompatibilityMatrix,
+) -> Vec<f64> {
+    let m = matrix.len();
+    let n = db.num_sequences();
+    let mut match_acc = vec![0.0f64; m];
+    if n == 0 {
+        return match_acc;
+    }
+    let mut scratch = SymbolMatchScratch::new(m);
+    db.scan(&mut |_, seq| {
+        let per_seq = scratch.sequence(seq, matrix);
+        for (acc, &v) in match_acc.iter_mut().zip(per_seq) {
+            *acc += v;
+        }
+    });
+    for v in &mut match_acc {
+        *v /= n as f64;
+    }
+    match_acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+
+    fn fig2() -> CompatibilityMatrix {
+        CompatibilityMatrix::paper_figure2()
+    }
+
+    fn pat(text: &str) -> Pattern {
+        Pattern::parse(text, &Alphabet::synthetic(6)).unwrap()
+    }
+
+    fn seq(text: &str) -> Vec<Symbol> {
+        Alphabet::synthetic(6).encode(text).unwrap()
+    }
+
+    /// The paper's Figure 4(a) database, re-indexed to d0..d4.
+    fn fig4_db() -> MemorySequences {
+        MemorySequences(vec![
+            seq("d0 d1 d2 d0"),
+            seq("d3 d1 d0"),
+            seq("d2 d3 d1 d0"),
+            seq("d1 d1"),
+        ])
+    }
+
+    /// Re-indexes the paper's 1-based symbol names (d1..d5) to 0-based.
+    fn p(text: &str) -> Pattern {
+        let shifted: String = text
+            .split_whitespace()
+            .map(|tok| {
+                if tok == "*" {
+                    "*".to_string()
+                } else {
+                    let n: u16 = tok[1..].parse().unwrap();
+                    format!("d{}", n - 1)
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(" ");
+        pat(&shifted)
+    }
+
+    #[test]
+    fn segment_match_paper_example() {
+        // M(d1*d2, d1 d2 d2) = 0.9 * 1 * 0.8 = 0.72
+        let m = segment_match(&p("d1 * d2"), &seq("d0 d1 d1"), &fig2());
+        assert!((m - 0.72).abs() < 1e-12);
+        // M(d1 d2 d5, d1 d2 d2) = 0 because C(d5, d2) = 0
+        let z = segment_match(&p("d1 d2 d5"), &seq("d0 d1 d1"), &fig2());
+        assert_eq!(z, 0.0);
+    }
+
+    #[test]
+    fn sequence_match_paper_example() {
+        // M(d1 d2, d1 d2 d2 d3 d4 d1) = max{0.72, 0.08, 0.005, 0, 0} = 0.72
+        let m = sequence_match(&p("d1 d2"), &seq("d0 d1 d1 d2 d3 d0"), &fig2());
+        assert!((m - 0.72).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sequence_shorter_than_pattern_is_zero() {
+        assert_eq!(sequence_match(&p("d1 d2 d3"), &seq("d0 d1"), &fig2()), 0.0);
+    }
+
+    #[test]
+    fn db_match_of_symbols_matches_figure4b() {
+        // Figure 4(b)/5(b). The paper's own two tables disagree for d1 and
+        // d3 (4(b) prints 0.538/0.4, but 5(b)'s running sums give per-
+        // sequence contributions of 0.9 each for d1, i.e. 0.7, and the d3
+        // column cannot increase on "d2 d2" since C(d3, d2) = 0). We lock
+        // in the values implied by Definition 3.7 + Figure 2; d2/d4/d5 agree
+        // with Figure 5(b) exactly.
+        let db = fig4_db();
+        let c = fig2();
+        let vals = symbol_db_match(&db, &c);
+        assert!((vals[0] - 0.7).abs() < 1e-9, "d1: {}", vals[0]);
+        assert!((vals[1] - 0.8).abs() < 1e-9, "d2: {}", vals[1]);
+        assert!((vals[2] - 0.3875).abs() < 1e-9, "d3: {}", vals[2]);
+        assert!((vals[3] - 0.425).abs() < 1e-9, "d4: {}", vals[3]);
+        assert!((vals[4] - 0.075).abs() < 1e-9, "d5: {}", vals[4]);
+        // Cross-check against the generic path.
+        for (i, &v) in vals.iter().enumerate() {
+            let direct = db_match(&Pattern::single(Symbol(i as u16)), &db, &c);
+            assert!((v - direct).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn db_match_of_pairs_matches_figure4c() {
+        let db = fig4_db();
+        let c = fig2();
+        let cases = [
+            ("d1 d1", 0.070),
+            ("d1 d2", 0.203),
+            ("d2 d1", 0.391),
+            // Figure 4(c) prints 0.200 for d2d2, but the per-sequence maxima
+            // under Figure 2 are 0.04, 0.08, 0.08, 0.64 -> 0.21 (paper
+            // erratum; segments "d4 d2" give C(d2,d4)*C(d2,d2) = 0.08).
+            ("d2 d2", 0.210),
+            ("d3 d4", 0.136),
+            ("d4 d2", 0.321),
+            ("d3 d5", 0.0),
+            ("d5 d5", 0.0),
+        ];
+        for (text, expect) in cases {
+            let got = db_match(&p(text), &db, &c);
+            // The paper's table rounds to three decimals (e.g. 0.2025 is
+            // printed as 0.203), so allow half an ulp of that rounding.
+            assert!(
+                (got - expect).abs() <= 5e-4 + 1e-12,
+                "match of {text}: got {got}, paper says {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn chain_of_patterns_matches_paper_narrative() {
+        // §3: matches of d3, d3d2, d3d2d2, d3d2d2d1 are quoted as 0.4, 0.07,
+        // 0.016, 0.00522 while their supports are 0.5, 0, 0, 0. The first
+        // and last match values are paper errata: Definition 3.7 with
+        // Figure 2 gives 0.3875 (the paper's own Figure 5(b) running sum
+        // reaches 0.388) and 0.01305 (the per-sequence maxima sum to
+        // 0.0522 = 0.0018 + 0.0504; the quoted 0.00522 is that sum with a
+        // slipped decimal instead of the /4 average).
+        let db = fig4_db();
+        let c = fig2();
+        let chain = [
+            ("d3", 0.3875, 0.5),
+            ("d3 d2", 0.07, 0.0),
+            ("d3 d2 d2", 0.016, 0.0),
+            ("d3 d2 d2 d1", 0.01305, 0.0),
+        ];
+        for (text, match_expect, support_expect) in chain {
+            let pattern = p(text);
+            let m = db_match(&pattern, &db, &c);
+            let s = db_support(&pattern, &db);
+            assert!(
+                (m - match_expect).abs() < 5e-4,
+                "match of {text}: got {m}, expected {match_expect}"
+            );
+            assert!((s - support_expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn figure4d_redistribution_sums_to_one() {
+        // The match contributed by an observed segment "d2 d2" to all 2-patterns
+        // over {d1..d5} (contiguous) sums to 1 (Figure 4(d)).
+        let c = fig2();
+        let obs = seq("d1 d1");
+        let mut total = 0.0;
+        for a in 0..5u16 {
+            for b in 0..5u16 {
+                let pattern =
+                    Pattern::contiguous(&[Symbol(a), Symbol(b)]).unwrap();
+                total += segment_match(&pattern, &obs, &c);
+            }
+        }
+        assert!((total - 1.0).abs() < 1e-9, "total {total}");
+        // Spot values from Figure 4(d).
+        assert!(
+            (segment_match(&p("d2 d2"), &obs, &c) - 0.64).abs() < 1e-12
+        );
+        assert!(
+            (segment_match(&p("d2 d1"), &obs, &c) - 0.08).abs() < 1e-12
+        );
+        assert!(
+            (segment_match(&p("d1 d4"), &obs, &c) - 0.01).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn identity_matrix_match_equals_support() {
+        let id = CompatibilityMatrix::identity(6);
+        let db = fig4_db();
+        for text in ["d1 d2", "d2 d1", "d3 * d1", "d4 d2 d1", "d2 d2"] {
+            let pattern = p(text);
+            let m = db_match(&pattern, &db, &id);
+            let s = db_support(&pattern, &db);
+            assert!(
+                (m - s).abs() < 1e-12,
+                "identity-matrix match {m} != support {s} for {text}"
+            );
+        }
+    }
+
+    #[test]
+    fn eternal_positions_do_not_reduce_match() {
+        let c = fig2();
+        let s = seq("d0 d3 d1");
+        let gapped = p("d1 * d2");
+        let tight = p("d1 d2");
+        assert!(sequence_match(&gapped, &s, &c) >= sequence_match(&tight, &s, &c));
+    }
+
+    #[test]
+    fn db_match_many_agrees_with_single() {
+        let db = fig4_db();
+        let c = fig2();
+        let patterns = vec![p("d1 d2"), p("d2 d1"), p("d3 d4"), p("d5 d5")];
+        let many = db_match_many(&patterns, &db, &c);
+        for (pattern, &v) in patterns.iter().zip(&many) {
+            assert!((v - db_match(pattern, &db, &c)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn naive_and_optimized_symbol_match_agree() {
+        let c = fig2();
+        let s = seq("d0 d1 d2 d0 d4 d3 d3 d1");
+        let mut a = vec![0.0; 5];
+        let mut b = vec![0.0; 5];
+        symbol_sequence_match_into(&s, &c, &mut a);
+        symbol_sequence_match_naive_into(&s, &c, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn figure5a_max_match_trace() {
+        // After scanning "d1 d2 d3 d1" the per-symbol maxima are
+        // 0.9, 0.8, 0.7, 0.1, 0.15 (Figure 5(a), final column).
+        let c = fig2();
+        let mut out = vec![0.0; 5];
+        symbol_sequence_match_into(&seq("d0 d1 d2 d0"), &c, &mut out);
+        let expect = [0.9, 0.8, 0.7, 0.1, 0.15];
+        for (got, want) in out.iter().zip(expect) {
+            assert!((got - want).abs() < 1e-12, "{out:?}");
+        }
+    }
+
+    #[test]
+    fn support_metric_symbol_values() {
+        let sup = SupportMetric;
+        let mut out = vec![0.0; 6];
+        sup.symbol_values(&seq("d0 d2 d2"), 6, &mut out);
+        assert_eq!(out, vec![1.0, 0.0, 1.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn scratch_reuse_is_correct_across_sequences() {
+        let c = fig2();
+        let mut scratch = SymbolMatchScratch::new(5);
+        let s1 = seq("d0 d1");
+        let s2 = seq("d4");
+        let first = scratch.sequence(&s1, &c).to_vec();
+        let mut expect1 = vec![0.0; 5];
+        symbol_sequence_match_into(&s1, &c, &mut expect1);
+        assert_eq!(first, expect1);
+        let second = scratch.sequence(&s2, &c).to_vec();
+        let mut expect2 = vec![0.0; 5];
+        symbol_sequence_match_into(&s2, &c, &mut expect2);
+        assert_eq!(second, expect2);
+    }
+}

@@ -1,0 +1,283 @@
+//! Text serialization for compatibility matrices.
+//!
+//! In the paper's setting the matrix "can be either given by a domain
+//! expert or learned from a training data set" (§3) — i.e. it arrives as a
+//! file. Two line-oriented formats are supported, distinguished by a
+//! header line:
+//!
+//! ```text
+//! #noisemine-matrix dense
+//! d1  d2  d3            <- symbol names (column = observed, row = true)
+//! 0.9 0.1 0.0           <- row for true d1
+//! 0.05 0.8 0.05
+//! 0.05 0.1 0.95
+//! ```
+//!
+//! ```text
+//! #noisemine-matrix sparse
+//! d1  d2  d3
+//! d1 d1 0.9             <- true observed probability (zero entries omitted)
+//! d1 d2 0.1
+//! ...
+//! ```
+//!
+//! The sparse form is the right one for large alphabets (§5.7). Both are
+//! validated on read (columns must sum to 1); `write_*` emit the matching
+//! header so files round-trip.
+
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Read, Write};
+
+use crate::alphabet::Alphabet;
+use crate::error::{Error, Result};
+use crate::matrix::CompatibilityMatrix;
+use crate::Symbol;
+
+/// Header line of the dense format.
+pub const DENSE_HEADER: &str = "#noisemine-matrix dense";
+/// Header line of the sparse format.
+pub const SPARSE_HEADER: &str = "#noisemine-matrix sparse";
+
+/// Reads a matrix (and its alphabet) from text in either format.
+pub fn read_matrix<R: Read>(reader: R) -> Result<(Alphabet, CompatibilityMatrix)> {
+    let reader = BufReader::new(reader);
+    let mut lines = Vec::new();
+    for line in reader.lines() {
+        let line = line.map_err(|e| Error::InvalidMatrix(format!("i/o error: {e}")))?;
+        let t = line.trim().to_string();
+        if t.is_empty() {
+            continue;
+        }
+        lines.push(t);
+    }
+    let header = lines
+        .first()
+        .ok_or_else(|| Error::InvalidMatrix("empty matrix file".into()))?;
+    match header.as_str() {
+        DENSE_HEADER => parse_dense(&lines[1..]),
+        SPARSE_HEADER => parse_sparse(&lines[1..]),
+        other => Err(Error::InvalidMatrix(format!(
+            "unknown matrix header {other:?}; expected {DENSE_HEADER:?} or {SPARSE_HEADER:?}"
+        ))),
+    }
+}
+
+fn parse_names(line: &str) -> Result<Alphabet> {
+    Alphabet::new(line.split_whitespace().map(str::to_string))
+}
+
+fn parse_dense(lines: &[String]) -> Result<(Alphabet, CompatibilityMatrix)> {
+    let names = lines
+        .first()
+        .ok_or_else(|| Error::InvalidMatrix("dense matrix missing symbol names".into()))?;
+    let alphabet = parse_names(names)?;
+    let m = alphabet.len();
+    let rows_lines = &lines[1..];
+    if rows_lines.len() != m {
+        return Err(Error::InvalidMatrix(format!(
+            "dense matrix has {} rows, expected {m}",
+            rows_lines.len()
+        )));
+    }
+    let mut rows = Vec::with_capacity(m);
+    for (i, line) in rows_lines.iter().enumerate() {
+        let row: Vec<f64> = line
+            .split_whitespace()
+            .map(|t| {
+                t.parse::<f64>().map_err(|_| {
+                    Error::InvalidMatrix(format!("row {i}: {t:?} is not a number"))
+                })
+            })
+            .collect::<Result<_>>()?;
+        rows.push(row);
+    }
+    Ok((alphabet, CompatibilityMatrix::from_rows(rows)?))
+}
+
+fn parse_sparse(lines: &[String]) -> Result<(Alphabet, CompatibilityMatrix)> {
+    let names = lines
+        .first()
+        .ok_or_else(|| Error::InvalidMatrix("sparse matrix missing symbol names".into()))?;
+    let alphabet = parse_names(names)?;
+    let m = alphabet.len();
+    let mut columns: Vec<Vec<(Symbol, f64)>> = vec![Vec::new(); m];
+    for line in &lines[1..] {
+        if line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (t, o, p) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+            (Some(t), Some(o), Some(p), None) => (t, o, p),
+            _ => {
+                return Err(Error::InvalidMatrix(format!(
+                    "sparse entry {line:?} is not `true observed probability`"
+                )))
+            }
+        };
+        let true_sym = alphabet.symbol(t)?;
+        let obs_sym = alphabet.symbol(o)?;
+        let prob: f64 = p
+            .parse()
+            .map_err(|_| Error::InvalidMatrix(format!("{p:?} is not a number")))?;
+        columns[obs_sym.index()].push((true_sym, prob));
+    }
+    Ok((alphabet, CompatibilityMatrix::from_sparse_columns(columns)?))
+}
+
+/// Renders the matrix in the dense format.
+pub fn to_dense_string(alphabet: &Alphabet, matrix: &CompatibilityMatrix) -> Result<String> {
+    check_sizes(alphabet, matrix)?;
+    let m = matrix.len();
+    let mut out = String::new();
+    let _ = writeln!(out, "{DENSE_HEADER}");
+    let names: Vec<&str> = alphabet
+        .symbols()
+        .map(|s| alphabet.name(s))
+        .collect::<Result<_>>()?;
+    let _ = writeln!(out, "{}", names.join("\t"));
+    for i in 0..m {
+        let row: Vec<String> = (0..m)
+            .map(|j| format!("{}", matrix.get(Symbol(i as u16), Symbol(j as u16))))
+            .collect();
+        let _ = writeln!(out, "{}", row.join("\t"));
+    }
+    Ok(out)
+}
+
+/// Renders the matrix in the sparse format (non-zero entries only).
+pub fn to_sparse_string(alphabet: &Alphabet, matrix: &CompatibilityMatrix) -> Result<String> {
+    check_sizes(alphabet, matrix)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "{SPARSE_HEADER}");
+    let names: Vec<&str> = alphabet
+        .symbols()
+        .map(|s| alphabet.name(s))
+        .collect::<Result<_>>()?;
+    let _ = writeln!(out, "{}", names.join("\t"));
+    for obs in alphabet.symbols() {
+        for &(true_sym, v) in matrix.column(obs) {
+            let _ = writeln!(
+                out,
+                "{}\t{}\t{v}",
+                alphabet.name(true_sym)?,
+                alphabet.name(obs)?,
+            );
+        }
+    }
+    Ok(out)
+}
+
+/// Writes in dense format to any writer.
+pub fn write_dense<W: Write>(
+    mut writer: W,
+    alphabet: &Alphabet,
+    matrix: &CompatibilityMatrix,
+) -> Result<()> {
+    let s = to_dense_string(alphabet, matrix)?;
+    writer
+        .write_all(s.as_bytes())
+        .map_err(|e| Error::InvalidMatrix(format!("i/o error: {e}")))
+}
+
+/// Writes in sparse format to any writer.
+pub fn write_sparse<W: Write>(
+    mut writer: W,
+    alphabet: &Alphabet,
+    matrix: &CompatibilityMatrix,
+) -> Result<()> {
+    let s = to_sparse_string(alphabet, matrix)?;
+    writer
+        .write_all(s.as_bytes())
+        .map_err(|e| Error::InvalidMatrix(format!("i/o error: {e}")))
+}
+
+fn check_sizes(alphabet: &Alphabet, matrix: &CompatibilityMatrix) -> Result<()> {
+    if alphabet.len() != matrix.len() {
+        return Err(Error::InvalidMatrix(format!(
+            "alphabet has {} symbols but matrix is {}x{}",
+            alphabet.len(),
+            matrix.len(),
+            matrix.len()
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig2_with_names() -> (Alphabet, CompatibilityMatrix) {
+        (
+            Alphabet::new((1..=5).map(|i| format!("d{i}"))).unwrap(),
+            CompatibilityMatrix::paper_figure2(),
+        )
+    }
+
+    #[test]
+    fn dense_round_trip() {
+        let (alphabet, matrix) = fig2_with_names();
+        let text = to_dense_string(&alphabet, &matrix).unwrap();
+        let (a2, m2) = read_matrix(text.as_bytes()).unwrap();
+        assert_eq!(a2.len(), 5);
+        assert_eq!(a2.name(Symbol(0)).unwrap(), "d1");
+        for i in 0..5u16 {
+            for j in 0..5u16 {
+                assert_eq!(m2.get(Symbol(i), Symbol(j)), matrix.get(Symbol(i), Symbol(j)));
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_round_trip() {
+        let (alphabet, matrix) = fig2_with_names();
+        let text = to_sparse_string(&alphabet, &matrix).unwrap();
+        assert!(text.starts_with(SPARSE_HEADER));
+        let (_, m2) = read_matrix(text.as_bytes()).unwrap();
+        for i in 0..5u16 {
+            for j in 0..5u16 {
+                assert_eq!(m2.get(Symbol(i), Symbol(j)), matrix.get(Symbol(i), Symbol(j)));
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let err = read_matrix("not a matrix\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("unknown matrix header"));
+    }
+
+    #[test]
+    fn rejects_wrong_row_count() {
+        let text = format!("{DENSE_HEADER}\na b\n1 0\n");
+        assert!(read_matrix(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_non_stochastic_sparse() {
+        let text = format!("{SPARSE_HEADER}\na b\na a 0.5\nb b 1\n");
+        assert!(read_matrix(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_symbol_in_sparse() {
+        let text = format!("{SPARSE_HEADER}\na b\nc a 1\nb b 1\n");
+        assert!(matches!(
+            read_matrix(text.as_bytes()),
+            Err(Error::UnknownSymbol(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_sparse_entry() {
+        let text = format!("{SPARSE_HEADER}\na b\na a 1 extra\nb b 1\n");
+        assert!(read_matrix(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn size_mismatch_on_write() {
+        let alphabet = Alphabet::synthetic(3);
+        let matrix = CompatibilityMatrix::identity(5);
+        assert!(to_dense_string(&alphabet, &matrix).is_err());
+    }
+}

@@ -1,0 +1,501 @@
+//! The three-phase probabilistic miner (Section 4) — the paper's headline
+//! algorithm.
+//!
+//! 1. **Phase 1** (Algorithm 4.1): one scan of the database computes the
+//!    match of every individual symbol (first-occurrence optimized) and
+//!    draws a uniform random sample of sequences as a by-product.
+//! 2. **Phase 2** (Algorithm 4.2): level-wise mining of the in-memory
+//!    sample classifies every candidate as frequent / ambiguous /
+//!    infrequent by the Chernoff bound with restricted spread.
+//! 3. **Phase 3** (Algorithms 4.3/4.4): border collapsing resolves the
+//!    ambiguous patterns against the full database in a minimal number of
+//!    scans under a counter-memory budget.
+
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::alphabet::Symbol;
+use crate::border_collapse::{collapse, ProbeStrategy, Resolution};
+use crate::candidates::{LevelTrace, PatternSpace};
+use crate::chernoff::SpreadMode;
+use crate::error::{Error, Result};
+use crate::lattice::{AmbiguousSpace, Border};
+use crate::matching::{SequenceScan, SymbolMatchScratch};
+use crate::matrix::CompatibilityMatrix;
+use crate::pattern::Pattern;
+use crate::sample_miner::{mine_sample_budgeted, DEFAULT_MAX_SAMPLE_PATTERNS};
+
+/// Configuration of the three-phase miner.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MinerConfig {
+    /// The significance threshold `min_match` (Definition 3.7).
+    pub min_match: f64,
+    /// Chernoff failure probability `δ` (the paper uses `1 − δ = 0.9999`).
+    pub delta: f64,
+    /// Number of sequences to sample into memory in phase 1.
+    pub sample_size: usize,
+    /// Match counters that fit in memory per database scan in phase 3.
+    pub counters_per_scan: usize,
+    /// Bounds of the enumerated pattern space.
+    pub space: PatternSpace,
+    /// Spread selection for the Chernoff bound (Claim 4.2).
+    pub spread_mode: SpreadMode,
+    /// Probe strategy for phase 3 (border collapsing vs level-wise).
+    pub probe_strategy: ProbeStrategy,
+    /// RNG seed for the phase-1 sample — mining is fully deterministic.
+    pub seed: u64,
+    /// Ceiling on the candidate patterns phase 2 may evaluate; exceeding it
+    /// aborts the run with a diagnostic (it means the Chernoff band is too
+    /// wide to prune — raise the sample size, threshold, or delta).
+    pub max_sample_patterns: usize,
+}
+
+impl Default for MinerConfig {
+    fn default() -> Self {
+        Self {
+            min_match: 0.01,
+            delta: 0.0001,
+            sample_size: 1000,
+            counters_per_scan: 10_000,
+            space: PatternSpace::default(),
+            spread_mode: SpreadMode::Restricted,
+            probe_strategy: ProbeStrategy::BorderCollapsing,
+            seed: 0x6e6f_6973, // "nois"
+            max_sample_patterns: DEFAULT_MAX_SAMPLE_PATTERNS,
+        }
+    }
+}
+
+impl MinerConfig {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if !(0.0..=1.0).contains(&self.min_match) {
+            return Err(Error::InvalidConfig(format!(
+                "min_match {} outside [0, 1]",
+                self.min_match
+            )));
+        }
+        if !(self.delta > 0.0 && self.delta < 1.0) {
+            return Err(Error::InvalidConfig(format!(
+                "delta {} outside (0, 1)",
+                self.delta
+            )));
+        }
+        if self.sample_size == 0 {
+            return Err(Error::InvalidConfig("sample_size must be positive".into()));
+        }
+        if self.counters_per_scan == 0 {
+            return Err(Error::InvalidConfig(
+                "counters_per_scan must be positive".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Which phase established that a pattern is frequent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Provenance {
+    /// Labeled frequent from the sample with Chernoff confidence `1 − δ`.
+    SampleConfident,
+    /// Verified exactly against the full database in phase 3.
+    Verified,
+    /// Implied frequent by a phase-3 verified superpattern (Apriori).
+    Implied,
+}
+
+/// A frequent pattern in the miner's output.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FrequentPattern {
+    /// The pattern.
+    pub pattern: Pattern,
+    /// Best available estimate of its match: the exact database match for
+    /// verified patterns, the sample match otherwise.
+    pub match_estimate: f64,
+    /// How it was established.
+    pub provenance: Provenance,
+}
+
+/// Statistics of one mining run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MineStats {
+    /// Total full scans of the database (phase 1 + phase 3).
+    pub db_scans: usize,
+    /// Sequences actually sampled in phase 1.
+    pub sample_size: usize,
+    /// Candidates / survivors per level in phase 2.
+    pub trace: LevelTrace,
+    /// Patterns labeled frequent from the sample alone.
+    pub sample_frequent: usize,
+    /// Ambiguous patterns after phase 2 (what phase 3 must resolve).
+    pub ambiguous_after_sample: usize,
+    /// Exact match counters evaluated during phase 3.
+    pub verified_patterns: usize,
+    /// Ambiguous patterns resolved by Apriori propagation alone.
+    pub propagated_patterns: usize,
+    /// Patterns counted in each phase-3 scan (Fig. 14(c) instrumentation).
+    pub probes_per_scan: Vec<usize>,
+    /// Wall-clock time of each phase.
+    pub phase1_time: Duration,
+    /// Phase-2 wall-clock time.
+    pub phase2_time: Duration,
+    /// Phase-3 wall-clock time.
+    pub phase3_time: Duration,
+}
+
+impl MineStats {
+    /// Total wall-clock time across phases.
+    pub fn total_time(&self) -> Duration {
+        self.phase1_time + self.phase2_time + self.phase3_time
+    }
+}
+
+/// The complete result of a mining run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MineOutcome {
+    /// All frequent patterns with provenance.
+    pub frequent: Vec<FrequentPattern>,
+    /// The border of frequent patterns (maximal frequent patterns).
+    pub border: Border,
+    /// Per-symbol match over the whole database (phase 1 output).
+    pub symbol_match: Vec<f64>,
+    /// Run statistics.
+    pub stats: MineStats,
+}
+
+impl MineOutcome {
+    /// The frequent patterns with exactly `k` concrete symbols.
+    pub fn at_level(&self, k: usize) -> impl Iterator<Item = &FrequentPattern> {
+        self.frequent
+            .iter()
+            .filter(move |f| f.pattern.non_eternal_count() == k)
+    }
+
+    /// Looks up a pattern's match estimate.
+    pub fn match_of(&self, pattern: &Pattern) -> Option<f64> {
+        self.frequent
+            .iter()
+            .find(|f| &f.pattern == pattern)
+            .map(|f| f.match_estimate)
+    }
+
+    /// Just the patterns, sorted for deterministic output.
+    pub fn patterns(&self) -> Vec<Pattern> {
+        let mut v: Vec<Pattern> = self.frequent.iter().map(|f| f.pattern.clone()).collect();
+        v.sort();
+        v
+    }
+}
+
+/// Phase 1 output: per-symbol matches and the in-memory sample.
+#[derive(Debug, Clone, Default)]
+pub struct Phase1Output {
+    /// `symbol_match[d]` — match of symbol `d` in the whole database.
+    pub symbol_match: Vec<f64>,
+    /// The uniformly sampled sequences.
+    pub sample: Vec<Vec<Symbol>>,
+}
+
+/// Runs phase 1 (Algorithm 4.1): one scan computing every symbol's match
+/// and drawing a uniform sample of up to `sample_size` sequences using
+/// sequential sampling (choose the `i`-th sequence with probability
+/// `(n − j) / (N − i)` given `j` already chosen).
+pub fn phase1<S: SequenceScan + ?Sized>(
+    db: &S,
+    matrix: &CompatibilityMatrix,
+    sample_size: usize,
+    rng: &mut impl Rng,
+) -> Phase1Output {
+    let m = matrix.len();
+    let total = db.num_sequences();
+    let n = sample_size.min(total);
+    let mut match_acc = vec![0.0f64; m];
+    let mut sample: Vec<Vec<Symbol>> = Vec::with_capacity(n);
+    let mut scratch = SymbolMatchScratch::new(m);
+    let mut seen = 0usize;
+    db.scan(&mut |_, seq| {
+        let per_seq = scratch.sequence(seq, matrix);
+        for (acc, &v) in match_acc.iter_mut().zip(per_seq) {
+            *acc += v;
+        }
+        // Sequential sampling: exactly n of N sequences, uniformly.
+        let remaining_needed = n - sample.len();
+        let remaining_total = total - seen;
+        if remaining_needed > 0
+            && rng.gen::<f64>() < remaining_needed as f64 / remaining_total as f64
+        {
+            sample.push(seq.to_vec());
+        }
+        seen += 1;
+    });
+    if total > 0 {
+        for v in &mut match_acc {
+            *v /= total as f64;
+        }
+    }
+    Phase1Output {
+        symbol_match: match_acc,
+        sample,
+    }
+}
+
+/// Runs the full three-phase miner.
+pub fn mine<S: SequenceScan + ?Sized>(
+    db: &S,
+    matrix: &CompatibilityMatrix,
+    config: &MinerConfig,
+) -> Result<MineOutcome> {
+    config.validate()?;
+    let mut stats = MineStats::default();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Phase 1: symbol matches + sample, one scan.
+    let t0 = Instant::now();
+    let p1 = phase1(db, matrix, config.sample_size, &mut rng);
+    stats.db_scans += 1;
+    stats.sample_size = p1.sample.len();
+    stats.phase1_time = t0.elapsed();
+
+    // Phase 2: classify candidates on the sample.
+    let t1 = Instant::now();
+    let p2 = mine_sample_budgeted(
+        &p1.sample,
+        matrix,
+        &p1.symbol_match,
+        config.min_match,
+        config.delta,
+        config.spread_mode,
+        &config.space,
+        config.max_sample_patterns,
+    );
+    if p2.truncated {
+        return Err(Error::InvalidConfig(format!(
+            "phase 2 exceeded the {}-pattern budget: the Chernoff band (delta = {}, {} samples) \
+             is too wide to prune at min_match = {} — raise the sample size, threshold, or delta",
+            config.max_sample_patterns, config.delta, p1.sample.len(), config.min_match
+        )));
+    }
+    stats.trace = p2.trace.clone();
+    stats.sample_frequent = p2.frequent.len();
+    stats.ambiguous_after_sample = p2.ambiguous.len();
+    stats.phase2_time = t1.elapsed();
+
+    // Phase 3: resolve the ambiguous patterns against the full database.
+    let t2 = Instant::now();
+    let ambiguous = AmbiguousSpace::new(p2.ambiguous.iter().map(|(p, _)| p.clone()));
+    let p3 = collapse(
+        ambiguous,
+        db,
+        matrix,
+        config.min_match,
+        config.counters_per_scan,
+        config.probe_strategy,
+    );
+    stats.db_scans += p3.scans;
+    stats.verified_patterns = p3.probes;
+    stats.propagated_patterns = p3.propagated;
+    stats.probes_per_scan = p3.probes_per_scan.clone();
+    stats.phase3_time = t2.elapsed();
+
+    // Assemble: sample-confident frequents + phase-3 resolutions.
+    let (frequent, border) = assemble_outcome(&p2, &p3);
+
+    Ok(MineOutcome {
+        frequent,
+        border,
+        symbol_match: p1.symbol_match,
+        stats,
+    })
+}
+
+/// Assembles the final frequent-pattern list (with provenance and best
+/// available match estimates) and its border from the phase-2 sample
+/// classification and the phase-3 resolutions. Shared by the three-phase
+/// miner and the Toivonen-style baseline, whose outputs differ only in the
+/// phase-3 probe order.
+pub fn assemble_outcome(
+    p2: &crate::sample_miner::SampleMineResult,
+    p3: &crate::border_collapse::CollapseResult,
+) -> (Vec<FrequentPattern>, Border) {
+    let sample_match_of = |p: &Pattern| p2.labels.get(p).map(|&(v, _)| v).unwrap_or(0.0);
+    let mut frequent: Vec<FrequentPattern> = p2
+        .frequent
+        .iter()
+        .map(|(p, v)| FrequentPattern {
+            pattern: p.clone(),
+            match_estimate: *v,
+            provenance: Provenance::SampleConfident,
+        })
+        .collect();
+    for r in &p3.frequent {
+        frequent.push(FrequentPattern {
+            pattern: r.pattern.clone(),
+            match_estimate: r.match_value.unwrap_or_else(|| sample_match_of(&r.pattern)),
+            provenance: match r.resolution {
+                Resolution::Probed => Provenance::Verified,
+                Resolution::Propagated => Provenance::Implied,
+            },
+        });
+    }
+    frequent.sort_by(|a, b| a.pattern.cmp(&b.pattern));
+    let border = Border::from_patterns(frequent.iter().map(|f| f.pattern.clone()));
+    (frequent, border)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::matching::{db_match, MemorySequences};
+
+    fn db() -> MemorySequences {
+        let a = Alphabet::synthetic(5);
+        MemorySequences(vec![
+            a.encode("d0 d1 d2 d0").unwrap(),
+            a.encode("d3 d1 d0").unwrap(),
+            a.encode("d2 d3 d1 d0").unwrap(),
+            a.encode("d1 d1").unwrap(),
+            a.encode("d0 d1 d2").unwrap(),
+            a.encode("d3 d1 d2 d0").unwrap(),
+        ])
+    }
+
+    fn config() -> MinerConfig {
+        MinerConfig {
+            min_match: 0.15,
+            delta: 0.01,
+            sample_size: 6,
+            counters_per_scan: 8,
+            space: PatternSpace::contiguous(4),
+            ..MinerConfig::default()
+        }
+    }
+
+    #[test]
+    fn phase1_counts_and_samples() {
+        let database = db();
+        let matrix = CompatibilityMatrix::paper_figure2();
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = phase1(&database, &matrix, 3, &mut rng);
+        assert_eq!(out.sample.len(), 3);
+        assert_eq!(out.symbol_match.len(), 5);
+        // Every sampled sequence is from the database.
+        for s in &out.sample {
+            assert!(database.0.contains(s));
+        }
+        // Symbol matches agree with the standalone implementation.
+        let expect = crate::matching::symbol_db_match(&database, &matrix);
+        for (a, b) in out.symbol_match.iter().zip(&expect) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn phase1_sample_size_capped_at_db_size() {
+        let database = db();
+        let matrix = CompatibilityMatrix::paper_figure2();
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = phase1(&database, &matrix, 100, &mut rng);
+        assert_eq!(out.sample.len(), 6);
+        // With the sample being the whole DB, sampling is order-preserving.
+        assert_eq!(out.sample, database.0);
+    }
+
+    #[test]
+    fn full_sample_mining_is_exact() {
+        // When the sample covers the whole database, every frequent pattern
+        // in the outcome has true match >= min_match and nothing is missed
+        // (sample match == true match, so the Chernoff bands are exact).
+        let database = db();
+        let matrix = CompatibilityMatrix::paper_figure2();
+        let cfg = config();
+        let out = mine(&database, &matrix, &cfg).unwrap();
+        assert!(!out.frequent.is_empty());
+        for f in &out.frequent {
+            let exact = db_match(&f.pattern, &database, &matrix);
+            assert!(
+                exact >= cfg.min_match - 1e-12,
+                "{} reported frequent but exact match {exact} < {}",
+                f.pattern,
+                cfg.min_match
+            );
+        }
+        // Completeness at level 1: every symbol with exact match above the
+        // threshold appears in the output.
+        for (i, &v) in out.symbol_match.iter().enumerate() {
+            let p = Pattern::single(Symbol(i as u16));
+            if v >= cfg.min_match + 1e-12 {
+                assert!(
+                    out.frequent.iter().any(|f| f.pattern == p),
+                    "missing frequent symbol {p} (match {v})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stats_account_for_scans() {
+        let database = db();
+        let matrix = CompatibilityMatrix::paper_figure2();
+        let out = mine(&database, &matrix, &config()).unwrap();
+        // At least phase 1's scan.
+        assert!(out.stats.db_scans >= 1);
+        assert_eq!(out.stats.sample_size, 6);
+        assert!(out.stats.trace.levels() >= 1);
+    }
+
+    #[test]
+    fn border_covers_all_frequent() {
+        let database = db();
+        let matrix = CompatibilityMatrix::paper_figure2();
+        let out = mine(&database, &matrix, &config()).unwrap();
+        for f in &out.frequent {
+            assert!(out.border.covers(&f.pattern));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let database = db();
+        let matrix = CompatibilityMatrix::paper_figure2();
+        let mut cfg = config();
+        cfg.sample_size = 3;
+        let a = mine(&database, &matrix, &cfg).unwrap();
+        let b = mine(&database, &matrix, &cfg).unwrap();
+        assert_eq!(a.patterns(), b.patterns());
+        cfg.seed ^= 0xdead_beef;
+        let _c = mine(&database, &matrix, &cfg).unwrap(); // different seed still valid
+    }
+
+    #[test]
+    fn config_validation() {
+        let mut cfg = config();
+        cfg.min_match = 1.5;
+        assert!(cfg.validate().is_err());
+        let mut cfg = config();
+        cfg.delta = 0.0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = config();
+        cfg.sample_size = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = config();
+        cfg.counters_per_scan = 0;
+        assert!(cfg.validate().is_err());
+        assert!(config().validate().is_ok());
+    }
+
+    #[test]
+    fn outcome_helpers() {
+        let database = db();
+        let matrix = CompatibilityMatrix::paper_figure2();
+        let out = mine(&database, &matrix, &config()).unwrap();
+        let level1: Vec<_> = out.at_level(1).collect();
+        assert!(!level1.is_empty());
+        let first = &out.frequent[0];
+        assert_eq!(out.match_of(&first.pattern), Some(first.match_estimate));
+        assert!(out.stats.total_time() >= out.stats.phase1_time);
+    }
+}

@@ -1,0 +1,173 @@
+//! Deterministic parallel match evaluation for memory-resident data.
+//!
+//! Phase 2 evaluates every candidate against every sample sequence — an
+//! embarrassingly parallel product that dominates wall-clock time on large
+//! samples. This module splits the sample into fixed-size chunks, processes
+//! chunks across threads, and reduces the per-chunk partial sums **in chunk
+//! order**, so results are bit-for-bit identical for any thread count
+//! (including 1). Chunk boundaries are a constant, not a function of the
+//! thread count, which is what makes the reduction order stable.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::matching::sequence_match;
+use crate::matrix::CompatibilityMatrix;
+use crate::pattern::Pattern;
+use crate::Symbol;
+
+/// Sequences per work chunk. Constant so that chunk boundaries (and thus
+/// the floating-point reduction order) do not depend on the thread count.
+pub const CHUNK_SIZE: usize = 64;
+
+/// Work size (patterns × sequences) below which the serial path is used —
+/// thread startup costs more than it saves.
+pub const PARALLEL_THRESHOLD: usize = 50_000;
+
+/// Sum over all sequences of each pattern's sequence match, computed with
+/// up to `threads` worker threads. Returns sums (not means) aligned with
+/// `patterns`. The accumulation grouping is fixed by [`CHUNK_SIZE`], not by
+/// the thread count, so every thread count produces bit-identical results.
+pub fn sum_sequence_matches(
+    patterns: &[Pattern],
+    sequences: &[Vec<Symbol>],
+    matrix: &CompatibilityMatrix,
+    threads: usize,
+) -> Vec<f64> {
+    let p = patterns.len();
+    if p == 0 || sequences.is_empty() {
+        return vec![0.0; p];
+    }
+    let threads = threads
+        .max(1)
+        .min(sequences.len().div_ceil(CHUNK_SIZE));
+    if threads == 1 || p * sequences.len() < PARALLEL_THRESHOLD {
+        // Serial path, but with the *same* chunked accumulation grouping as
+        // the parallel path, so every thread count produces bit-identical
+        // sums (floating-point addition is not associative).
+        let mut totals = vec![0.0f64; p];
+        let mut partial = vec![0.0f64; p];
+        for chunk in sequences.chunks(CHUNK_SIZE) {
+            partial.fill(0.0);
+            accumulate(patterns, chunk, matrix, &mut partial);
+            for (t, &v) in totals.iter_mut().zip(&partial) {
+                *t += v;
+            }
+        }
+        return totals;
+    }
+
+    let chunks: Vec<&[Vec<Symbol>]> = sequences.chunks(CHUNK_SIZE).collect();
+    let num_chunks = chunks.len();
+    let next = AtomicUsize::new(0);
+    let mut partials: Vec<Vec<f64>> = vec![Vec::new(); num_chunks];
+    {
+        let partial_slots: Vec<parking_lot::Mutex<&mut Vec<f64>>> =
+            partials.iter_mut().map(parking_lot::Mutex::new).collect();
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|_| loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    if idx >= num_chunks {
+                        break;
+                    }
+                    let mut totals = vec![0.0f64; p];
+                    accumulate(patterns, chunks[idx], matrix, &mut totals);
+                    **partial_slots[idx].lock() = totals;
+                });
+            }
+        })
+        .expect("match-evaluation worker panicked");
+    }
+
+    // Ordered reduction: chunk 0 + chunk 1 + … regardless of which thread
+    // produced each.
+    let mut totals = vec![0.0f64; p];
+    for partial in &partials {
+        for (t, &v) in totals.iter_mut().zip(partial) {
+            *t += v;
+        }
+    }
+    totals
+}
+
+fn accumulate(
+    patterns: &[Pattern],
+    sequences: &[Vec<Symbol>],
+    matrix: &CompatibilityMatrix,
+    totals: &mut [f64],
+) {
+    for seq in sequences {
+        for (total, pattern) in totals.iter_mut().zip(patterns) {
+            *total += sequence_match(pattern, seq, matrix);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Alphabet;
+
+    fn workload() -> (Vec<Pattern>, Vec<Vec<Symbol>>, CompatibilityMatrix) {
+        let a = Alphabet::synthetic(6);
+        let patterns: Vec<Pattern> = (0..6u16)
+            .flat_map(|x| {
+                (0..6u16).map(move |y| {
+                    Pattern::contiguous(&[Symbol(x), Symbol(y)]).unwrap()
+                })
+            })
+            .collect();
+        let sequences: Vec<Vec<Symbol>> = (0..500)
+            .map(|i| {
+                (0..40)
+                    .map(|j| Symbol(((i * 7 + j * 3) % 6) as u16))
+                    .collect()
+            })
+            .collect();
+        let _ = a;
+        let matrix = CompatibilityMatrix::uniform_noise(6, 0.2).unwrap();
+        (patterns, sequences, matrix)
+    }
+
+    #[test]
+    fn parallel_equals_serial_bit_for_bit() {
+        let (patterns, sequences, matrix) = workload();
+        let serial = sum_sequence_matches(&patterns, &sequences, &matrix, 1);
+        for threads in [2, 3, 8] {
+            let parallel = sum_sequence_matches(&patterns, &sequences, &matrix, threads);
+            assert_eq!(serial, parallel, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_direct_computation() {
+        let (patterns, sequences, matrix) = workload();
+        let sums = sum_sequence_matches(&patterns, &sequences, &matrix, 4);
+        for (p, &s) in patterns.iter().zip(&sums).take(5) {
+            let direct: f64 = sequences
+                .iter()
+                .map(|seq| sequence_match(p, seq, &matrix))
+                .sum();
+            assert!((s - direct).abs() < 1e-9, "{p}");
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let (_, sequences, matrix) = workload();
+        assert!(sum_sequence_matches(&[], &sequences, &matrix, 4).is_empty());
+        let (patterns, _, matrix2) = workload();
+        assert_eq!(
+            sum_sequence_matches(&patterns, &[], &matrix2, 4),
+            vec![0.0; patterns.len()]
+        );
+    }
+
+    #[test]
+    fn small_work_takes_serial_path() {
+        let (patterns, sequences, matrix) = workload();
+        let tiny = &sequences[..2];
+        let v = sum_sequence_matches(&patterns[..2], tiny, &matrix, 8);
+        assert_eq!(v.len(), 2);
+    }
+}

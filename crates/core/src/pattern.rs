@@ -1,0 +1,487 @@
+//! Sequential patterns with the eternal ("don't care") symbol `*`.
+//!
+//! A pattern of length `l` is a list of `l` positions, each either a concrete
+//! symbol from the alphabet or the eternal symbol `*` (Definition 3.2). The
+//! eternal symbol matches any single observed symbol and enables fixed-length
+//! gaps — e.g. the Zinc Finger transcription-factor signature
+//! `C**C************H**H` from Section 3. A pattern with `k` concrete
+//! symbols is called a *k-pattern*; neither the first nor the last position
+//! may be eternal.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::alphabet::{Alphabet, Symbol};
+use crate::error::{Error, Result};
+
+/// One position of a pattern: a concrete symbol or the eternal symbol `*`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PatternElem {
+    /// The eternal ("don't care") symbol, written `*`.
+    Any,
+    /// A concrete symbol.
+    Sym(Symbol),
+}
+
+impl PatternElem {
+    /// `true` for the eternal symbol.
+    #[inline]
+    pub fn is_any(self) -> bool {
+        matches!(self, PatternElem::Any)
+    }
+
+    /// The concrete symbol, if any.
+    #[inline]
+    pub fn symbol(self) -> Option<Symbol> {
+        match self {
+            PatternElem::Any => None,
+            PatternElem::Sym(s) => Some(s),
+        }
+    }
+}
+
+/// A sequential pattern (Definition 3.2).
+///
+/// Invariants, enforced by every constructor:
+/// - the pattern is non-empty;
+/// - the first and last positions are concrete symbols (the paper excludes
+///   "trivial" patterns that start or end with `*`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Pattern {
+    elems: Vec<PatternElem>,
+}
+
+impl Pattern {
+    /// Builds a pattern from raw elements, validating the invariants.
+    pub fn new(elems: Vec<PatternElem>) -> Result<Self> {
+        match (elems.first(), elems.last()) {
+            (None, _) => Err(Error::InvalidPattern("pattern is empty".into())),
+            (Some(PatternElem::Any), _) | (_, Some(PatternElem::Any)) => Err(
+                Error::InvalidPattern("pattern must not start or end with '*'".into()),
+            ),
+            _ => Ok(Self { elems }),
+        }
+    }
+
+    /// Builds a single-symbol pattern.
+    pub fn single(symbol: Symbol) -> Self {
+        Self {
+            elems: vec![PatternElem::Sym(symbol)],
+        }
+    }
+
+    /// Builds a contiguous (gap-free) pattern from symbols.
+    pub fn contiguous(symbols: &[Symbol]) -> Result<Self> {
+        Self::new(symbols.iter().map(|&s| PatternElem::Sym(s)).collect())
+    }
+
+    /// Builds a pattern from elements, trimming any leading/trailing `*`
+    /// produced by symbol removal. Returns `None` if no concrete symbol
+    /// remains.
+    pub fn trimmed(elems: &[PatternElem]) -> Option<Self> {
+        let first = elems.iter().position(|e| !e.is_any())?;
+        let last = elems.iter().rposition(|e| !e.is_any())?;
+        Some(Self {
+            elems: elems[first..=last].to_vec(),
+        })
+    }
+
+    /// Parses a pattern from text.
+    ///
+    /// Two syntaxes are accepted, mirroring [`Alphabet::encode`]:
+    /// - whitespace-separated tokens, where each token is a symbol name or
+    ///   `*` (e.g. `"d1 * d3"`);
+    /// - a contiguous string of single-character names and `*` / `.`
+    ///   (e.g. `"C**C************H**H"`).
+    pub fn parse(text: &str, alphabet: &Alphabet) -> Result<Self> {
+        let elems: Vec<PatternElem> = if text.contains(char::is_whitespace) {
+            text.split_whitespace()
+                .map(|tok| {
+                    if tok == "*" || tok == "." {
+                        Ok(PatternElem::Any)
+                    } else {
+                        alphabet.symbol(tok).map(PatternElem::Sym)
+                    }
+                })
+                .collect::<Result<_>>()?
+        } else if let Ok(sym) = alphabet.symbol(text) {
+            // A single multi-character name like "d12".
+            vec![PatternElem::Sym(sym)]
+        } else {
+            text.chars()
+                .map(|c| {
+                    if c == '*' || c == '.' {
+                        Ok(PatternElem::Any)
+                    } else {
+                        alphabet.symbol(&c.to_string()).map(PatternElem::Sym)
+                    }
+                })
+                .collect::<Result<_>>()?
+        };
+        Self::new(elems).map_err(|e| Error::PatternParse(format!("{text:?}: {e}")))
+    }
+
+    /// Renders the pattern using the alphabet's symbol names.
+    pub fn display(&self, alphabet: &Alphabet) -> Result<String> {
+        let tokens: Vec<String> = self
+            .elems
+            .iter()
+            .map(|e| match e {
+                PatternElem::Any => Ok("*".to_string()),
+                PatternElem::Sym(s) => alphabet.name(*s).map(str::to_string),
+            })
+            .collect::<Result<_>>()?;
+        let single_char = tokens.iter().all(|t| t.chars().count() == 1);
+        Ok(if single_char {
+            tokens.concat()
+        } else {
+            tokens.join(" ")
+        })
+    }
+
+    /// Total length `l` of the pattern, counting eternal positions.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// `true` if the pattern has no positions (never holds for a valid
+    /// pattern; provided for API completeness).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.elems.is_empty()
+    }
+
+    /// Number of concrete (non-eternal) symbols `k`; the pattern is a
+    /// *k-pattern* (Definition 3.2).
+    #[inline]
+    pub fn non_eternal_count(&self) -> usize {
+        self.elems.iter().filter(|e| !e.is_any()).count()
+    }
+
+    /// The pattern's positions.
+    #[inline]
+    pub fn elems(&self) -> &[PatternElem] {
+        &self.elems
+    }
+
+    /// Iterates over the concrete symbols, left to right.
+    pub fn symbols(&self) -> impl Iterator<Item = Symbol> + '_ {
+        self.elems.iter().filter_map(|e| e.symbol())
+    }
+
+    /// Positions (indices) of the concrete symbols.
+    pub fn symbol_positions(&self) -> impl Iterator<Item = usize> + '_ {
+        self.elems
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| (!e.is_any()).then_some(i))
+    }
+
+    /// Length of the longest run of consecutive `*` positions (the largest
+    /// gap in the pattern). `0` for contiguous patterns.
+    pub fn max_gap(&self) -> usize {
+        let mut best = 0usize;
+        let mut run = 0usize;
+        for e in &self.elems {
+            if e.is_any() {
+                run += 1;
+                best = best.max(run);
+            } else {
+                run = 0;
+            }
+        }
+        best
+    }
+
+    /// Extends the pattern on the right with `gap` eternal symbols followed
+    /// by one concrete symbol — the level-wise candidate-generation step.
+    pub fn extend(&self, gap: usize, symbol: Symbol) -> Self {
+        let mut elems = Vec::with_capacity(self.elems.len() + gap + 1);
+        elems.extend_from_slice(&self.elems);
+        elems.extend(std::iter::repeat_n(PatternElem::Any, gap));
+        elems.push(PatternElem::Sym(symbol));
+        Self { elems }
+    }
+
+    /// Whether `self` is a subpattern of `other` (Definition 3.3): there is
+    /// an alignment offset `j` such that every position of `self` is either
+    /// `*` or equals the corresponding position of `other`.
+    ///
+    /// Every pattern is a subpattern of itself.
+    pub fn is_subpattern_of(&self, other: &Pattern) -> bool {
+        self.alignments_in(other).next().is_some()
+    }
+
+    /// Whether `self` is a superpattern of `other` (Definition 3.3).
+    pub fn is_superpattern_of(&self, other: &Pattern) -> bool {
+        other.is_subpattern_of(self)
+    }
+
+    /// All alignment offsets `j` at which `self` embeds into `other`
+    /// (Definition 3.3). Empty when `self` is not a subpattern of `other`.
+    pub fn alignments_in<'a>(&'a self, other: &'a Pattern) -> impl Iterator<Item = usize> + 'a {
+        let (l, l2) = (self.len(), other.len());
+        (0..=(l2.saturating_sub(l)))
+            .filter(move |&j| {
+                l <= l2
+                    && self.elems.iter().enumerate().all(|(i, e)| match e {
+                        PatternElem::Any => true,
+                        PatternElem::Sym(_) => *e == other.elems[i + j],
+                    })
+            })
+    }
+
+    /// The immediate subpatterns of `self`: every pattern obtained by
+    /// replacing exactly one concrete symbol with `*` and trimming leading /
+    /// trailing `*` (Definition 3.3, used for the Apriori check). A
+    /// 1-pattern has no immediate subpatterns.
+    pub fn immediate_subpatterns(&self) -> Vec<Pattern> {
+        if self.non_eternal_count() <= 1 {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for pos in self.symbol_positions().collect::<Vec<_>>() {
+            let mut elems = self.elems.clone();
+            elems[pos] = PatternElem::Any;
+            if let Some(p) = Pattern::trimmed(&elems) {
+                if !out.contains(&p) {
+                    out.push(p);
+                }
+            }
+        }
+        out
+    }
+
+    /// Enumerates every pattern `Q` with exactly `k` concrete symbols such
+    /// that `self ⊑ Q ⊑ sup` — the halfway-pattern generator of
+    /// Algorithm 4.4 when `k = ⌈(k₁+k₂)/2⌉`.
+    ///
+    /// For each alignment of `self` inside `sup`, the intermediate patterns
+    /// keep all of `self`'s concrete symbols and restore `k - k₁` of `sup`'s
+    /// remaining concrete positions, then trim.
+    pub fn between(&self, sup: &Pattern, k: usize) -> Vec<Pattern> {
+        let k1 = self.non_eternal_count();
+        let k2 = sup.non_eternal_count();
+        if k < k1 || k > k2 {
+            return Vec::new();
+        }
+        let mut out: Vec<Pattern> = Vec::new();
+        for j in self.alignments_in(sup).collect::<Vec<_>>() {
+            // Positions of `sup` carrying a concrete symbol not used by
+            // `self` under this alignment.
+            let used: Vec<bool> = {
+                let mut used = vec![false; sup.len()];
+                for (i, e) in self.elems.iter().enumerate() {
+                    if !e.is_any() {
+                        used[i + j] = true;
+                    }
+                }
+                used
+            };
+            let extra: Vec<usize> = sup
+                .symbol_positions()
+                .filter(|&p| !used[p])
+                .collect();
+            let need = k - k1;
+            if need > extra.len() {
+                continue;
+            }
+            // Base skeleton: only `self`'s symbols placed at `sup` coordinates.
+            let mut base = vec![PatternElem::Any; sup.len()];
+            for (i, e) in self.elems.iter().enumerate() {
+                if !e.is_any() {
+                    base[i + j] = *e;
+                }
+            }
+            for combo in combinations(&extra, need) {
+                let mut elems = base.clone();
+                for &p in &combo {
+                    elems[p] = sup.elems[p];
+                }
+                if let Some(pat) = Pattern::trimmed(&elems) {
+                    if !out.contains(&pat) {
+                        out.push(pat);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Pattern {
+    /// Renders using the synthetic `dᵢ` notation, space-separated — matches
+    /// the paper's figures (e.g. `d1 * d3`).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, e) in self.elems.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            match e {
+                PatternElem::Any => write!(f, "*")?,
+                PatternElem::Sym(s) => write!(f, "{s}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// All `choose`-element combinations of `items`, preserving order.
+fn combinations(items: &[usize], choose: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::with_capacity(choose);
+    fn rec(items: &[usize], choose: usize, start: usize, cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if cur.len() == choose {
+            out.push(cur.clone());
+            return;
+        }
+        let remaining = choose - cur.len();
+        for i in start..items.len() {
+            if items.len() - i < remaining {
+                break;
+            }
+            cur.push(items[i]);
+            rec(items, choose, i + 1, cur, out);
+            cur.pop();
+        }
+    }
+    rec(items, choose, 0, &mut cur, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pat(text: &str) -> Pattern {
+        let a = Alphabet::synthetic(10);
+        Pattern::parse(text, &a).unwrap()
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        let p = pat("d1 * d3 d4 d5");
+        assert_eq!(p.to_string(), "d1 * d3 d4 d5");
+        assert_eq!(p.len(), 5);
+        assert_eq!(p.non_eternal_count(), 4);
+    }
+
+    #[test]
+    fn parse_contiguous_amino_style() {
+        let a = Alphabet::amino_acids();
+        let p = Pattern::parse("C**C************H**H", &a).unwrap();
+        assert_eq!(p.len(), 20);
+        assert_eq!(p.non_eternal_count(), 4);
+        assert_eq!(p.max_gap(), 12);
+        assert_eq!(p.display(&a).unwrap(), "C**C************H**H");
+    }
+
+    #[test]
+    fn rejects_leading_or_trailing_star() {
+        let a = Alphabet::synthetic(3);
+        assert!(Pattern::parse("* d1", &a).is_err());
+        assert!(Pattern::parse("d1 *", &a).is_err());
+        assert!(Pattern::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn paper_subpattern_examples() {
+        // "d1*d3 and d1**d4d5 are subpatterns of d1*d3d4d5 but d1d2 is not."
+        let sup = pat("d1 * d3 d4 d5");
+        assert!(pat("d1 * d3").is_subpattern_of(&sup));
+        assert!(pat("d1 * * d4 d5").is_subpattern_of(&sup));
+        assert!(!pat("d1 d2").is_subpattern_of(&sup));
+    }
+
+    #[test]
+    fn subpattern_allows_prefix_suffix_drop() {
+        let sup = pat("d1 d2 d3 d4");
+        assert!(pat("d2 d3").is_subpattern_of(&sup));
+        assert!(pat("d3 d4").is_subpattern_of(&sup));
+        assert!(pat("d1 d2 d3 d4").is_subpattern_of(&sup));
+        assert!(!pat("d4 d3").is_subpattern_of(&sup));
+    }
+
+    #[test]
+    fn subpattern_is_reflexive_and_antisymmetric_on_distinct() {
+        let p = pat("d1 * d3");
+        assert!(p.is_subpattern_of(&p));
+        let q = pat("d1 d2 d3");
+        assert!(p.is_subpattern_of(&q));
+        assert!(!q.is_subpattern_of(&p));
+    }
+
+    #[test]
+    fn immediate_subpatterns_trim_stars() {
+        let p = pat("d1 d2 d3");
+        let subs = p.immediate_subpatterns();
+        // removing d1 -> d2 d3; removing d2 -> d1 * d3; removing d3 -> d1 d2
+        assert_eq!(subs.len(), 3);
+        assert!(subs.contains(&pat("d2 d3")));
+        assert!(subs.contains(&pat("d1 * d3")));
+        assert!(subs.contains(&pat("d1 d2")));
+    }
+
+    #[test]
+    fn immediate_subpatterns_of_single_is_empty() {
+        assert!(pat("d1").immediate_subpatterns().is_empty());
+    }
+
+    #[test]
+    fn extend_appends_gap_and_symbol() {
+        let p = pat("d1 d2").extend(2, Symbol(5));
+        assert_eq!(p.to_string(), "d1 d2 * * d5");
+        assert_eq!(p.max_gap(), 2);
+    }
+
+    #[test]
+    fn between_enumerates_halfway_patterns() {
+        // Figure 6(b): between d1 (k=1) and d1d2d3d4d5 (k=5), the halfway
+        // (k=3) patterns are d1d2d3, d1d2*d4, d1d2**d5, d1*d3d4, d1*d3*d5,
+        // d1**d4d5.
+        let lo = pat("d1");
+        let hi = pat("d1 d2 d3 d4 d5");
+        let mid = lo.between(&hi, 3);
+        let expect = [
+            "d1 d2 d3",
+            "d1 d2 * d4",
+            "d1 d2 * * d5",
+            "d1 * d3 d4",
+            "d1 * d3 * d5",
+            "d1 * * d4 d5",
+        ];
+        assert_eq!(mid.len(), expect.len());
+        for e in expect {
+            assert!(mid.contains(&pat(e)), "missing {e}");
+        }
+        // Every halfway pattern is between the endpoints.
+        for p in &mid {
+            assert!(lo.is_subpattern_of(p));
+            assert!(p.is_subpattern_of(&hi));
+            assert_eq!(p.non_eternal_count(), 3);
+        }
+    }
+
+    #[test]
+    fn between_endpoints_degenerate() {
+        let lo = pat("d1 d2");
+        let hi = pat("d1 d2 d3");
+        assert_eq!(lo.between(&hi, 2), vec![lo.clone()]);
+        assert_eq!(lo.between(&hi, 3), vec![hi.clone()]);
+        assert!(lo.between(&hi, 4).is_empty());
+    }
+
+    #[test]
+    fn trimmed_returns_none_for_all_stars() {
+        assert!(Pattern::trimmed(&[PatternElem::Any, PatternElem::Any]).is_none());
+    }
+
+    #[test]
+    fn combinations_basic() {
+        let c = combinations(&[1, 2, 3], 2);
+        assert_eq!(c, vec![vec![1, 2], vec![1, 3], vec![2, 3]]);
+        assert_eq!(combinations(&[1, 2], 0), vec![Vec::<usize>::new()]);
+    }
+}

@@ -1,0 +1,211 @@
+//! The BLOSUM50 amino-acid substitution model (§5.1's in-text experiment).
+//!
+//! The paper generates a test database "according to the BLOSUM50 matrix
+//! [Durbin et al. 1998] which is widely used to characterize the likelihood
+//! of mutations between amino acids". BLOSUM entries are log-odds scores
+//! `s(i, j) = 2·log₂( P(i, j) / (pᵢ·pⱼ) )` (half-bit units); inverting
+//! them yields relative substitution propensities `w(i, j) = 2^{s(i,j)/2}`.
+//!
+//! We turn these propensities into:
+//!
+//! - a **mutation channel** `P(observed = j | true = i)`: the true amino
+//!   acid survives with probability `1 − μ` and otherwise mutates to `j ≠ i`
+//!   proportionally to `w(i, j)` — mirroring how the paper separately
+//!   controls the *degree* of noise (`α`, here `μ`) from its *shape*;
+//! - the corresponding **compatibility matrix**
+//!   `C(i, j) = P(true = i | observed = j)` via Bayes' rule under uniform
+//!   amino-acid priors (columns normalized to 1).
+//!
+//! The amino-acid order is the canonical `A R N D C Q E G H I L K M F P S T
+//! W V Y` of [`noisemine_core::alphabet::AMINO_ACIDS`].
+
+use noisemine_core::matrix::CompatibilityMatrix;
+use noisemine_core::{Alphabet, Symbol};
+
+/// Number of canonical amino acids.
+pub const NUM_AMINO_ACIDS: usize = 20;
+
+/// The published BLOSUM50 score matrix (half-bit log-odds), indexed in the
+/// order `A R N D C Q E G H I L K M F P S T W V Y`.
+///
+/// The matrix is symmetric; diagonal entries are the self-conservation
+/// scores (5 for A up to 15 for the rare W).
+#[rustfmt::skip]
+pub const BLOSUM50: [[i8; NUM_AMINO_ACIDS]; NUM_AMINO_ACIDS] = [
+    //A   R   N   D   C   Q   E   G   H   I   L   K   M   F   P   S   T   W   V   Y
+    [ 5, -2, -1, -2, -1, -1, -1,  0, -2, -1, -2, -1, -1, -3, -1,  1,  0, -3,  0, -2], // A
+    [-2,  7, -1, -2, -4,  1,  0, -3,  0, -4, -3,  3, -2, -3, -3, -1, -1, -3, -3, -1], // R
+    [-1, -1,  7,  2, -2,  0,  0,  0,  1, -3, -4,  0, -2, -4, -2,  1,  0, -4, -3, -2], // N
+    [-2, -2,  2,  8, -4,  0,  2, -1, -1, -4, -4, -1, -4, -5, -1,  0, -1, -5, -4, -3], // D
+    [-1, -4, -2, -4, 13, -3, -3, -3, -3, -2, -2, -3, -2, -2, -4, -1, -1, -5, -1, -3], // C
+    [-1,  1,  0,  0, -3,  7,  2, -2,  1, -3, -2,  2,  0, -4, -1,  0, -1, -1, -3, -1], // Q
+    [-1,  0,  0,  2, -3,  2,  6, -3,  0, -4, -3,  1, -2, -3, -1, -1, -1, -3, -3, -2], // E
+    [ 0, -3,  0, -1, -3, -2, -3,  8, -2, -4, -4, -2, -3, -4, -2,  0, -2, -3, -4, -3], // G
+    [-2,  0,  1, -1, -3,  1,  0, -2, 10, -4, -3,  0, -1, -1, -2, -1, -2, -3, -4,  2], // H
+    [-1, -4, -3, -4, -2, -3, -4, -4, -4,  5,  2, -3,  2,  0, -3, -3, -1, -3,  4, -1], // I
+    [-2, -3, -4, -4, -2, -2, -3, -4, -3,  2,  5, -3,  3,  1, -4, -3, -1, -2,  1, -1], // L
+    [-1,  3,  0, -1, -3,  2,  1, -2,  0, -3, -3,  6, -2, -4, -1,  0, -1, -3, -3, -2], // K
+    [-1, -2, -2, -4, -2,  0, -2, -3, -1,  2,  3, -2,  7,  0, -3, -2, -1, -1,  1,  0], // M
+    [-3, -3, -4, -5, -2, -4, -3, -4, -1,  0,  1, -4,  0,  8, -4, -3, -2,  1, -1,  4], // F
+    [-1, -3, -2, -1, -4, -1, -1, -2, -2, -3, -4, -1, -3, -4, 10, -1, -1, -4, -3, -3], // P
+    [ 1, -1,  1,  0, -1,  0, -1,  0, -1, -3, -3,  0, -2, -3, -1,  5,  2, -4, -2, -2], // S
+    [ 0, -1,  0, -1, -1, -1, -1, -2, -2, -1, -1, -1, -1, -2, -1,  2,  5, -3,  0, -2], // T
+    [-3, -3, -4, -5, -5, -1, -3, -3, -3, -3, -2, -3, -1,  1, -4, -4, -3, 15, -3,  2], // W
+    [ 0, -3, -3, -4, -1, -3, -3, -4, -4,  4,  1, -3,  1, -1, -3, -2,  0, -3,  5, -1], // V
+    [-2, -1, -2, -3, -3, -1, -2, -3,  2, -1, -1, -2,  0,  4, -3, -2, -2,  2, -1,  8], // Y
+];
+
+/// Relative substitution propensity `w(i, j) = 2^{s(i,j)/2}`.
+fn propensity(i: usize, j: usize) -> f64 {
+    2f64.powf(BLOSUM50[i][j] as f64 / 2.0)
+}
+
+/// The BLOSUM50 mutation channel `P(observed = j | true = i)` at overall
+/// mutation rate `mu`: the amino acid survives with probability `1 − mu`
+/// and otherwise mutates to `j ≠ i` with probability proportional to the
+/// BLOSUM propensity `w(i, j)`.
+pub fn mutation_channel(mu: f64) -> Vec<Vec<f64>> {
+    assert!((0.0..1.0).contains(&mu), "mutation rate outside [0, 1)");
+    let m = NUM_AMINO_ACIDS;
+    let mut channel = vec![vec![0.0; m]; m];
+    for (i, row) in channel.iter_mut().enumerate() {
+        let off_total: f64 = (0..m).filter(|&j| j != i).map(|j| propensity(i, j)).sum();
+        for (j, slot) in row.iter_mut().enumerate() {
+            *slot = if i == j {
+                1.0 - mu
+            } else {
+                mu * propensity(i, j) / off_total
+            };
+        }
+    }
+    channel
+}
+
+/// The compatibility matrix `C(true, observed)` implied by the
+/// [`mutation_channel`] at rate `mu`, assuming uniform amino-acid priors:
+/// `C(i, j) = P(j | i) / Σ_k P(j | k)` (Bayes' rule, columns sum to 1).
+pub fn compatibility_matrix(mu: f64) -> CompatibilityMatrix {
+    let channel = mutation_channel(mu);
+    let m = NUM_AMINO_ACIDS;
+    let mut rows = vec![vec![0.0; m]; m];
+    for j in 0..m {
+        let col_total: f64 = (0..m).map(|k| channel[k][j]).sum();
+        for (i, row) in rows.iter_mut().enumerate() {
+            row[j] = channel[i][j] / col_total;
+        }
+    }
+    CompatibilityMatrix::from_rows(rows).expect("Bayes inversion is column-stochastic")
+}
+
+/// The amino-acid alphabet matching the matrix index order.
+pub fn alphabet() -> Alphabet {
+    Alphabet::amino_acids()
+}
+
+/// The `n` BLOSUM-likeliest mutation partners of each amino acid, as a
+/// partner map for [`crate::noise::partner_channel`] — the structured-noise
+/// channel matching the paper's Figure 1 motivation. Using two or more
+/// partners keeps the Bayes posterior diagonally dominant up to higher
+/// noise degrees (`alpha < n/(n+1)`).
+pub fn partner_map(n: usize) -> Vec<Vec<usize>> {
+    assert!((1..NUM_AMINO_ACIDS).contains(&n));
+    (0..NUM_AMINO_ACIDS)
+        .map(|i| {
+            let mut others: Vec<usize> = (0..NUM_AMINO_ACIDS).filter(|&j| j != i).collect();
+            others.sort_by(|&a, &b| propensity(i, b).total_cmp(&propensity(i, a)));
+            others.truncate(n);
+            others
+        })
+        .collect()
+}
+
+/// The most likely substitution target for a given amino acid (excluding
+/// itself) — e.g. N→D, K→R, V→I, the mutations from the paper's Figure 1.
+pub fn likeliest_substitution(amino: Symbol) -> Symbol {
+    let i = amino.index();
+    let j = (0..NUM_AMINO_ACIDS)
+        .filter(|&j| j != i)
+        .max_by(|&a, &b| propensity(i, a).total_cmp(&propensity(i, b)))
+        .expect("non-empty alphabet");
+    Symbol(j as u16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_is_symmetric() {
+        for (i, row) in BLOSUM50.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                assert_eq!(v, BLOSUM50[j][i], "asymmetry at ({i}, {j})");
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_dominates() {
+        for (i, row) in BLOSUM50.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                if i != j {
+                    assert!(row[i] > v, "({i}, {j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn channel_rows_are_stochastic() {
+        let ch = mutation_channel(0.15);
+        for (i, row) in ch.iter().enumerate() {
+            let sum: f64 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "row {i} sums to {sum}");
+            assert!((row[i] - 0.85).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn compatibility_columns_are_stochastic() {
+        let c = compatibility_matrix(0.15);
+        for j in 0..NUM_AMINO_ACIDS {
+            let sum: f64 = (0..NUM_AMINO_ACIDS)
+                .map(|i| c.get(Symbol(i as u16), Symbol(j as u16)))
+                .sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn paper_figure1_mutations_are_likeliest() {
+        // The paper motivates the model with N→D, K→R, V→I mutations.
+        let a = alphabet();
+        let n = a.symbol("N").unwrap();
+        let d = a.symbol("D").unwrap();
+        let k = a.symbol("K").unwrap();
+        let r = a.symbol("R").unwrap();
+        let v = a.symbol("V").unwrap();
+        let i = a.symbol("I").unwrap();
+        assert_eq!(likeliest_substitution(n), d);
+        assert_eq!(likeliest_substitution(k), r);
+        assert_eq!(likeliest_substitution(v), i);
+    }
+
+    #[test]
+    fn zero_mutation_rate_gives_identity_channel() {
+        let ch = mutation_channel(0.0);
+        for (i, row) in ch.iter().enumerate() {
+            assert!((row[i] - 1.0).abs() < 1e-12);
+        }
+        let c = compatibility_matrix(0.0);
+        assert!(c.is_identity());
+    }
+
+    #[test]
+    fn compatibility_diagonal_is_strong_at_moderate_mu() {
+        let c = compatibility_matrix(0.2);
+        for i in 0..NUM_AMINO_ACIDS as u16 {
+            let diag = c.get(Symbol(i), Symbol(i));
+            assert!(diag > 0.5, "C({i},{i}) = {diag} too weak");
+        }
+    }
+}

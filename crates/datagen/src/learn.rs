@@ -1,0 +1,258 @@
+//! Learning a compatibility matrix from training data.
+//!
+//! The paper assumes the matrix "can be either given by a domain expert or
+//! learned from a training data set" (§3) but does not say how. This module
+//! supplies the natural estimator: given paired (true, observed) sequences
+//! — e.g. curated reference sequences alongside their raw reads — count the
+//! per-position confusions and normalize each *observed* column with
+//! Laplace smoothing:
+//!
+//! ```text
+//! Ĉ(i, j) = (count[true = i, obs = j] + λ) / (Σ_k count[k, j] + λ·m)
+//! ```
+//!
+//! With λ = 0 unseen substitutions get probability 0 (a hard impossibility,
+//! exactly what makes the match kernel prune); with λ > 0 every
+//! substitution keeps a little mass (safer when the training set is small).
+
+use noisemine_core::matrix::CompatibilityMatrix;
+use noisemine_core::{Error, Result, Symbol};
+
+/// Confusion counts accumulated from paired sequences.
+#[derive(Debug, Clone)]
+pub struct ConfusionCounts {
+    m: usize,
+    /// `counts[true * m + observed]`.
+    counts: Vec<u64>,
+    positions: u64,
+}
+
+impl ConfusionCounts {
+    /// Creates an empty counter over an `m`-symbol alphabet.
+    pub fn new(m: usize) -> Self {
+        Self {
+            m,
+            counts: vec![0; m * m],
+            positions: 0,
+        }
+    }
+
+    /// Accumulates one aligned (true, observed) sequence pair.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the two sequences differ in length (the paper's noise model
+    /// is substitution-only) or contain out-of-alphabet symbols.
+    pub fn observe_pair(&mut self, true_seq: &[Symbol], observed_seq: &[Symbol]) -> Result<()> {
+        if true_seq.len() != observed_seq.len() {
+            return Err(Error::InvalidConfig(format!(
+                "paired sequences differ in length ({} vs {}); the noise model is substitution-only",
+                true_seq.len(),
+                observed_seq.len()
+            )));
+        }
+        for (&t, &o) in true_seq.iter().zip(observed_seq) {
+            if t.index() >= self.m || o.index() >= self.m {
+                return Err(Error::SymbolOutOfRange {
+                    symbol: t.0.max(o.0),
+                    alphabet_size: self.m,
+                });
+            }
+            self.counts[t.index() * self.m + o.index()] += 1;
+            self.positions += 1;
+        }
+        Ok(())
+    }
+
+    /// Accumulates many pairs.
+    pub fn observe_pairs(
+        &mut self,
+        true_seqs: &[Vec<Symbol>],
+        observed_seqs: &[Vec<Symbol>],
+    ) -> Result<()> {
+        if true_seqs.len() != observed_seqs.len() {
+            return Err(Error::InvalidConfig(format!(
+                "{} true sequences paired with {} observed sequences",
+                true_seqs.len(),
+                observed_seqs.len()
+            )));
+        }
+        for (t, o) in true_seqs.iter().zip(observed_seqs) {
+            self.observe_pair(t, o)?;
+        }
+        Ok(())
+    }
+
+    /// Total aligned positions observed.
+    pub fn positions(&self) -> u64 {
+        self.positions
+    }
+
+    /// The raw count for a (true, observed) pair.
+    pub fn count(&self, true_sym: Symbol, observed: Symbol) -> u64 {
+        self.counts[true_sym.index() * self.m + observed.index()]
+    }
+
+    /// Estimates the compatibility matrix `Ĉ(true | observed)` with Laplace
+    /// smoothing `lambda` (per matrix cell).
+    ///
+    /// # Errors
+    ///
+    /// With `lambda = 0`, fails if some symbol was never observed (its
+    /// column would be all-zero and cannot be a conditional distribution).
+    pub fn estimate(&self, lambda: f64) -> Result<CompatibilityMatrix> {
+        if lambda < 0.0 {
+            return Err(Error::InvalidConfig("lambda must be non-negative".into()));
+        }
+        let m = self.m;
+        let mut columns: Vec<Vec<(Symbol, f64)>> = vec![Vec::new(); m];
+        for (j, column) in columns.iter_mut().enumerate() {
+            let col_total: f64 = (0..m)
+                .map(|i| self.counts[i * m + j] as f64)
+                .sum::<f64>()
+                + lambda * m as f64;
+            if col_total == 0.0 {
+                return Err(Error::InvalidMatrix(format!(
+                    "symbol d{j} never observed in the training data; use lambda > 0 or more data"
+                )));
+            }
+            for i in 0..m {
+                let v = (self.counts[i * m + j] as f64 + lambda) / col_total;
+                if v > 0.0 {
+                    column.push((Symbol(i as u16), v));
+                }
+            }
+        }
+        CompatibilityMatrix::from_sparse_columns(columns)
+    }
+}
+
+/// One-shot convenience: learn a matrix from paired sequence sets.
+pub fn learn_matrix(
+    true_seqs: &[Vec<Symbol>],
+    observed_seqs: &[Vec<Symbol>],
+    m: usize,
+    lambda: f64,
+) -> Result<CompatibilityMatrix> {
+    let mut counts = ConfusionCounts::new(m);
+    counts.observe_pairs(true_seqs, observed_seqs)?;
+    counts.estimate(lambda)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noise::{apply_channel, channel_to_compatibility, partner_channel};
+    use crate::{generate, Background, GeneratorConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn training_data(
+        m: usize,
+        alpha: f64,
+        n: usize,
+    ) -> (Vec<Vec<Symbol>>, Vec<Vec<Symbol>>, CompatibilityMatrix) {
+        let standard = generate(&GeneratorConfig {
+            num_sequences: n,
+            min_len: 60,
+            max_len: 80,
+            alphabet_size: m,
+            background: Background::Uniform,
+            motifs: Vec::new(),
+            seed: 42,
+        });
+        let partners: Vec<Vec<usize>> = (0..m).map(|i| vec![i ^ 1]).collect();
+        let channel = partner_channel(m, alpha, &partners);
+        let mut rng = StdRng::seed_from_u64(9);
+        let observed = apply_channel(&standard, &channel, &mut rng);
+        let truth = channel_to_compatibility(&channel);
+        (standard, observed, truth)
+    }
+
+    #[test]
+    fn learned_matrix_approximates_true_posterior() {
+        let (truth_seqs, observed, truth) = training_data(8, 0.25, 400);
+        let learned = learn_matrix(&truth_seqs, &observed, 8, 0.0).unwrap();
+        for i in 0..8u16 {
+            for j in 0..8u16 {
+                let t = truth.get(Symbol(i), Symbol(j));
+                let l = learned.get(Symbol(i), Symbol(j));
+                assert!(
+                    (t - l).abs() < 0.03,
+                    "C(d{i}, d{j}): true {t}, learned {l}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_lambda_preserves_impossibilities() {
+        // The partner channel never maps d0 to d3, so the learned entry must
+        // be exactly zero (a hard impossibility the kernel can prune on).
+        let (truth_seqs, observed, _) = training_data(8, 0.25, 200);
+        let learned = learn_matrix(&truth_seqs, &observed, 8, 0.0).unwrap();
+        assert_eq!(learned.get(Symbol(0), Symbol(3)), 0.0);
+        assert!(learned.get(Symbol(0), Symbol(1)) > 0.0);
+    }
+
+    #[test]
+    fn positive_lambda_smooths_everything() {
+        let (truth_seqs, observed, _) = training_data(6, 0.2, 50);
+        let learned = learn_matrix(&truth_seqs, &observed, 6, 0.5).unwrap();
+        for i in 0..6u16 {
+            for j in 0..6u16 {
+                assert!(learned.get(Symbol(i), Symbol(j)) > 0.0, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn columns_are_stochastic() {
+        let (truth_seqs, observed, _) = training_data(8, 0.3, 100);
+        for lambda in [0.0, 1.0] {
+            let learned = learn_matrix(&truth_seqs, &observed, 8, lambda).unwrap();
+            for j in 0..8u16 {
+                let sum: f64 = (0..8).map(|i| learned.get(Symbol(i), Symbol(j))).sum();
+                assert!((sum - 1.0).abs() < 1e-9, "lambda {lambda} column {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn length_mismatch_and_pairing_mismatch_fail() {
+        let mut c = ConfusionCounts::new(4);
+        assert!(c
+            .observe_pair(&[Symbol(0), Symbol(1)], &[Symbol(0)])
+            .is_err());
+        assert!(c
+            .observe_pairs(&[vec![Symbol(0)]], &[])
+            .is_err());
+    }
+
+    #[test]
+    fn out_of_range_symbol_fails() {
+        let mut c = ConfusionCounts::new(4);
+        assert!(c.observe_pair(&[Symbol(9)], &[Symbol(0)]).is_err());
+    }
+
+    #[test]
+    fn never_observed_symbol_needs_smoothing() {
+        let mut c = ConfusionCounts::new(3);
+        c.observe_pair(&[Symbol(0)], &[Symbol(0)]).unwrap();
+        // d1/d2 never observed: lambda = 0 fails, lambda > 0 works.
+        assert!(c.estimate(0.0).is_err());
+        let smoothed = c.estimate(0.1).unwrap();
+        let sum: f64 = (0..3).map(|i| smoothed.get(Symbol(i), Symbol(1))).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counts_accessors() {
+        let mut c = ConfusionCounts::new(3);
+        c.observe_pair(&[Symbol(0), Symbol(1)], &[Symbol(0), Symbol(2)])
+            .unwrap();
+        assert_eq!(c.positions(), 2);
+        assert_eq!(c.count(Symbol(1), Symbol(2)), 1);
+        assert_eq!(c.count(Symbol(1), Symbol(1)), 0);
+    }
+}

@@ -1,0 +1,271 @@
+//! Noise channels: deriving *test* databases from a *standard* database.
+//!
+//! Implements the paper's noise-injection protocol (§5.1): each symbol of
+//! every sequence independently either survives or is substituted. Two
+//! channels are provided:
+//!
+//! - [`apply_uniform_noise`] — the paper's primary protocol: a symbol stays
+//!   itself with probability `1 − α` and becomes each of the other `m − 1`
+//!   symbols with probability `α / (m − 1)`;
+//! - [`apply_channel`] — substitution according to an arbitrary
+//!   `P(observed | true)` row-stochastic channel (used for the BLOSUM50
+//!   experiment and for matrix-consistent workloads).
+
+use noisemine_core::matrix::CompatibilityMatrix;
+use noisemine_core::Symbol;
+use rand::Rng;
+
+/// Applies uniform substitution noise of degree `alpha` to every sequence.
+/// `m` is the alphabet size. The noisy copy preserves sequence lengths.
+pub fn apply_uniform_noise<R: Rng>(
+    sequences: &[Vec<Symbol>],
+    alpha: f64,
+    m: usize,
+    rng: &mut R,
+) -> Vec<Vec<Symbol>> {
+    assert!((0.0..=1.0).contains(&alpha), "alpha outside [0, 1]");
+    assert!(m >= 2, "need at least two symbols to substitute");
+    sequences
+        .iter()
+        .map(|seq| {
+            seq.iter()
+                .map(|&s| {
+                    if rng.gen::<f64>() < alpha {
+                        // Substitute by a uniformly random *other* symbol.
+                        let mut t = rng.gen_range(0..m - 1) as u16;
+                        if t >= s.0 {
+                            t += 1;
+                        }
+                        Symbol(t)
+                    } else {
+                        s
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// The compatibility matrix corresponding to [`apply_uniform_noise`]
+/// (§5.1): `C(dᵢ, dᵢ) = 1 − α`, `C(dᵢ, dⱼ) = α / (m − 1)`.
+pub fn uniform_noise_matrix(m: usize, alpha: f64) -> CompatibilityMatrix {
+    CompatibilityMatrix::uniform_noise(m, alpha).expect("valid uniform noise parameters")
+}
+
+/// Applies an arbitrary substitution channel. `channel[i][j]` is
+/// `P(observed = j | true = i)`; every row must sum to 1.
+pub fn apply_channel<R: Rng>(
+    sequences: &[Vec<Symbol>],
+    channel: &[Vec<f64>],
+    rng: &mut R,
+) -> Vec<Vec<Symbol>> {
+    let m = channel.len();
+    for (i, row) in channel.iter().enumerate() {
+        assert_eq!(row.len(), m, "channel row {i} has wrong width");
+        let sum: f64 = row.iter().sum();
+        assert!(
+            (sum - 1.0).abs() < 1e-6,
+            "channel row {i} sums to {sum}, expected 1"
+        );
+    }
+    sequences
+        .iter()
+        .map(|seq| {
+            seq.iter()
+                .map(|&s| {
+                    let row = &channel[s.index()];
+                    let x: f64 = rng.gen();
+                    let mut acc = 0.0;
+                    for (j, &p) in row.iter().enumerate() {
+                        acc += p;
+                        if x < acc {
+                            return Symbol(j as u16);
+                        }
+                    }
+                    Symbol((m - 1) as u16) // floating-point slack
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// The Bayes-inverted compatibility matrix of an arbitrary substitution
+/// channel under a uniform prior over true symbols:
+/// `C(i, j) = P(o = j | t = i) / Σ_k P(o = j | t = k)` (columns sum to 1).
+/// This is how a "domain expert" matrix consistent with a known noise
+/// process is obtained (Definition 3.4).
+pub fn channel_to_compatibility(channel: &[Vec<f64>]) -> CompatibilityMatrix {
+    let m = channel.len();
+    let mut columns: Vec<Vec<(Symbol, f64)>> = vec![Vec::new(); m];
+    for j in 0..m {
+        let total: f64 = (0..m).map(|i| channel[i][j]).sum();
+        assert!(total > 0.0, "observed symbol {j} can never be produced");
+        for (i, row) in channel.iter().enumerate() {
+            if row[j] > 0.0 {
+                columns[j].push((Symbol(i as u16), row[j] / total));
+            }
+        }
+    }
+    CompatibilityMatrix::from_sparse_columns(columns).expect("Bayes inversion is column-stochastic")
+}
+
+/// A *structured* substitution channel of degree `alpha`: each symbol `i`
+/// survives with probability `1 − alpha` and otherwise mutates into one of
+/// its designated partners (`alpha` split evenly among `partners[i]`) — the
+/// regime the paper's biological motivation describes (Figure 1: N→D, K→R,
+/// V→I are *the* likely mutations, not arbitrary ones). Unlike uniform
+/// noise, a structured channel leaves large off-diagonal posteriors, so the
+/// compatibility matrix carries real information about degraded
+/// occurrences.
+pub fn partner_channel(m: usize, alpha: f64, partners: &[Vec<usize>]) -> Vec<Vec<f64>> {
+    assert!((0.0..=1.0).contains(&alpha), "alpha outside [0, 1]");
+    assert_eq!(partners.len(), m, "one partner list per symbol");
+    let mut channel = vec![vec![0.0; m]; m];
+    for (i, row) in channel.iter_mut().enumerate() {
+        let ps = &partners[i];
+        assert!(!ps.is_empty(), "symbol {i} needs at least one partner");
+        row[i] = 1.0 - alpha;
+        for &p in ps {
+            assert!(p < m && p != i, "partner of {i} must be a different symbol");
+            row[p] += alpha / ps.len() as f64;
+        }
+    }
+    channel
+}
+
+/// Fraction of positions that differ between a standard database and its
+/// noisy counterpart — a direct estimate of the effective noise level.
+pub fn observed_noise_rate(standard: &[Vec<Symbol>], noisy: &[Vec<Symbol>]) -> f64 {
+    let mut total = 0usize;
+    let mut flipped = 0usize;
+    for (a, b) in standard.iter().zip(noisy) {
+        assert_eq!(a.len(), b.len(), "noise must preserve lengths");
+        total += a.len();
+        flipped += a.iter().zip(b).filter(|(x, y)| x != y).count();
+    }
+    if total == 0 {
+        0.0
+    } else {
+        flipped as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn standard() -> Vec<Vec<Symbol>> {
+        (0..200)
+            .map(|i| (0..50).map(|j| Symbol(((i + j) % 20) as u16)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn zero_alpha_is_identity() {
+        let s = standard();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(apply_uniform_noise(&s, 0.0, 20, &mut rng), s);
+    }
+
+    #[test]
+    fn noise_rate_tracks_alpha() {
+        let s = standard();
+        let mut rng = StdRng::seed_from_u64(2);
+        for alpha in [0.1, 0.3, 0.6] {
+            let noisy = apply_uniform_noise(&s, alpha, 20, &mut rng);
+            let rate = observed_noise_rate(&s, &noisy);
+            assert!(
+                (rate - alpha).abs() < 0.02,
+                "alpha {alpha}: observed {rate}"
+            );
+        }
+    }
+
+    #[test]
+    fn substitution_never_yields_same_symbol_with_full_noise() {
+        let s = standard();
+        let mut rng = StdRng::seed_from_u64(3);
+        let noisy = apply_uniform_noise(&s, 1.0, 20, &mut rng);
+        assert!((observed_noise_rate(&s, &noisy) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn substitutions_stay_in_alphabet() {
+        let s = standard();
+        let mut rng = StdRng::seed_from_u64(4);
+        let noisy = apply_uniform_noise(&s, 0.5, 20, &mut rng);
+        for seq in &noisy {
+            assert!(seq.iter().all(|x| x.index() < 20));
+        }
+    }
+
+    #[test]
+    fn channel_identity_is_noop() {
+        let s = standard();
+        let mut channel = vec![vec![0.0; 20]; 20];
+        for (i, row) in channel.iter_mut().enumerate() {
+            row[i] = 1.0;
+        }
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(apply_channel(&s, &channel, &mut rng), s);
+    }
+
+    #[test]
+    fn channel_marginals_are_respected() {
+        // A 2-symbol channel flipping 0 -> 1 with probability 0.3.
+        let s: Vec<Vec<Symbol>> = vec![vec![Symbol(0); 10_000]];
+        let channel = vec![vec![0.7, 0.3], vec![0.0, 1.0]];
+        let mut rng = StdRng::seed_from_u64(6);
+        let noisy = apply_channel(&s, &channel, &mut rng);
+        let flips = noisy[0].iter().filter(|&&x| x == Symbol(1)).count();
+        let rate = flips as f64 / 10_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "flip rate {rate}");
+    }
+
+    #[test]
+    fn channel_to_compatibility_is_bayes() {
+        // 2-symbol channel: 0 -> 1 with prob 0.4; 1 always stays.
+        let channel = vec![vec![0.6, 0.4], vec![0.0, 1.0]];
+        let c = channel_to_compatibility(&channel);
+        // Observed 1: P(true=0 | obs=1) = 0.4 / (0.4 + 1.0).
+        assert!((c.get(Symbol(0), Symbol(1)) - 0.4 / 1.4).abs() < 1e-12);
+        assert!((c.get(Symbol(1), Symbol(1)) - 1.0 / 1.4).abs() < 1e-12);
+        // Observed 0 can only come from true 0.
+        assert!((c.get(Symbol(0), Symbol(0)) - 1.0).abs() < 1e-12);
+        assert_eq!(c.get(Symbol(1), Symbol(0)), 0.0);
+    }
+
+    #[test]
+    fn partner_channel_structure() {
+        let partners = vec![vec![1], vec![0], vec![3], vec![2]];
+        let ch = partner_channel(4, 0.3, &partners);
+        for (i, row) in ch.iter().enumerate() {
+            let sum: f64 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12);
+            assert!((row[i] - 0.7).abs() < 1e-12);
+            assert!((row[partners[i][0]] - 0.3).abs() < 1e-12);
+        }
+        // The induced compatibility has large off-diagonal posteriors —
+        // the structured-noise property.
+        let c = channel_to_compatibility(&ch);
+        assert!((c.get(Symbol(0), Symbol(1)) - 0.3).abs() < 1e-12);
+        // ...and is sparse: only self and partner columns are non-zero.
+        assert_eq!(c.column(Symbol(0)).len(), 2);
+    }
+
+    #[test]
+    fn partner_channel_with_zero_alpha_is_identity() {
+        let ch = partner_channel(3, 0.0, &[vec![1], vec![2], vec![0]]);
+        let c = channel_to_compatibility(&ch);
+        assert!(c.is_identity());
+    }
+
+    #[test]
+    fn matrix_matches_channel_semantics() {
+        let c = uniform_noise_matrix(20, 0.2);
+        assert!((c.get(Symbol(0), Symbol(0)) - 0.8).abs() < 1e-12);
+        assert!((c.get(Symbol(0), Symbol(1)) - 0.2 / 19.0).abs() < 1e-12);
+    }
+}

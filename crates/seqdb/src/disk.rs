@@ -1,0 +1,326 @@
+//! Disk-resident sequence database.
+//!
+//! The paper assumes a database "far beyond the memory capacity" (§2.2), so
+//! algorithm cost is dominated by full scans of the data. This module
+//! provides a simple, robust binary format and a reader whose
+//! [`SequenceScan::scan`] implementation streams the file with a buffered
+//! reader, never materializing more than one sequence at a time, and counts
+//! each scan.
+//!
+//! ## Format
+//!
+//! ```text
+//! magic   : 8 bytes  b"NMSEQDB\0"
+//! version : u32 LE   (currently 1)
+//! count   : u64 LE   number of sequences
+//! per sequence:
+//!   id    : u64 LE
+//!   len   : u32 LE   number of symbols
+//!   data  : len × u16 LE symbol ids
+//! ```
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use bytes::{Buf, BufMut, BytesMut};
+use noisemine_core::matching::SequenceScan;
+use noisemine_core::Symbol;
+
+/// File magic for the sequence-database format.
+pub const MAGIC: &[u8; 8] = b"NMSEQDB\0";
+/// Current format version.
+pub const VERSION: u32 = 1;
+
+/// Errors from the disk layer.
+#[derive(Debug)]
+pub enum DiskError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file is not a sequence database or is corrupt.
+    Format(String),
+}
+
+impl std::fmt::Display for DiskError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiskError::Io(e) => write!(f, "i/o error: {e}"),
+            DiskError::Format(msg) => write!(f, "format error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DiskError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DiskError::Io(e) => Some(e),
+            DiskError::Format(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for DiskError {
+    fn from(e: io::Error) -> Self {
+        DiskError::Io(e)
+    }
+}
+
+/// Result alias for the disk layer.
+pub type DiskResult<T> = Result<T, DiskError>;
+
+/// Streaming writer for the on-disk format.
+pub struct DiskDbWriter {
+    out: BufWriter<File>,
+    count: u64,
+    path: PathBuf,
+}
+
+impl DiskDbWriter {
+    /// Creates (truncating) a database file at `path`.
+    ///
+    /// The header's sequence count is patched in by [`DiskDbWriter::finish`];
+    /// a writer that is dropped without `finish` leaves a file whose header
+    /// count is zero, which readers treat as empty.
+    pub fn create(path: impl AsRef<Path>) -> DiskResult<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::create(&path)?;
+        let mut out = BufWriter::new(file);
+        let mut header = BytesMut::with_capacity(20);
+        header.put_slice(MAGIC);
+        header.put_u32_le(VERSION);
+        header.put_u64_le(0); // count placeholder
+        out.write_all(&header)?;
+        Ok(Self {
+            out,
+            count: 0,
+            path,
+        })
+    }
+
+    /// Appends one sequence.
+    pub fn write_sequence(&mut self, id: u64, symbols: &[Symbol]) -> DiskResult<()> {
+        let mut buf = BytesMut::with_capacity(12 + symbols.len() * 2);
+        buf.put_u64_le(id);
+        buf.put_u32_le(symbols.len() as u32);
+        for s in symbols {
+            buf.put_u16_le(s.0);
+        }
+        self.out.write_all(&buf)?;
+        self.count += 1;
+        Ok(())
+    }
+
+    /// Flushes, patches the header count, and returns a reader for the file.
+    pub fn finish(mut self) -> DiskResult<DiskDb> {
+        self.out.flush()?;
+        let file = self.out.into_inner().map_err(|e| e.into_error())?;
+        // Patch the count field (offset 12).
+        use std::os::unix::fs::FileExt;
+        file.write_all_at(&self.count.to_le_bytes(), 12)?;
+        file.sync_all()?;
+        drop(file);
+        DiskDb::open(&self.path)
+    }
+}
+
+/// A read-only disk-resident sequence database.
+///
+/// Each [`SequenceScan::scan`] reopens and streams the file — deliberately,
+/// to model the paper's disk-resident cost model — and increments the scan
+/// counter.
+#[derive(Debug)]
+pub struct DiskDb {
+    path: PathBuf,
+    count: u64,
+    scans: AtomicUsize,
+}
+
+impl DiskDb {
+    /// Opens an existing database file and validates the header.
+    pub fn open(path: impl AsRef<Path>) -> DiskResult<Self> {
+        let path = path.as_ref().to_path_buf();
+        let mut reader = BufReader::new(File::open(&path)?);
+        let mut header = [0u8; 20];
+        reader.read_exact(&mut header)?;
+        let mut buf = &header[..];
+        let mut magic = [0u8; 8];
+        buf.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(DiskError::Format("bad magic; not a noisemine seqdb".into()));
+        }
+        let version = buf.get_u32_le();
+        if version != VERSION {
+            return Err(DiskError::Format(format!(
+                "unsupported version {version}, expected {VERSION}"
+            )));
+        }
+        let count = buf.get_u64_le();
+        Ok(Self {
+            path,
+            count,
+            scans: AtomicUsize::new(0),
+        })
+    }
+
+    /// Writes `sequences` to `path` and opens the result.
+    pub fn create_from<'a, I>(path: impl AsRef<Path>, sequences: I) -> DiskResult<Self>
+    where
+        I: IntoIterator<Item = &'a [Symbol]>,
+    {
+        let mut w = DiskDbWriter::create(path)?;
+        for (i, seq) in sequences.into_iter().enumerate() {
+            w.write_sequence(i as u64, seq)?;
+        }
+        w.finish()
+    }
+
+    /// Number of full scans performed so far.
+    pub fn scans_performed(&self) -> usize {
+        self.scans.load(Ordering::Relaxed)
+    }
+
+    /// Resets the scan counter.
+    pub fn reset_scans(&self) {
+        self.scans.store(0, Ordering::Relaxed);
+    }
+
+    /// The backing file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Streams the file, calling `visit` per sequence; propagates I/O and
+    /// format errors instead of panicking.
+    fn try_scan(&self, visit: &mut dyn FnMut(u64, &[Symbol])) -> DiskResult<()> {
+        let mut reader = BufReader::with_capacity(1 << 20, File::open(&self.path)?);
+        let mut header = [0u8; 20];
+        reader.read_exact(&mut header)?;
+        let mut record_head = [0u8; 12];
+        let mut symbols: Vec<Symbol> = Vec::new();
+        let mut raw: Vec<u8> = Vec::new();
+        for i in 0..self.count {
+            reader.read_exact(&mut record_head).map_err(|e| {
+                DiskError::Format(format!("truncated record {i}: {e}"))
+            })?;
+            let mut head = &record_head[..];
+            let id = head.get_u64_le();
+            let len = head.get_u32_le() as usize;
+            raw.resize(len * 2, 0);
+            reader.read_exact(&mut raw).map_err(|e| {
+                DiskError::Format(format!("truncated sequence {id}: {e}"))
+            })?;
+            symbols.clear();
+            symbols.extend(
+                raw.chunks_exact(2)
+                    .map(|c| Symbol(u16::from_le_bytes([c[0], c[1]]))),
+            );
+            visit(id, &symbols);
+        }
+        Ok(())
+    }
+}
+
+impl SequenceScan for DiskDb {
+    fn num_sequences(&self) -> usize {
+        self.count as usize
+    }
+
+    fn scan(&self, visit: &mut dyn FnMut(u64, &[Symbol])) {
+        self.scans.fetch_add(1, Ordering::Relaxed);
+        // The SequenceScan trait is infallible by design (the mining layer
+        // treats the database as a reliable substrate); surface I/O errors
+        // loudly rather than silently returning partial data.
+        self.try_scan(visit)
+            .unwrap_or_else(|e| panic!("scan of {} failed: {e}", self.path.display()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn syms(v: &[u16]) -> Vec<Symbol> {
+        v.iter().map(|&x| Symbol(x)).collect()
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("noisemine-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn round_trip() {
+        let path = tmp("roundtrip.db");
+        let data = [syms(&[0, 1, 2]), syms(&[]), syms(&[65535, 7])];
+        let db = DiskDb::create_from(&path, data.iter().map(Vec::as_slice)).unwrap();
+        assert_eq!(db.num_sequences(), 3);
+        let mut seen = Vec::new();
+        db.scan(&mut |id, s| seen.push((id, s.to_vec())));
+        assert_eq!(
+            seen,
+            vec![(0, data[0].clone()), (1, data[1].clone()), (2, data[2].clone())]
+        );
+        assert_eq!(db.scans_performed(), 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_db() {
+        let path = tmp("empty.db");
+        let db = DiskDb::create_from(&path, std::iter::empty()).unwrap();
+        assert_eq!(db.num_sequences(), 0);
+        db.scan(&mut |_, _| panic!("no sequences expected"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let path = tmp("badmagic.db");
+        std::fs::write(&path, b"NOTADB!!aaaaaaaaaaaa").unwrap();
+        assert!(matches!(DiskDb::open(&path), Err(DiskError::Format(_))));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let path = tmp("badversion.db");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&99u32.to_le_bytes());
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(DiskDb::open(&path), Err(DiskError::Format(_))));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn detects_truncation() {
+        let path = tmp("trunc.db");
+        let data = [syms(&[1, 2, 3, 4])];
+        let db = DiskDb::create_from(&path, data.iter().map(Vec::as_slice)).unwrap();
+        drop(db);
+        // Chop off the last two bytes.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 2]).unwrap();
+        let db = DiskDb::open(&path).unwrap();
+        let err = db.try_scan(&mut |_, _| {});
+        assert!(matches!(err, Err(DiskError::Format(_))));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn multiple_scans_count() {
+        let path = tmp("scans.db");
+        let data = [syms(&[9])];
+        let db = DiskDb::create_from(&path, data.iter().map(Vec::as_slice)).unwrap();
+        for _ in 0..3 {
+            db.scan(&mut |_, _| {});
+        }
+        assert_eq!(db.scans_performed(), 3);
+        db.reset_scans();
+        assert_eq!(db.scans_performed(), 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

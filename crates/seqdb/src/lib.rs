@@ -1,0 +1,17 @@
+//! # noisemine-seqdb
+//!
+//! The sequence-database substrate for the noisemine workspace: in-memory
+//! and disk-resident stores implementing the core crate's
+//! [`noisemine_core::matching::SequenceScan`] contract, with **scan
+//! accounting** — the paper's principal cost metric for disk-resident data —
+//! and the uniform samplers of Algorithm 4.1.
+
+pub mod disk;
+pub mod memory;
+pub mod sampling;
+pub mod text;
+
+pub use disk::{DiskDb, DiskDbWriter, DiskError, DiskResult};
+pub use memory::MemoryDb;
+pub use sampling::{reservoir_sample, sequential_sample};
+pub use text::{infer_alphabet, read_sequences, read_sequences_file, write_sequences, write_sequences_file};

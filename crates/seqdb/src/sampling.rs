@@ -1,0 +1,162 @@
+//! Uniform sampling of sequences (§4.1, lines 12–16 of Algorithm 4.1).
+//!
+//! Two samplers are provided:
+//!
+//! - [`sequential_sample`] — the paper's method [Vitter 1987]: while
+//!   scanning, sequence `i` is chosen with probability `(n − j) / (N − i)`
+//!   given `j` sequences already chosen. Requires `N` up front (one
+//!   attribute of the database) and returns *exactly* `min(n, N)` sequences,
+//!   each subset of size `n` being equally likely.
+//! - [`reservoir_sample`] — reservoir sampling for sources whose size is
+//!   unknown; used when piping data in from generators.
+
+use noisemine_core::matching::SequenceScan;
+use noisemine_core::Symbol;
+use rand::Rng;
+
+/// Draws exactly `min(n, N)` sequences uniformly at random in one scan,
+/// using sequential sampling (the paper's choice, since `N` is known).
+pub fn sequential_sample<S, R>(db: &S, n: usize, rng: &mut R) -> Vec<Vec<Symbol>>
+where
+    S: SequenceScan + ?Sized,
+    R: Rng,
+{
+    let total = db.num_sequences();
+    let n = n.min(total);
+    let mut sample = Vec::with_capacity(n);
+    let mut seen = 0usize;
+    db.scan(&mut |_, seq| {
+        let needed = n - sample.len();
+        let remaining = total - seen;
+        if needed > 0 && rng.gen::<f64>() < needed as f64 / remaining as f64 {
+            sample.push(seq.to_vec());
+        }
+        seen += 1;
+    });
+    debug_assert_eq!(sample.len(), n, "sequential sampling must fill the quota");
+    sample
+}
+
+/// Reservoir sampling: draws up to `n` sequences uniformly without knowing
+/// the total count in advance.
+pub fn reservoir_sample<S, R>(db: &S, n: usize, rng: &mut R) -> Vec<Vec<Symbol>>
+where
+    S: SequenceScan + ?Sized,
+    R: Rng,
+{
+    let mut sample: Vec<Vec<Symbol>> = Vec::with_capacity(n);
+    let mut seen = 0usize;
+    db.scan(&mut |_, seq| {
+        if sample.len() < n {
+            sample.push(seq.to_vec());
+        } else {
+            let k = rng.gen_range(0..=seen);
+            if k < n {
+                sample[k] = seq.to_vec();
+            }
+        }
+        seen += 1;
+    });
+    sample
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::MemoryDb;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn db(n: usize) -> MemoryDb {
+        MemoryDb::from_sequences((0..n).map(|i| vec![Symbol(i as u16)]))
+    }
+
+    #[test]
+    fn sequential_returns_exact_count() {
+        let database = db(100);
+        let mut rng = StdRng::seed_from_u64(42);
+        for n in [0, 1, 10, 100, 150] {
+            let s = sequential_sample(&database, n, &mut rng);
+            assert_eq!(s.len(), n.min(100));
+        }
+    }
+
+    #[test]
+    fn sequential_preserves_order_and_uniqueness() {
+        let database = db(50);
+        let mut rng = StdRng::seed_from_u64(7);
+        let s = sequential_sample(&database, 20, &mut rng);
+        let ids: Vec<u16> = s.iter().map(|seq| seq[0].0).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 20, "duplicates in sample");
+        assert_eq!(ids, {
+            let mut o = ids.clone();
+            o.sort_unstable();
+            o
+        }, "sequential sampling preserves scan order");
+    }
+
+    #[test]
+    fn sequential_is_approximately_uniform() {
+        // Chi-square-flavored sanity check: sample 10 of 20 sequences many
+        // times; each sequence should be selected about half the time.
+        let database = db(20);
+        let mut rng = StdRng::seed_from_u64(99);
+        let trials = 2000;
+        let mut counts = [0usize; 20];
+        for _ in 0..trials {
+            for seq in sequential_sample(&database, 10, &mut rng) {
+                counts[seq[0].0 as usize] += 1;
+            }
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let freq = c as f64 / trials as f64;
+            assert!(
+                (freq - 0.5).abs() < 0.06,
+                "sequence {i} selected with frequency {freq}, expected ~0.5"
+            );
+        }
+    }
+
+    #[test]
+    fn reservoir_fills_and_stays_in_bounds() {
+        let database = db(30);
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = reservoir_sample(&database, 10, &mut rng);
+        assert_eq!(s.len(), 10);
+        let s = reservoir_sample(&database, 100, &mut rng);
+        assert_eq!(s.len(), 30);
+    }
+
+    #[test]
+    fn reservoir_is_approximately_uniform() {
+        let database = db(20);
+        let mut rng = StdRng::seed_from_u64(123);
+        let trials = 2000;
+        let mut counts = [0usize; 20];
+        for _ in 0..trials {
+            for seq in reservoir_sample(&database, 10, &mut rng) {
+                counts[seq[0].0 as usize] += 1;
+            }
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let freq = c as f64 / trials as f64;
+            assert!(
+                (freq - 0.5).abs() < 0.06,
+                "sequence {i} selected with frequency {freq}, expected ~0.5"
+            );
+        }
+    }
+
+    #[test]
+    fn samplers_use_one_scan() {
+        let database = db(10);
+        let mut rng = StdRng::seed_from_u64(1);
+        sequential_sample(&database, 5, &mut rng);
+        assert_eq!(database.scans_performed(), 1);
+        reservoir_sample(&database, 5, &mut rng);
+        assert_eq!(database.scans_performed(), 2);
+    }
+}

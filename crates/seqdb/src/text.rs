@@ -1,0 +1,184 @@
+//! Plain-text sequence formats for getting real data in and out.
+//!
+//! Two line-oriented formats are supported, auto-detected on read:
+//!
+//! - **Letters** — one sequence per line, contiguous single-character
+//!   symbol names (the natural encoding for amino-acid data):
+//!   `AMTKYQVCEBRHUJG`
+//! - **Tokens** — one sequence per line, whitespace-separated symbol names
+//!   (for multi-character alphabets such as product catalogs):
+//!   `espresso croissant juice`
+//!
+//! Lines starting with `#` and blank lines are ignored; a FASTA-style `>`
+//! header line is also skipped, so typical `.fasta` protein files load
+//! directly (each record must be on a single line).
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use noisemine_core::{Alphabet, Symbol};
+
+use crate::disk::{DiskError, DiskResult};
+
+/// Reads sequences from a text reader using the given alphabet.
+///
+/// Each non-comment line is decoded with [`Alphabet::encode`] (contiguous
+/// single letters or whitespace-separated tokens). Unknown symbols produce
+/// a [`DiskError::Format`] naming the line.
+pub fn read_sequences<R: Read>(reader: R, alphabet: &Alphabet) -> DiskResult<Vec<Vec<Symbol>>> {
+    let reader = BufReader::new(reader);
+    let mut out = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('>') {
+            continue;
+        }
+        let seq = alphabet.encode(trimmed).map_err(|e| {
+            DiskError::Format(format!("line {}: {e}", lineno + 1))
+        })?;
+        out.push(seq);
+    }
+    Ok(out)
+}
+
+/// Reads sequences from a text file. See [`read_sequences`].
+pub fn read_sequences_file(
+    path: impl AsRef<Path>,
+    alphabet: &Alphabet,
+) -> DiskResult<Vec<Vec<Symbol>>> {
+    let file = std::fs::File::open(path.as_ref())?;
+    read_sequences(file, alphabet)
+}
+
+/// Writes sequences as text, one per line, using [`Alphabet::decode`]
+/// (contiguous when every symbol name is a single character, otherwise
+/// space-separated).
+pub fn write_sequences<W: Write>(
+    writer: W,
+    sequences: &[Vec<Symbol>],
+    alphabet: &Alphabet,
+) -> DiskResult<()> {
+    let mut out = BufWriter::new(writer);
+    for seq in sequences {
+        let line = alphabet
+            .decode(seq)
+            .map_err(|e| DiskError::Format(e.to_string()))?;
+        writeln!(out, "{line}")?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Writes sequences to a text file. See [`write_sequences`].
+pub fn write_sequences_file(
+    path: impl AsRef<Path>,
+    sequences: &[Vec<Symbol>],
+    alphabet: &Alphabet,
+) -> DiskResult<()> {
+    let file = std::fs::File::create(path.as_ref())?;
+    write_sequences(file, sequences, alphabet)
+}
+
+/// Infers an alphabet from text data: collects every distinct token
+/// (single characters for contiguous lines, whitespace tokens otherwise)
+/// in first-appearance order. Useful when no alphabet file accompanies the
+/// data.
+pub fn infer_alphabet<R: Read>(reader: R) -> DiskResult<Alphabet> {
+    let reader = BufReader::new(reader);
+    let mut names: Vec<String> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for line in reader.lines() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('>') {
+            continue;
+        }
+        let tokens: Vec<String> = if trimmed.contains(char::is_whitespace) {
+            trimmed.split_whitespace().map(str::to_string).collect()
+        } else {
+            trimmed.chars().map(|c| c.to_string()).collect()
+        };
+        for t in tokens {
+            if seen.insert(t.clone()) {
+                names.push(t);
+            }
+        }
+    }
+    Alphabet::new(names).map_err(|e| DiskError::Format(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn letters_round_trip() {
+        let alphabet = Alphabet::amino_acids();
+        let text = "AMTKY\nQVCER\n";
+        let seqs = read_sequences(text.as_bytes(), &alphabet).unwrap();
+        assert_eq!(seqs.len(), 2);
+        assert_eq!(seqs[0].len(), 5);
+        let mut out = Vec::new();
+        write_sequences(&mut out, &seqs, &alphabet).unwrap();
+        assert_eq!(String::from_utf8(out).unwrap(), text);
+    }
+
+    #[test]
+    fn tokens_round_trip() {
+        let alphabet = Alphabet::new(["espresso", "tea", "juice"]).unwrap();
+        let text = "espresso tea\njuice espresso tea\n";
+        let seqs = read_sequences(text.as_bytes(), &alphabet).unwrap();
+        assert_eq!(seqs[1].len(), 3);
+        let mut out = Vec::new();
+        write_sequences(&mut out, &seqs, &alphabet).unwrap();
+        assert_eq!(String::from_utf8(out).unwrap(), text);
+    }
+
+    #[test]
+    fn comments_headers_and_blanks_skipped() {
+        let alphabet = Alphabet::amino_acids();
+        let text = "# comment\n\n>record 1\nAMTKY\n>record 2\nQVC\n";
+        let seqs = read_sequences(text.as_bytes(), &alphabet).unwrap();
+        assert_eq!(seqs.len(), 2);
+        assert_eq!(seqs[1].len(), 3);
+    }
+
+    #[test]
+    fn unknown_symbol_names_line() {
+        let alphabet = Alphabet::amino_acids();
+        let err = read_sequences("AMT\nAMZ9\n".as_bytes(), &alphabet).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 2"), "{msg}");
+    }
+
+    #[test]
+    fn infer_alphabet_letters() {
+        let a = infer_alphabet("ABCA\nCAB\n".as_bytes()).unwrap();
+        assert_eq!(a.len(), 3);
+        assert!(a.symbol("A").is_ok());
+        assert!(a.symbol("D").is_err());
+    }
+
+    #[test]
+    fn infer_alphabet_tokens() {
+        let a = infer_alphabet("x1 y2\ny2 z3\n".as_bytes()).unwrap();
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.symbol("x1").unwrap(), Symbol(0));
+        assert_eq!(a.symbol("z3").unwrap(), Symbol(2));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let alphabet = Alphabet::amino_acids();
+        let path = std::env::temp_dir().join(format!("noisemine-text-{}.txt", std::process::id()));
+        let seqs = vec![
+            alphabet.encode("AMTKY").unwrap(),
+            alphabet.encode("WVC").unwrap(),
+        ];
+        write_sequences_file(&path, &seqs, &alphabet).unwrap();
+        let back = read_sequences_file(&path, &alphabet).unwrap();
+        assert_eq!(back, seqs);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

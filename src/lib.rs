@@ -1,0 +1,5 @@
+//! Facade crate re-exporting the noisemine workspace.
+pub use noisemine_baselines as baselines;
+pub use noisemine_core as core;
+pub use noisemine_datagen as datagen;
+pub use noisemine_seqdb as seqdb;

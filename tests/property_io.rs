@@ -1,0 +1,148 @@
+//! Property tests for the serialization layers: every writer/reader pair
+//! must round-trip arbitrary valid data exactly.
+
+use noisemine::core::{matrix_io, Alphabet, CompatibilityMatrix, Pattern, Symbol};
+use noisemine::seqdb::{read_sequences, write_sequences, DiskDb};
+use noisemine::core::matching::SequenceScan;
+use proptest::prelude::*;
+
+/// Arbitrary token-style alphabet (multi-character names, no whitespace).
+fn alphabet_strategy() -> impl Strategy<Value = Alphabet> {
+    proptest::collection::btree_set("[a-z]{2,6}", 2..10)
+        .prop_map(|names| Alphabet::new(names).expect("btree set names are distinct"))
+}
+
+fn matrix_strategy(m: usize) -> impl Strategy<Value = CompatibilityMatrix> {
+    proptest::collection::vec(proptest::collection::vec(0.01f64..1.0, m), m).prop_map(
+        move |cols| {
+            let mut rows = vec![vec![0.0; m]; m];
+            for (j, col) in cols.iter().enumerate() {
+                let total: f64 = col.iter().sum();
+                for (i, w) in col.iter().enumerate() {
+                    rows[i][j] = w / total;
+                }
+            }
+            CompatibilityMatrix::from_rows(rows).expect("normalized")
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Text sequences round-trip for any alphabet and content.
+    #[test]
+    fn text_sequences_round_trip(
+        alphabet in alphabet_strategy(),
+        shape in proptest::collection::vec(1usize..20, 0..10),
+        seed in 0u64..1000,
+    ) {
+        let m = alphabet.len() as u64;
+        let sequences: Vec<Vec<Symbol>> = shape
+            .iter()
+            .enumerate()
+            .map(|(i, &len)| {
+                (0..len)
+                    .map(|j| Symbol((((seed + i as u64) * 31 + j as u64 * 7) % m) as u16))
+                    .collect()
+            })
+            .collect();
+        let mut buf = Vec::new();
+        write_sequences(&mut buf, &sequences, &alphabet).unwrap();
+        let back = read_sequences(buf.as_slice(), &alphabet).unwrap();
+        prop_assert_eq!(back, sequences);
+    }
+
+    /// Dense and sparse matrix text formats round-trip bit-for-bit... up to
+    /// the decimal re-parse (we write with `{}` which is shortest-exact for
+    /// f64, so values are preserved exactly).
+    #[test]
+    fn matrix_text_round_trip(
+        m in 2usize..8,
+        dense in proptest::bool::ANY,
+        seed in 0u64..1000,
+    ) {
+        let matrix = {
+            // Deterministic stand-in for a strategy-of-strategy: reuse the
+            // sparse_random generator from datagen.
+            noisemine::datagen::sparse_random_matrix(m, 0.5, 0.6, seed)
+        };
+        let alphabet = Alphabet::synthetic(m);
+        let text = if dense {
+            matrix_io::to_dense_string(&alphabet, &matrix).unwrap()
+        } else {
+            matrix_io::to_sparse_string(&alphabet, &matrix).unwrap()
+        };
+        let (a2, m2) = matrix_io::read_matrix(text.as_bytes()).unwrap();
+        prop_assert_eq!(a2.len(), m);
+        for i in 0..m as u16 {
+            for j in 0..m as u16 {
+                prop_assert_eq!(
+                    m2.get(Symbol(i), Symbol(j)),
+                    matrix.get(Symbol(i), Symbol(j)),
+                    "entry ({}, {})", i, j
+                );
+            }
+        }
+    }
+
+    /// Random column-stochastic matrices round-trip through the dense text
+    /// format.
+    #[test]
+    fn dense_matrix_round_trip_random(matrix in matrix_strategy(5)) {
+        let alphabet = Alphabet::synthetic(5);
+        let text = matrix_io::to_dense_string(&alphabet, &matrix).unwrap();
+        let (_, m2) = matrix_io::read_matrix(text.as_bytes()).unwrap();
+        for i in 0..5u16 {
+            for j in 0..5u16 {
+                prop_assert_eq!(m2.get(Symbol(i), Symbol(j)), matrix.get(Symbol(i), Symbol(j)));
+            }
+        }
+    }
+
+    /// The binary disk format round-trips arbitrary sequences (including
+    /// empty ones and max-id symbols).
+    #[test]
+    fn disk_round_trip(
+        shape in proptest::collection::vec(0usize..30, 0..12),
+        seed in 0u64..1000,
+    ) {
+        let sequences: Vec<Vec<Symbol>> = shape
+            .iter()
+            .enumerate()
+            .map(|(i, &len)| {
+                (0..len)
+                    .map(|j| Symbol((((seed + i as u64) * 131 + j as u64) % 65536) as u16))
+                    .collect()
+            })
+            .collect();
+        let path = std::env::temp_dir().join(format!(
+            "noisemine-prop-disk-{}-{seed}-{}.db",
+            std::process::id(),
+            shape.len(),
+        ));
+        let db = DiskDb::create_from(&path, sequences.iter().map(Vec::as_slice)).unwrap();
+        prop_assert_eq!(db.num_sequences(), sequences.len());
+        let mut back = Vec::new();
+        db.scan(&mut |_, s| back.push(s.to_vec()));
+        std::fs::remove_file(&path).ok();
+        prop_assert_eq!(back, sequences);
+    }
+
+    /// Pattern parse/display round-trips for arbitrary valid patterns over
+    /// a single-character alphabet.
+    #[test]
+    fn pattern_parse_display_round_trip(
+        spec in proptest::collection::vec((0u16..20, 0usize..3), 1..8),
+    ) {
+        let alphabet = Alphabet::amino_acids();
+        // Build: symbol, then (gap, symbol) pairs.
+        let mut pattern = Pattern::single(Symbol(spec[0].0));
+        for &(sym, gap) in &spec[1..] {
+            pattern = pattern.extend(gap, Symbol(sym));
+        }
+        let text = pattern.display(&alphabet).unwrap();
+        let back = Pattern::parse(&text, &alphabet).unwrap();
+        prop_assert_eq!(back, pattern);
+    }
+}

@@ -1,0 +1,200 @@
+//! Property tests on the *algorithms*: on random small instances the
+//! probabilistic miner (with a full-coverage sample), Max-Miner, and the
+//! Toivonen baseline must all reproduce the exact level-wise result, and
+//! border collapsing must agree with level-wise verification for any
+//! counter budget.
+
+use std::collections::HashSet;
+
+use noisemine::baselines::{mine_depth_first, mine_hierarchical, mine_levelwise, mine_maxminer, MaxMinerConfig};
+use noisemine::core::border_collapse::{collapse, ProbeStrategy};
+use noisemine::core::lattice::AmbiguousSpace;
+use noisemine::core::matching::{db_match, MatchMetric};
+use noisemine::core::miner::{mine, MinerConfig};
+use noisemine::core::{CompatibilityMatrix, Pattern, PatternSpace, Symbol};
+use noisemine::seqdb::MemoryDb;
+use proptest::prelude::*;
+
+const M: usize = 5;
+
+fn matrix_strategy() -> impl Strategy<Value = CompatibilityMatrix> {
+    proptest::collection::vec(proptest::collection::vec(0.05f64..1.0, M), M).prop_map(|cols| {
+        let mut rows = vec![vec![0.0; M]; M];
+        for (j, col) in cols.iter().enumerate() {
+            let total: f64 = col.iter().sum();
+            for (i, w) in col.iter().enumerate() {
+                rows[i][j] = w / total;
+            }
+        }
+        CompatibilityMatrix::from_rows(rows).expect("normalized columns")
+    })
+}
+
+fn db_strategy() -> impl Strategy<Value = MemoryDb> {
+    proptest::collection::vec(
+        proptest::collection::vec(0..M as u16, 2..10),
+        3..12,
+    )
+    .prop_map(|seqs| {
+        MemoryDb::from_sequences(
+            seqs.into_iter()
+                .map(|s| s.into_iter().map(Symbol).collect()),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// With the sample covering the whole database, the three-phase miner's
+    /// output equals the exact level-wise result for any threshold and
+    /// either probe strategy.
+    #[test]
+    fn three_phase_with_full_sample_is_exact(
+        db in db_strategy(),
+        matrix in matrix_strategy(),
+        min_match in 0.05f64..0.6,
+        counters in 1usize..20,
+        levelwise_probe in proptest::bool::ANY,
+    ) {
+        let space = PatternSpace::contiguous(4);
+        let cfg = MinerConfig {
+            min_match,
+            delta: 0.05,
+            sample_size: db.num_sequences_hint(),
+            counters_per_scan: counters,
+            space,
+            probe_strategy: if levelwise_probe {
+                ProbeStrategy::LevelWise
+            } else {
+                ProbeStrategy::BorderCollapsing
+            },
+            seed: 1,
+            ..MinerConfig::default()
+        };
+        let outcome = mine(&db, &matrix, &cfg).unwrap();
+        let exact = mine_levelwise(
+            &db,
+            &MatchMetric { matrix: &matrix },
+            M,
+            min_match,
+            &space,
+            usize::MAX,
+        );
+        let got: HashSet<Pattern> = outcome.patterns().into_iter().collect();
+        prop_assert_eq!(got, exact.pattern_set());
+    }
+
+    /// Max-Miner finds exactly the level-wise frequent set regardless of
+    /// look-ahead configuration.
+    #[test]
+    fn maxminer_is_exact(
+        db in db_strategy(),
+        matrix in matrix_strategy(),
+        min_match in 0.05f64..0.6,
+        lookaheads in 0usize..16,
+    ) {
+        let space = PatternSpace::contiguous(4);
+        let mm = mine_maxminer(
+            &db,
+            &MatchMetric { matrix: &matrix },
+            M,
+            min_match,
+            &space,
+            &MaxMinerConfig { lookaheads_per_scan: lookaheads, counters_per_scan: 50 },
+        );
+        let exact = mine_levelwise(
+            &db,
+            &MatchMetric { matrix: &matrix },
+            M,
+            min_match,
+            &space,
+            usize::MAX,
+        );
+        prop_assert_eq!(mm.pattern_set(), exact.pattern_set());
+    }
+
+    /// Depth-first and hierarchical mining both reproduce the exact
+    /// level-wise frequent set on random instances.
+    #[test]
+    fn depthfirst_and_hierarchical_are_exact(
+        db in db_strategy(),
+        matrix in matrix_strategy(),
+        min_match in 0.05f64..0.6,
+        min_compat in 0.05f64..0.5,
+    ) {
+        let space = PatternSpace::contiguous(4);
+        let sequences: Vec<Vec<Symbol>> = {
+            use noisemine::core::matching::SequenceScan;
+            let mut v = Vec::new();
+            db.scan(&mut |_, s| v.push(s.to_vec()));
+            v
+        };
+        let exact = mine_levelwise(
+            &db,
+            &MatchMetric { matrix: &matrix },
+            M,
+            min_match,
+            &space,
+            usize::MAX,
+        );
+        let dfs = mine_depth_first(&sequences, &matrix, min_match, &space);
+        prop_assert_eq!(dfs.pattern_set(), exact.pattern_set());
+        let hier = mine_hierarchical(&sequences, &matrix, min_match, &space, min_compat);
+        prop_assert_eq!(hier.pattern_set(), exact.pattern_set());
+    }
+
+    /// Border collapsing resolves every ambiguous pattern to the same
+    /// verdict as direct counting, for any probe budget and strategy.
+    #[test]
+    fn collapse_is_exact_for_any_budget(
+        db in db_strategy(),
+        matrix in matrix_strategy(),
+        min_match in 0.05f64..0.6,
+        budget in 1usize..12,
+        levelwise_probe in proptest::bool::ANY,
+    ) {
+        // Ambiguous set: all 1- and 2-patterns.
+        let mut patterns = Vec::new();
+        for a in 0..M as u16 {
+            patterns.push(Pattern::single(Symbol(a)));
+            for b in 0..M as u16 {
+                patterns.push(Pattern::contiguous(&[Symbol(a), Symbol(b)]).unwrap());
+            }
+        }
+        let strategy = if levelwise_probe {
+            ProbeStrategy::LevelWise
+        } else {
+            ProbeStrategy::BorderCollapsing
+        };
+        let result = collapse(
+            AmbiguousSpace::new(patterns.clone()),
+            &db,
+            &matrix,
+            min_match,
+            budget,
+            strategy,
+        );
+        for p in &patterns {
+            let exact = db_match(p, &db, &matrix);
+            let frequent = result.frequent.iter().any(|r| &r.pattern == p);
+            let infrequent = result.infrequent.iter().any(|r| &r.pattern == p);
+            prop_assert!(frequent ^ infrequent, "{} resolved {}", p,
+                if frequent { "twice" } else { "never" });
+            prop_assert_eq!(frequent, exact >= min_match);
+        }
+    }
+}
+
+/// Helper: MemoryDb does not expose num_sequences directly without the
+/// trait; small extension for the test.
+trait NumSequences {
+    fn num_sequences_hint(&self) -> usize;
+}
+
+impl NumSequences for MemoryDb {
+    fn num_sequences_hint(&self) -> usize {
+        use noisemine::core::matching::SequenceScan;
+        self.num_sequences()
+    }
+}
