@@ -123,9 +123,7 @@ pub fn mine_depth_first(
         grow(&mut ctx, &pattern, &occs, 1);
     }
 
-    result
-        .frequent
-        .sort_by(|a, b| a.0.cmp(&b.0));
+    result.frequent.sort_by(|a, b| a.0.cmp(&b.0));
     result.border = Border::from_patterns(result.frequent.iter().map(|(p, _)| p.clone()));
     result
 }
@@ -234,11 +232,7 @@ mod tests {
                 &space,
                 usize::MAX,
             );
-            assert_eq!(
-                dfs.pattern_set(),
-                lw.pattern_set(),
-                "threshold {threshold}"
-            );
+            assert_eq!(dfs.pattern_set(), lw.pattern_set(), "threshold {threshold}");
             // Values agree with the oracle.
             let mem_seqs = MemoryDb::from_sequences(seqs.clone());
             for (p, v) in &dfs.frequent {

@@ -192,12 +192,15 @@ pub fn mine_hierarchical(
     let grouping = SymbolGrouping::from_matrix(matrix, min_compat);
     result.groups = grouping.num_groups();
     let quotient = grouping.quotient_matrix(matrix);
-    let coarse_seqs: Vec<Vec<Symbol>> = sequences
-        .iter()
-        .map(|s| grouping.map_sequence(s))
-        .collect();
-    let coarse_frequent =
-        levelwise_set(&coarse_seqs, &quotient, min_match, space, &mut result.coarse_evaluated);
+    let coarse_seqs: Vec<Vec<Symbol>> =
+        sequences.iter().map(|s| grouping.map_sequence(s)).collect();
+    let coarse_frequent = levelwise_set(
+        &coarse_seqs,
+        &quotient,
+        min_match,
+        space,
+        &mut result.coarse_evaluated,
+    );
 
     // Fine pass, pruning candidates whose skeleton is coarse-infrequent.
     let mut scratch = SymbolMatchScratch::new(m);

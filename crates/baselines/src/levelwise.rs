@@ -146,7 +146,13 @@ where
         if candidates.is_empty() {
             break;
         }
-        let values = evaluate_patterns(&candidates, db, metric, counters_per_scan, &mut result.scans);
+        let values = evaluate_patterns(
+            &candidates,
+            db,
+            metric,
+            counters_per_scan,
+            &mut result.scans,
+        );
         let mut next_survivors = Vec::new();
         for (p, v) in candidates.iter().zip(&values) {
             if *v >= min_value {
@@ -155,9 +161,7 @@ where
                 next_survivors.push(p.clone());
             }
         }
-        result
-            .trace
-            .record(candidates.len(), next_survivors.len());
+        result.trace.record(candidates.len(), next_survivors.len());
         survivors = next_survivors;
     }
 

@@ -156,7 +156,13 @@ where
         let values = if batch.is_empty() {
             Vec::new()
         } else {
-            evaluate_patterns(&batch, db, metric, config.counters_per_scan, &mut result.scans)
+            evaluate_patterns(
+                &batch,
+                db,
+                metric,
+                config.counters_per_scan,
+                &mut result.scans,
+            )
         };
 
         let mut next_survivors: Vec<Pattern> = Vec::new();
@@ -244,9 +250,7 @@ fn build_lookaheads(
         loop {
             let next = transitions.get(&last).and_then(|exts| {
                 exts.iter()
-                    .find(|&&(gap, _, v)| {
-                        v >= min_value && chain.len() + gap < space.max_len
-                    })
+                    .find(|&&(gap, _, v)| v >= min_value && chain.len() + gap < space.max_len)
                     .copied()
             });
             match next {

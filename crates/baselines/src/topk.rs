@@ -99,15 +99,17 @@ pub fn mine_top_k(
             break;
         }
         // Insert into the running top-k (kept sorted, largest first).
-        let pos = top
-            .binary_search_by(|s| best.cmp(s))
-            .unwrap_or_else(|p| p);
+        let pos = top.binary_search_by(|s| best.cmp(s)).unwrap_or_else(|p| p);
         top.insert(pos, best.clone());
         top.truncate(k);
 
         // Expand: children can never beat their parent, so only evaluate
         // them while they could still enter the top-k.
-        let bound = if top.len() >= k { top[k - 1].value } else { 0.0 };
+        let bound = if top.len() >= k {
+            top[k - 1].value
+        } else {
+            0.0
+        };
         for gap in 0..=space.max_gap {
             if best.pattern.len() + gap + 1 > space.max_len {
                 break;
@@ -173,7 +175,10 @@ mod tests {
             .frequent;
             all.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
             for (i, ((p, v), (op, ov))) in topk.patterns.iter().zip(&all).enumerate() {
-                assert!((v - ov).abs() < 1e-12, "k={k} rank {i}: {p} {v} vs {op} {ov}");
+                assert!(
+                    (v - ov).abs() < 1e-12,
+                    "k={k} rank {i}: {p} {v} vs {op} {ov}"
+                );
             }
         }
     }

@@ -6,7 +6,9 @@
 //! wall-clock companion to Figure 14's scan counts).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use noisemine_baselines::{mine_depth_first, mine_levelwise, mine_maxminer, mine_toivonen, MaxMinerConfig};
+use noisemine_baselines::{
+    mine_depth_first, mine_levelwise, mine_maxminer, mine_toivonen, MaxMinerConfig,
+};
 use noisemine_core::border_collapse::ProbeStrategy;
 use noisemine_core::chernoff::SpreadMode;
 use noisemine_core::matching::MatchMetric;

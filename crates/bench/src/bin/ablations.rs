@@ -152,7 +152,10 @@ fn main() {
         ..MinerConfig::default()
     };
     {
-        for (label, mode) in [("full R=1", SpreadMode::Full), ("restricted", SpreadMode::Restricted)] {
+        for (label, mode) in [
+            ("full R=1", SpreadMode::Full),
+            ("restricted", SpreadMode::Restricted),
+        ] {
             let mut cfg = base.clone();
             cfg.spread_mode = mode;
             let start = Instant::now();
@@ -193,7 +196,14 @@ fn main() {
     {
         let space = PatternSpace::contiguous(12);
         let start = Instant::now();
-        let lw = mine_levelwise(&db, &MatchMetric { matrix: &norm }, 20, 0.2, &space, usize::MAX);
+        let lw = mine_levelwise(
+            &db,
+            &MatchMetric { matrix: &norm },
+            20,
+            0.2,
+            &space,
+            usize::MAX,
+        );
         let lw_time = start.elapsed();
         let start = Instant::now();
         let dfs = mine_depth_first(&noisy, &norm, 0.2, &space);

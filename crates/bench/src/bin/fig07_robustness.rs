@@ -38,7 +38,14 @@ use noisemine_datagen::accuracy_completeness;
 
 fn main() {
     let args = Args::parse();
-    args.deny_unknown(&["seed", "threshold", "max-len", "by-length", "alphas", "alpha"]);
+    args.deny_unknown(&[
+        "seed",
+        "threshold",
+        "max-len",
+        "by-length",
+        "alphas",
+        "alpha",
+    ]);
     let seed = args.u64("seed", 2002);
     let min_value = args.f64("threshold", 0.05);
     let max_len = args.usize("max-len", 14);
@@ -173,7 +180,9 @@ fn by_length(
         .max()
         .unwrap_or(1);
     let mut t = Table::new(
-        &format!("Figure 7(c)/(d): quality vs non-eternal symbols (alpha = {alpha}, partner channel)"),
+        &format!(
+            "Figure 7(c)/(d): quality vs non-eternal symbols (alpha = {alpha}, partner channel)"
+        ),
         [
             "k",
             "|ref support|",

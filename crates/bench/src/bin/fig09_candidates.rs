@@ -19,7 +19,14 @@ use noisemine_datagen::{ProteinWorkload, ProteinWorkloadConfig};
 
 fn main() {
     let args = Args::parse();
-    args.deny_unknown(&["seed", "threshold", "alpha", "motif-len", "max-len", "sequences"]);
+    args.deny_unknown(&[
+        "seed",
+        "threshold",
+        "alpha",
+        "motif-len",
+        "max-len",
+        "sequences",
+    ]);
     let seed = args.u64("seed", 2002);
     let min_value = args.f64("threshold", 0.05);
     let alpha = args.f64("alpha", 0.2);

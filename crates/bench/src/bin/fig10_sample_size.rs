@@ -18,15 +18,22 @@ use rand::SeedableRng;
 
 fn main() {
     let args = Args::parse();
-    args.deny_unknown(&["seed", "threshold", "delta", "alphas", "samples", "max-len", "sequences"]);
+    args.deny_unknown(&[
+        "seed",
+        "threshold",
+        "delta",
+        "alphas",
+        "samples",
+        "max-len",
+        "sequences",
+    ]);
     let seed = args.u64("seed", 2002);
     let min_match = args.f64("threshold", 0.1);
     let delta = args.f64("delta", 0.01);
     let alphas = args.f64_list("alphas", &[0.1, 0.2, 0.3]);
     let sample_sizes = args.usize_list("samples", &[250, 500, 1000, 2000, 4000]);
     let space = PatternSpace::contiguous(args.usize("max-len", 14));
-    let workload =
-        noisemine_bench::sampling_protein_workload(seed, args.usize("sequences", 4000));
+    let workload = noisemine_bench::sampling_protein_workload(seed, args.usize("sequences", 4000));
 
     let mut t = Table::new(
         &format!(

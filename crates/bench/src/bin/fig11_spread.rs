@@ -20,15 +20,22 @@ use rand::SeedableRng;
 
 fn main() {
     let args = Args::parse();
-    args.deny_unknown(&["seed", "threshold", "delta", "samples", "alphas", "max-len", "sequences"]);
+    args.deny_unknown(&[
+        "seed",
+        "threshold",
+        "delta",
+        "samples",
+        "alphas",
+        "max-len",
+        "sequences",
+    ]);
     let seed = args.u64("seed", 2002);
     let min_match = args.f64("threshold", 0.1);
     let delta = args.f64("delta", 0.001);
     let sample_size = args.usize("samples", 1500);
     let alphas = args.f64_list("alphas", &[0.1, 0.2, 0.3]);
     let space = PatternSpace::contiguous(args.usize("max-len", 14));
-    let workload =
-        noisemine_bench::sampling_protein_workload(seed, args.usize("sequences", 4000));
+    let workload = noisemine_bench::sampling_protein_workload(seed, args.usize("sequences", 4000));
 
     let mut spread_table = Table::new(
         "Figure 11(a): average spread R of candidate patterns vs non-eternal symbols",
@@ -36,7 +43,12 @@ fn main() {
     );
     let mut ratio_table = Table::new(
         "Figure 11(b): ambiguous patterns, restricted R vs default R = 1",
-        ["alpha", "ambiguous (R=1)", "ambiguous (restricted)", "ratio"],
+        [
+            "alpha",
+            "ambiguous (R=1)",
+            "ambiguous (restricted)",
+            "ratio",
+        ],
     );
 
     for &alpha in &alphas {

@@ -23,15 +23,22 @@ use noisemine_core::{Pattern, PatternSpace};
 
 fn main() {
     let args = Args::parse();
-    args.deny_unknown(&["seed", "threshold", "alpha", "samples", "confidences", "max-len", "sequences"]);
+    args.deny_unknown(&[
+        "seed",
+        "threshold",
+        "alpha",
+        "samples",
+        "confidences",
+        "max-len",
+        "sequences",
+    ]);
     let seed = args.u64("seed", 2002);
     let min_match = args.f64("threshold", 0.1);
     let alpha = args.f64("alpha", 0.2);
     let sample_size = args.usize("samples", 1500);
     let confidences = args.f64_list("confidences", &[0.9, 0.99, 0.999, 0.9999]);
     let space = PatternSpace::contiguous(args.usize("max-len", 14));
-    let workload =
-        noisemine_bench::sampling_protein_workload(seed, args.usize("sequences", 4000));
+    let workload = noisemine_bench::sampling_protein_workload(seed, args.usize("sequences", 4000));
 
     let (noisy, matrix) = workload.partner_test_db(alpha, seed ^ 0x1201);
     let norm = matrix
@@ -51,7 +58,9 @@ fn main() {
     .pattern_set();
 
     let mut t = Table::new(
-        &format!("Figure 12: effect of confidence 1-delta (alpha = {alpha}, {sample_size} samples)"),
+        &format!(
+            "Figure 12: effect of confidence 1-delta (alpha = {alpha}, {sample_size} samples)"
+        ),
         [
             "confidence",
             "delta",
@@ -75,8 +84,7 @@ fn main() {
         };
         let outcome = mine(&db, &norm, &config).expect("valid config");
         let mined: HashSet<Pattern> = outcome.patterns().into_iter().collect();
-        let mislabeled =
-            oracle.symmetric_difference(&mined).count();
+        let mislabeled = oracle.symmetric_difference(&mined).count();
         let error_rate = if oracle.is_empty() {
             0.0
         } else {

@@ -24,7 +24,16 @@ use noisemine_core::{Pattern, PatternSpace};
 
 fn main() {
     let args = Args::parse();
-    args.deny_unknown(&["seed", "threshold", "alpha", "samples", "delta", "runs", "max-len", "sequences"]);
+    args.deny_unknown(&[
+        "seed",
+        "threshold",
+        "alpha",
+        "samples",
+        "delta",
+        "runs",
+        "max-len",
+        "sequences",
+    ]);
     let seed = args.u64("seed", 2002);
     let min_match = args.f64("threshold", 0.1);
     let alpha = args.f64("alpha", 0.2);
@@ -32,8 +41,7 @@ fn main() {
     let delta = args.f64("delta", 0.4);
     let runs = args.usize("runs", 30);
     let space = PatternSpace::contiguous(args.usize("max-len", 14));
-    let workload =
-        noisemine_bench::sampling_protein_workload(seed, args.usize("sequences", 4000));
+    let workload = noisemine_bench::sampling_protein_workload(seed, args.usize("sequences", 4000));
 
     let (noisy, matrix) = workload.partner_test_db(alpha, seed ^ 0x1301);
     let norm = matrix

@@ -26,7 +26,16 @@ use noisemine_seqdb::DiskDb;
 
 fn main() {
     let args = Args::parse();
-    args.deny_unknown(&["seed", "alpha", "thresholds", "samples", "counters", "delta", "max-len", "sequences"]);
+    args.deny_unknown(&[
+        "seed",
+        "alpha",
+        "thresholds",
+        "samples",
+        "counters",
+        "delta",
+        "max-len",
+        "sequences",
+    ]);
     let seed = args.u64("seed", 2002);
     let alpha = args.f64("alpha", 0.2);
     let thresholds = args.f64_list("thresholds", &[0.25, 0.20, 0.15, 0.12, 0.10]);
@@ -56,8 +65,7 @@ fn main() {
     let dir = std::env::temp_dir().join(format!("noisemine-fig14-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("create temp dir");
     let path = dir.join("fig14.db");
-    let db =
-        DiskDb::create_from(&path, noisy.iter().map(Vec::as_slice)).expect("write disk db");
+    let db = DiskDb::create_from(&path, noisy.iter().map(Vec::as_slice)).expect("write disk db");
     println!(
         "disk database: {} sequences at {}\n",
         db.num_sequences(),
@@ -137,7 +145,14 @@ fn main() {
 
         // Sampling + level-wise (Toivonen-style).
         db.reset_scans();
-        let t_config = toivonen_config(threshold, delta, sample_size, counters, space, seed ^ 0x1402);
+        let t_config = toivonen_config(
+            threshold,
+            delta,
+            sample_size,
+            counters,
+            space,
+            seed ^ 0x1402,
+        );
         let start = Instant::now();
         let toiv = mine_toivonen(&db, &norm, &t_config).expect("valid config");
         let toiv_time = start.elapsed();

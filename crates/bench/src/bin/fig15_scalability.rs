@@ -23,7 +23,15 @@ use noisemine_seqdb::MemoryDb;
 
 fn main() {
     let args = Args::parse();
-    args.deny_unknown(&["seed", "threshold", "symbols", "sequences", "length", "max-fanout", "max-len"]);
+    args.deny_unknown(&[
+        "seed",
+        "threshold",
+        "symbols",
+        "sequences",
+        "length",
+        "max-fanout",
+        "max-len",
+    ]);
     let seed = args.u64("seed", 2002);
     let min_match = args.f64("threshold", 0.15);
     let ms = args.usize_list("symbols", &[200, 500, 1000, 2000, 5000, 10000]);

@@ -54,13 +54,25 @@ fn main() {
             Command::new(&exe).args(extra_args).status()
         } else {
             Command::new("cargo")
-                .args(["run", "--release", "-q", "-p", "noisemine-bench", "--bin", name, "--"])
+                .args([
+                    "run",
+                    "--release",
+                    "-q",
+                    "-p",
+                    "noisemine-bench",
+                    "--bin",
+                    name,
+                    "--",
+                ])
                 .args(extra_args)
                 .status()
         }
         .unwrap_or_else(|e| panic!("failed to launch {name}: {e}"));
         assert!(status.success(), "{name} exited with {status}");
-        println!("[{name} finished in {:.1}s]\n", start.elapsed().as_secs_f64());
+        println!(
+            "[{name} finished in {:.1}s]\n",
+            start.elapsed().as_secs_f64()
+        );
     }
     println!(
         "all experiments finished in {:.1}s; tables printed above, CSVs in results/",

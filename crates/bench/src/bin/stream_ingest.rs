@@ -1,0 +1,163 @@
+//! Ingest throughput of the streaming engine (`noisemine-stream`).
+//!
+//! Feeds synthetic sequence batches through [`StreamState::ingest_all`] and
+//! reports sustained throughput (sequences/s and symbols/s), the cost of a
+//! checkpoint/restore cycle at each scale point, and the wall-clock of one
+//! drift-triggered re-mine over the reservoir. Results are printed as a
+//! table and recorded as JSON (default `BENCH_stream.json` in the working
+//! directory) so CI can archive the numbers.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use noisemine_bench::args::Args;
+use noisemine_bench::table::Table;
+use noisemine_core::miner::MinerConfig;
+use noisemine_core::PatternSpace;
+use noisemine_datagen::{scalability_db, sparse_random_matrix};
+use noisemine_seqdb::MemoryDb;
+use noisemine_stream::StreamState;
+
+struct Row {
+    sequences: usize,
+    seq_len: usize,
+    ingest_secs: f64,
+    seqs_per_sec: f64,
+    symbols_per_sec: f64,
+    checkpoint_secs: f64,
+    restore_secs: f64,
+    remine_secs: f64,
+    frequent: usize,
+}
+
+fn main() {
+    let args = Args::parse();
+    args.deny_unknown(&[
+        "seed",
+        "symbols",
+        "sequences",
+        "length",
+        "reservoir",
+        "threshold",
+        "max-len",
+        "out",
+    ]);
+    let seed = args.u64("seed", 2002);
+    let m = args.usize("symbols", 20);
+    let scales = args.usize_list("sequences", &[1_000, 5_000, 20_000]);
+    let len = args.usize("length", 50);
+    let reservoir = args.usize("reservoir", 500);
+    let min_match = args.f64("threshold", 0.3);
+    let space = PatternSpace::contiguous(args.usize("max-len", 6));
+    let out = args.get("out", "BENCH_stream.json").to_string();
+
+    let matrix = sparse_random_matrix(m, 0.2, 0.85, seed ^ 0x57);
+    let config = MinerConfig {
+        min_match,
+        delta: 0.01,
+        sample_size: reservoir,
+        counters_per_scan: 10_000,
+        space,
+        seed: seed ^ 0x58,
+        ..MinerConfig::default()
+    };
+
+    let mut t = Table::new(
+        &format!("Streaming ingest throughput (m = {m}, reservoir = {reservoir})"),
+        [
+            "sequences",
+            "ingest (s)",
+            "seqs/s",
+            "symbols/s",
+            "ckpt (s)",
+            "restore (s)",
+            "re-mine (s)",
+            "frequent",
+        ],
+    );
+    let ckpt = std::env::temp_dir().join(format!("noisemine-bench-{}.ckpt", std::process::id()));
+    let mut rows = Vec::new();
+    for &n in &scales {
+        let seqs = scalability_db(m, n, len, seed ^ 0x59);
+        let symbols: usize = seqs.iter().map(Vec::len).sum();
+        let mut engine = StreamState::new(matrix.clone(), config.clone()).expect("valid config");
+
+        let start = Instant::now();
+        engine.ingest_all(seqs.iter().map(Vec::as_slice));
+        let ingest = start.elapsed().as_secs_f64();
+
+        let start = Instant::now();
+        engine.checkpoint(&ckpt).expect("checkpoint");
+        let checkpoint = start.elapsed().as_secs_f64();
+        let start = Instant::now();
+        let mut engine = StreamState::restore(&ckpt, matrix.clone()).expect("restore");
+        let restore = start.elapsed().as_secs_f64();
+
+        let db = MemoryDb::from_sequences(seqs);
+        let start = Instant::now();
+        let outcome = engine.mine(&db).expect("mine");
+        let remine = start.elapsed().as_secs_f64();
+
+        let row = Row {
+            sequences: n,
+            seq_len: len,
+            ingest_secs: ingest,
+            seqs_per_sec: n as f64 / ingest,
+            symbols_per_sec: symbols as f64 / ingest,
+            checkpoint_secs: checkpoint,
+            restore_secs: restore,
+            remine_secs: remine,
+            frequent: outcome.frequent.len(),
+        };
+        t.row([
+            row.sequences.to_string(),
+            format!("{:.3}", row.ingest_secs),
+            format!("{:.0}", row.seqs_per_sec),
+            format!("{:.0}", row.symbols_per_sec),
+            format!("{:.4}", row.checkpoint_secs),
+            format!("{:.4}", row.restore_secs),
+            format!("{:.3}", row.remine_secs),
+            row.frequent.to_string(),
+        ]);
+        rows.push(row);
+    }
+    std::fs::remove_file(&ckpt).ok();
+    t.emit(None);
+
+    std::fs::write(&out, to_json(seed, m, reservoir, min_match, &rows)).expect("write json");
+    println!("\nwrote {out}");
+}
+
+/// Hand-rolled JSON (the vendored serde shim does not serialize).
+fn to_json(seed: u64, m: usize, reservoir: usize, min_match: f64, rows: &[Row]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"bench\": \"stream_ingest\",");
+    let _ = writeln!(s, "  \"seed\": {seed},");
+    let _ = writeln!(s, "  \"symbols\": {m},");
+    let _ = writeln!(s, "  \"reservoir\": {reservoir},");
+    let _ = writeln!(s, "  \"min_match\": {min_match},");
+    let _ = writeln!(s, "  \"rows\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{\"sequences\": {}, \"seq_len\": {}, \"ingest_secs\": {:.6}, \
+             \"seqs_per_sec\": {:.1}, \"symbols_per_sec\": {:.1}, \
+             \"checkpoint_secs\": {:.6}, \"restore_secs\": {:.6}, \
+             \"remine_secs\": {:.6}, \"frequent\": {}}}{comma}",
+            r.sequences,
+            r.seq_len,
+            r.ingest_secs,
+            r.seqs_per_sec,
+            r.symbols_per_sec,
+            r.checkpoint_secs,
+            r.restore_secs,
+            r.remine_secs,
+            r.frequent,
+        );
+    }
+    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "}}");
+    s
+}

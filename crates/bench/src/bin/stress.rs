@@ -108,16 +108,28 @@ fn main() {
     let mine_time = start.elapsed();
     assert_eq!(db.scans_performed(), outcome.stats.db_scans);
 
-    t.row(["phase 1 (scan + sample)".into(), noisemine_bench::secs(outcome.stats.phase1_time)]);
-    t.row(["phase 2 (sample mining)".into(), noisemine_bench::secs(outcome.stats.phase2_time)]);
-    t.row(["phase 3 (verification)".into(), noisemine_bench::secs(outcome.stats.phase3_time)]);
+    t.row([
+        "phase 1 (scan + sample)".into(),
+        noisemine_bench::secs(outcome.stats.phase1_time),
+    ]);
+    t.row([
+        "phase 2 (sample mining)".into(),
+        noisemine_bench::secs(outcome.stats.phase2_time),
+    ]);
+    t.row([
+        "phase 3 (verification)".into(),
+        noisemine_bench::secs(outcome.stats.phase3_time),
+    ]);
     t.row(["total mining".into(), noisemine_bench::secs(mine_time)]);
     t.row(["db scans".into(), outcome.stats.db_scans.to_string()]);
     t.row([
         "ambiguous after sample".into(),
         outcome.stats.ambiguous_after_sample.to_string(),
     ]);
-    t.row(["frequent patterns".into(), outcome.frequent.len().to_string()]);
+    t.row([
+        "frequent patterns".into(),
+        outcome.frequent.len().to_string(),
+    ]);
     t.row([
         "planted 12-motif recovered".into(),
         outcome

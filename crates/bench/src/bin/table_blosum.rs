@@ -20,14 +20,14 @@ fn main() {
     let workload = noisemine_bench::default_protein_workload(seed);
     let std_db = MemorySequences(workload.standard.clone());
 
-    let reference = mine_levelwise(&std_db, &SupportMetric, 20, min_value, &space, usize::MAX)
-        .pattern_set();
+    let reference =
+        mine_levelwise(&std_db, &SupportMetric, 20, min_value, &space, usize::MAX).pattern_set();
 
     let (noisy, matrix) = workload.blosum_test_db(mu, seed ^ 0xb105);
     let noisy_db = MemorySequences(noisy);
 
-    let s_test = mine_levelwise(&noisy_db, &SupportMetric, 20, min_value, &space, usize::MAX)
-        .pattern_set();
+    let s_test =
+        mine_levelwise(&noisy_db, &SupportMetric, 20, min_value, &space, usize::MAX).pattern_set();
     let (s_acc, s_com) = accuracy_completeness(&s_test, &reference);
 
     let norm = matrix

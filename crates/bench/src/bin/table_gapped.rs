@@ -46,7 +46,13 @@ fn main() {
             "Gapped signature recovery vs noise (threshold = {threshold}, signature {})",
             signature.display(&alphabet).unwrap()
         ),
-        ["alpha", "support", "match", "support keeps?", "match keeps?"],
+        [
+            "alpha",
+            "support",
+            "match",
+            "support keeps?",
+            "match keeps?",
+        ],
     );
     for &alpha in &alphas {
         let channel = partner_channel(20, alpha, &partners);
@@ -67,7 +73,9 @@ fn main() {
             (if mv >= threshold { "yes" } else { "LOST" }).into(),
         ]);
     }
-    recovery.emit(Some(std::path::Path::new("results/table_gapped_recovery.csv")));
+    recovery.emit(Some(std::path::Path::new(
+        "results/table_gapped_recovery.csv",
+    )));
 
     // (b) candidate-space cost vs max_gap, mined on the noisy database.
     let alpha = 0.3;

@@ -64,8 +64,7 @@ fn main() {
             })
             .collect();
         let channel = partner_channel(m, alpha, &partners);
-        let mut rng =
-            <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed ^ m as u64);
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed ^ m as u64);
         let noisy = apply_channel(&standard, &channel, &mut rng);
         let matrix = channel_to_compatibility(&channel)
             .diagonal_normalized_clamped()

@@ -2,20 +2,20 @@
 
 use std::path::Path;
 
-use noisemine_baselines::{mine_depth_first, mine_levelwise, mine_maxminer, mine_top_k, MaxMinerConfig};
-use noisemine_core::border_collapse::ProbeStrategy;
-use noisemine_core::matching::{
-    db_match, db_support, MatchMetric, MemorySequences, SequenceScan,
+use noisemine_baselines::{
+    mine_depth_first, mine_levelwise, mine_maxminer, mine_top_k, MaxMinerConfig,
 };
+use noisemine_core::border_collapse::ProbeStrategy;
+use noisemine_core::matching::{db_match, db_support, MatchMetric, MemorySequences, SequenceScan};
 use noisemine_core::miner::{mine, MinerConfig};
 use noisemine_core::{matrix_io, Alphabet, CompatibilityMatrix, Pattern, PatternSpace, Symbol};
+use noisemine_datagen::learn_matrix;
 use noisemine_datagen::noise::{channel_to_compatibility, partner_channel};
 use noisemine_datagen::{
-    apply_channel, apply_uniform_noise, blosum, generate, Background, GeneratorConfig,
-    PlantedMotif,
+    apply_channel, apply_uniform_noise, blosum, generate, Background, GeneratorConfig, PlantedMotif,
 };
 use noisemine_seqdb::{text, DiskDb, MemoryDb};
-use noisemine_datagen::learn_matrix;
+use noisemine_stream::StreamState;
 
 use crate::opts::{CliResult, Opts};
 
@@ -84,12 +84,13 @@ pub fn cmd_gen(opts: &Opts) -> CliResult<()> {
             let level: f64 = level
                 .parse()
                 .map_err(|_| format!("noise level {level:?} is not a number"))?;
-            let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed ^ 0x006e_015e);
+            let mut rng =
+                <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed ^ 0x006e_015e);
             match kind {
                 "uniform" => {
                     let noisy = apply_uniform_noise(&standard, level, m, &mut rng);
-                    let matrix = CompatibilityMatrix::uniform_noise(m, level)
-                        .map_err(|e| e.to_string())?;
+                    let matrix =
+                        CompatibilityMatrix::uniform_noise(m, level).map_err(|e| e.to_string())?;
                     (noisy, matrix)
                 }
                 "partner" => {
@@ -140,14 +141,14 @@ pub fn cmd_learn(opts: &Opts) -> CliResult<()> {
     let lambda = opts.num("lambda", 0.0f64)?;
 
     // The alphabet must cover both files; infer from their concatenation.
-    let mut text_both = std::fs::read_to_string(truth_path)
-        .map_err(|e| format!("{truth_path}: {e}"))?;
+    let mut text_both =
+        std::fs::read_to_string(truth_path).map_err(|e| format!("{truth_path}: {e}"))?;
     text_both.push('\n');
     text_both.push_str(
         &std::fs::read_to_string(observed_path).map_err(|e| format!("{observed_path}: {e}"))?,
     );
-    let alphabet = noisemine_seqdb::infer_alphabet(text_both.as_bytes())
-        .map_err(|e| e.to_string())?;
+    let alphabet =
+        noisemine_seqdb::infer_alphabet(text_both.as_bytes()).map_err(|e| e.to_string())?;
 
     let truth = text::read_sequences_file(truth_path, &alphabet).map_err(|e| e.to_string())?;
     let observed =
@@ -178,16 +179,18 @@ pub fn cmd_stats(opts: &Opts) -> CliResult<()> {
     let db = MemorySequences(sequences);
     let n = db.num_sequences();
     let total: usize = db.0.iter().map(Vec::len).sum();
-    let (min_l, max_l) = db
-        .0
-        .iter()
-        .map(Vec::len)
-        .fold((usize::MAX, 0), |(lo, hi), l| (lo.min(l), hi.max(l)));
+    let (min_l, max_l) =
+        db.0.iter()
+            .map(Vec::len)
+            .fold((usize::MAX, 0), |(lo, hi), l| (lo.min(l), hi.max(l)));
     println!("sequences:        {n}");
     println!("symbols total:    {total}");
     println!("alphabet size:    {}", alphabet.len());
     if n > 0 {
-        println!("length min/avg/max: {min_l} / {:.1} / {max_l}", total as f64 / n as f64);
+        println!(
+            "length min/avg/max: {min_l} / {:.1} / {max_l}",
+            total as f64 / n as f64
+        );
     }
 
     // Symbol frequencies.
@@ -229,8 +232,8 @@ pub fn cmd_match(opts: &Opts) -> CliResult<()> {
     opts.deny_unknown(&["db", "matrix", "pattern", "normalize"])?;
     let (alphabet, sequences) = load_db(opts)?;
     let db = MemorySequences(sequences);
-    let pattern = Pattern::parse(opts.required("pattern")?, &alphabet)
-        .map_err(|e| e.to_string())?;
+    let pattern =
+        Pattern::parse(opts.required("pattern")?, &alphabet).map_err(|e| e.to_string())?;
     println!(
         "pattern {} (length {}, {} concrete symbols)",
         pattern.display(&alphabet).map_err(|e| e.to_string())?,
@@ -254,10 +257,8 @@ pub fn cmd_convert(opts: &Opts) -> CliResult<()> {
     let to_binary = out.ends_with(".nmdb");
     if to_binary {
         let alphabet = infer(input)?;
-        let sequences =
-            text::read_sequences_file(input, &alphabet).map_err(|e| e.to_string())?;
-        DiskDb::create_from(out, sequences.iter().map(Vec::as_slice))
-            .map_err(|e| e.to_string())?;
+        let sequences = text::read_sequences_file(input, &alphabet).map_err(|e| e.to_string())?;
+        DiskDb::create_from(out, sequences.iter().map(Vec::as_slice)).map_err(|e| e.to_string())?;
         println!(
             "wrote {} sequences to binary database {out} (alphabet inferred: {} symbols; \
              note: binary files store ids, keep the alphabet alongside)",
@@ -361,7 +362,11 @@ pub fn cmd_mine(opts: &Opts) -> CliResult<()> {
                 &space,
                 usize::MAX,
             );
-            eprintln!("level-wise miner: {} scans, {} levels", r.scans, r.trace.levels());
+            eprintln!(
+                "level-wise miner: {} scans, {} levels",
+                r.scans,
+                r.trace.levels()
+            );
             r.frequent
         }
         "depth-first" => {
@@ -409,6 +414,149 @@ pub fn cmd_mine(opts: &Opts) -> CliResult<()> {
     emit(&sorted, limit, &alphabet, format)
 }
 
+/// `noisemine stream` — incremental ingestion + drift-triggered re-mining.
+///
+/// Reads a text database (or stdin with `--db -`), feeds it to a
+/// [`StreamState`] in `--chunk`-sized batches, and re-mines only when the
+/// per-symbol match estimates drift past the Chernoff bound. With
+/// `--checkpoint`, engine state persists across invocations: a later run
+/// against a *grown* file restores the engine and ingests only the tail
+/// (the miner configuration is then taken from the checkpoint, not the
+/// flags).
+pub fn cmd_stream(opts: &Opts) -> CliResult<()> {
+    opts.deny_unknown(&[
+        "db",
+        "matrix",
+        "normalize",
+        "checkpoint",
+        "chunk",
+        "min-match",
+        "sample",
+        "delta",
+        "counters",
+        "max-gap",
+        "max-len",
+        "strategy",
+        "seed",
+        "limit",
+        "format",
+    ])?;
+    let (alphabet, sequences) = load_db_or_stdin(opts)?;
+    let m = alphabet.len();
+    let matrix = match opts.get("matrix") {
+        Some(path) => load_matrix(path, &alphabet)?.1,
+        None => CompatibilityMatrix::identity(m),
+    };
+    let matrix = maybe_normalize(matrix, opts)?;
+    let limit = opts.num("limit", 50usize)?;
+    let chunk = opts.num("chunk", 1000usize)?.max(1);
+    let format = opts.get_or("format", "table");
+    if !["table", "csv", "json"].contains(&format) {
+        return Err(format!("unknown --format {format:?}; use table, csv, or json").into());
+    }
+
+    let checkpoint_path = opts.get("checkpoint").map(Path::new);
+    let mut engine = match checkpoint_path {
+        Some(path) if path.exists() => {
+            let engine = StreamState::restore(path, matrix.clone())
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+            eprintln!(
+                "restored checkpoint {} ({} sequences already ingested)",
+                path.display(),
+                engine.total_seen(),
+            );
+            engine
+        }
+        _ => {
+            let config = MinerConfig {
+                min_match: opts.num("min-match", 0.1f64)?,
+                delta: opts.num("delta", 0.001f64)?,
+                sample_size: opts.num("sample", 1000usize)?,
+                counters_per_scan: opts.num("counters", 100_000usize)?,
+                space: PatternSpace::new(
+                    opts.num("max-gap", 0usize)?,
+                    opts.num("max-len", 16usize)?,
+                )
+                .map_err(|e| e.to_string())?,
+                probe_strategy: match opts.get_or("strategy", "border") {
+                    "border" => ProbeStrategy::BorderCollapsing,
+                    "levelwise" => ProbeStrategy::LevelWise,
+                    other => return Err(format!("unknown strategy {other:?}").into()),
+                },
+                seed: opts.num("seed", 2002u64)?,
+                ..MinerConfig::default()
+            };
+            StreamState::new(matrix.clone(), config).map_err(|e| e.to_string())?
+        }
+    };
+
+    let already = engine.total_seen() as usize;
+    if already > sequences.len() {
+        return Err(format!(
+            "checkpoint has ingested {already} sequences but the input holds only {} — \
+             the database shrank; delete the checkpoint to start over",
+            sequences.len(),
+        )
+        .into());
+    }
+    let fresh = sequences.len() - already;
+    eprintln!(
+        "ingesting {fresh} new sequences in chunks of {chunk} ({} total)",
+        sequences.len(),
+    );
+
+    let mut ingested = already;
+    let mut remines = 0usize;
+    let mut last_outcome = None;
+    for batch in sequences[already..].chunks(chunk) {
+        engine.ingest_all(batch);
+        ingested += batch.len();
+        if engine.drift_exceeded() {
+            let prefix = MemorySequences(sequences[..ingested].to_vec());
+            let outcome = engine.mine(&prefix).map_err(|e| e.to_string())?;
+            remines += 1;
+            eprintln!(
+                "re-mined at {ingested} sequences: {} frequent, {} db scans \
+                 (drift exceeded the Chernoff bound)",
+                outcome.frequent.len(),
+                outcome.stats.db_scans,
+            );
+            last_outcome = Some(outcome);
+        }
+    }
+
+    if let Some(path) = checkpoint_path {
+        engine
+            .checkpoint(path)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        eprintln!("checkpoint written to {}", path.display());
+    }
+
+    match last_outcome {
+        Some(outcome) => {
+            let mut sorted: Vec<(Pattern, f64)> = outcome
+                .frequent
+                .into_iter()
+                .map(|f| (f.pattern, f.match_estimate))
+                .collect();
+            sorted.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+            eprintln!(
+                "{} frequent patterns after {remines} re-mine(s); top {}:",
+                sorted.len(),
+                limit.min(sorted.len()),
+            );
+            emit(&sorted, limit, &alphabet, format)
+        }
+        None => {
+            eprintln!(
+                "estimates stable after {fresh} new sequences — no re-mine needed \
+                 (borders unchanged since the last run)"
+            );
+            Ok(())
+        }
+    }
+}
+
 /// Prints mined patterns in the chosen output format. `json` emits an
 /// array of `{"pattern": ..., "match": ...}` objects (strings escaped per
 /// RFC 8259); `csv` a two-column file; `table` an aligned listing.
@@ -430,43 +578,46 @@ fn emit(
     let mut out = std::io::BufWriter::new(stdout.lock());
     let result: std::io::Result<()> = (|| {
         match format {
-        "table" => {
-            writeln!(out, "{:<30} {:>10}", "pattern", "match")?;
-            for (p, v) in &rows {
-                writeln!(out, "{p:<30} {v:>10.4}")?;
+            "table" => {
+                writeln!(out, "{:<30} {:>10}", "pattern", "match")?;
+                for (p, v) in &rows {
+                    writeln!(out, "{p:<30} {v:>10.4}")?;
+                }
             }
-        }
-        "csv" => {
-            writeln!(out, "pattern,match")?;
-            for (p, v) in &rows {
-                let field = if p.contains(',') || p.contains('"') {
-                    format!("\"{}\"", p.replace('"', "\"\""))
-                } else {
-                    p.clone()
-                };
-                writeln!(out, "{field},{v}")?;
+            "csv" => {
+                writeln!(out, "pattern,match")?;
+                for (p, v) in &rows {
+                    let field = if p.contains(',') || p.contains('"') {
+                        format!("\"{}\"", p.replace('"', "\"\""))
+                    } else {
+                        p.clone()
+                    };
+                    writeln!(out, "{field},{v}")?;
+                }
             }
-        }
-        "json" => {
-            writeln!(out, "[")?;
-            for (i, (p, v)) in rows.iter().enumerate() {
-                let escaped: String = p
-                    .chars()
-                    .flat_map(|c| match c {
-                        '"' => "\\\"".chars().collect::<Vec<_>>(),
-                        '\\' => "\\\\".chars().collect(),
-                        c if (c as u32) < 0x20 => {
-                            format!("\\u{:04x}", c as u32).chars().collect()
-                        }
-                        c => vec![c],
-                    })
-                    .collect();
-                let comma = if i + 1 < rows.len() { "," } else { "" };
-                writeln!(out, "  {{\"pattern\": \"{escaped}\", \"match\": {v}}}{comma}")?;
+            "json" => {
+                writeln!(out, "[")?;
+                for (i, (p, v)) in rows.iter().enumerate() {
+                    let escaped: String = p
+                        .chars()
+                        .flat_map(|c| match c {
+                            '"' => "\\\"".chars().collect::<Vec<_>>(),
+                            '\\' => "\\\\".chars().collect(),
+                            c if (c as u32) < 0x20 => {
+                                format!("\\u{:04x}", c as u32).chars().collect()
+                            }
+                            c => vec![c],
+                        })
+                        .collect();
+                    let comma = if i + 1 < rows.len() { "," } else { "" };
+                    writeln!(
+                        out,
+                        "  {{\"pattern\": \"{escaped}\", \"match\": {v}}}{comma}"
+                    )?;
+                }
+                writeln!(out, "]")?;
             }
-            writeln!(out, "]")?;
-        }
-        _ => unreachable!("format validated in cmd_mine"),
+            _ => unreachable!("format validated in cmd_mine"),
         }
         out.flush()
     })();
@@ -512,6 +663,26 @@ fn infer(path: &str) -> CliResult<Alphabet> {
     noisemine_seqdb::infer_alphabet(file).map_err(|e| e.to_string().into())
 }
 
+/// Like [`load_db`], but `--db -` reads the whole of stdin instead.
+fn load_db_or_stdin(opts: &Opts) -> CliResult<(Alphabet, Vec<Vec<Symbol>>)> {
+    let path = opts.required("db")?;
+    if path != "-" {
+        return load_db(opts);
+    }
+    let mut buf = String::new();
+    use std::io::Read;
+    std::io::stdin()
+        .read_to_string(&mut buf)
+        .map_err(|e| format!("stdin: {e}"))?;
+    let alphabet = match opts.get("matrix") {
+        Some(matrix_path) => load_matrix_alphabet(matrix_path)?,
+        None => noisemine_seqdb::infer_alphabet(buf.as_bytes()).map_err(|e| e.to_string())?,
+    };
+    let sequences =
+        noisemine_seqdb::read_sequences(buf.as_bytes(), &alphabet).map_err(|e| e.to_string())?;
+    Ok((alphabet, sequences))
+}
+
 /// Loads `--db` (text) with the alphabet from `--matrix` when given, else
 /// inferred from the data.
 fn load_db(opts: &Opts) -> CliResult<(Alphabet, Vec<Vec<Symbol>>)> {
@@ -523,8 +694,7 @@ fn load_db(opts: &Opts) -> CliResult<(Alphabet, Vec<Vec<Symbol>>)> {
         Some(matrix_path) => load_matrix_alphabet(matrix_path)?,
         None => infer(path)?,
     };
-    let sequences =
-        text::read_sequences_file(path, &alphabet).map_err(|e| e.to_string())?;
+    let sequences = text::read_sequences_file(path, &alphabet).map_err(|e| e.to_string())?;
     Ok((alphabet, sequences))
 }
 
@@ -548,10 +718,7 @@ fn load_matrix(path: &str, expected: &Alphabet) -> CliResult<(Alphabet, Compatib
     Ok((alphabet, matrix))
 }
 
-fn maybe_normalize(
-    matrix: CompatibilityMatrix,
-    opts: &Opts,
-) -> CliResult<CompatibilityMatrix> {
+fn maybe_normalize(matrix: CompatibilityMatrix, opts: &Opts) -> CliResult<CompatibilityMatrix> {
     if opts.flag("normalize") {
         matrix
             .diagonal_normalized_clamped()

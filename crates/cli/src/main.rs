@@ -8,6 +8,8 @@
 //! noisemine mine    --db db.txt [--matrix m.txt] [--normalize] [--min-match 0.1]
 //!                   [--algorithm three-phase|levelwise|depth-first|max-miner] [--top k]
 //!                   [--max-gap 0] [--max-len 16] [--sample N] [--strategy border|levelwise]
+//! noisemine stream  --db db.txt [--matrix m.txt] [--checkpoint state.ckpt]
+//!                   [--chunk 1000] [--min-match 0.1] [--sample 1000]
 //! noisemine convert --db db.txt --out db.nmdb
 //! ```
 
@@ -31,13 +33,21 @@ USAGE:
                     [--max-gap 0] [--max-len 16] [--sample N] [--delta 0.001]
                     [--counters 100000] [--strategy border|levelwise]
                     [--seed 2002] [--limit 50] [--top k]
+  noisemine stream  --db db.txt|- [--matrix m.txt] [--normalize]
+                    [--checkpoint state.ckpt] [--chunk 1000] [--min-match 0.1]
+                    [--sample 1000] [--delta 0.001] [--counters 100000]
+                    [--max-gap 0] [--max-len 16] [--strategy border|levelwise]
+                    [--seed 2002] [--limit 50]
   noisemine learn   --truth clean.txt --observed noisy.txt --out m.txt [--lambda 0.1]
   noisemine convert --db db.txt --out db.nmdb
 
 Databases are plain text (one sequence per line, single letters or
 whitespace-separated tokens; `#`, `>` and blank lines skipped). Matrices use
 the #noisemine-matrix dense/sparse text format. --normalize mines with the
-diagonal-normalized score matrix (match on the noise-free support scale).";
+diagonal-normalized score matrix (match on the noise-free support scale).
+`stream` ingests incrementally, re-mines only when symbol-match estimates
+drift past the Chernoff bound, and persists engine state via --checkpoint so
+a later run over a grown file resumes from the tail.";
 
 fn run() -> CliResult<()> {
     let opts = Opts::parse(std::env::args().skip(1))?;
@@ -46,6 +56,7 @@ fn run() -> CliResult<()> {
         "stats" => commands::cmd_stats(&opts),
         "match" => commands::cmd_match(&opts),
         "mine" => commands::cmd_mine(&opts),
+        "stream" => commands::cmd_stream(&opts),
         "convert" => commands::cmd_convert(&opts),
         "learn" => commands::cmd_learn(&opts),
         "help" | "--help" | "-h" => {

@@ -54,7 +54,13 @@ fn gen_stats_match_mine_round_trip() {
     generate(&db, &matrix);
 
     // stats reports the generated shape.
-    let out = noisemine(&["stats", "--db", db.to_str().unwrap(), "--matrix", matrix.to_str().unwrap()]);
+    let out = noisemine(&[
+        "stats",
+        "--db",
+        db.to_str().unwrap(),
+        "--matrix",
+        matrix.to_str().unwrap(),
+    ]);
     assert!(out.status.success(), "{}", stderr(&out));
     let text = stdout(&out);
     assert!(text.contains("sequences:        120"), "{text}");
@@ -181,13 +187,7 @@ fn error_paths_exit_nonzero_with_usage() {
 
     // Bad noise spec.
     let db = tmp("noise-db.txt");
-    let out = noisemine(&[
-        "gen",
-        "--out",
-        db.to_str().unwrap(),
-        "--noise",
-        "gamma:0.5",
-    ]);
+    let out = noisemine(&["gen", "--out", db.to_str().unwrap(), "--noise", "gamma:0.5"]);
     assert_eq!(out.status.code(), Some(2));
     assert!(stderr(&out).contains("unknown noise kind"));
 
@@ -249,7 +249,11 @@ fn output_formats() {
         "csv",
     ]);
     assert!(out.status.success(), "{}", stderr(&out));
-    assert!(stdout(&out).starts_with("pattern,match"), "{}", stdout(&out));
+    assert!(
+        stdout(&out).starts_with("pattern,match"),
+        "{}",
+        stdout(&out)
+    );
 
     // Unknown format fails before mining.
     let out = noisemine(&["mine", "--db", db.to_str().unwrap(), "--format", "yaml"]);

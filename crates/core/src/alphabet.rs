@@ -172,9 +172,7 @@ impl Alphabet {
             // A single multi-character name like "d12".
             Ok(vec![sym])
         } else {
-            text.chars()
-                .map(|c| self.symbol(&c.to_string()))
-                .collect()
+            text.chars().map(|c| self.symbol(&c.to_string())).collect()
         }
     }
 

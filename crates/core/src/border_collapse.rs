@@ -55,6 +55,9 @@ pub struct CollapseResult {
     /// border sits from the estimate shows up as how much counting each
     /// verification scan needs).
     pub probes_per_scan: Vec<usize>,
+    /// Pre-verified patterns applied without scanning (see
+    /// [`collapse_with_known`]).
+    pub known_applied: usize,
 }
 
 /// The order in which ambiguous patterns are probed.
@@ -75,7 +78,35 @@ pub enum ProbeStrategy {
 /// database scan evaluates at most that many patterns ("until the memory is
 /// filled up", Algorithm 4.3).
 pub fn collapse<S: SequenceScan + ?Sized>(
+    space: AmbiguousSpace,
+    db: &S,
+    matrix: &CompatibilityMatrix,
+    min_match: f64,
+    counters_per_scan: usize,
+    strategy: ProbeStrategy,
+) -> CollapseResult {
+    collapse_with_known(
+        space,
+        &[],
+        db,
+        matrix,
+        min_match,
+        counters_per_scan,
+        strategy,
+    )
+}
+
+/// [`collapse`] with a set of *pre-verified* exact matches.
+///
+/// `known` holds `(pattern, exact database match)` pairs the caller already
+/// maintains — an incremental engine keeps online counters for the patterns
+/// it has probed before. Those verdicts are applied first, collapsing their
+/// region of the ambiguous space via Apriori propagation without a single
+/// database scan; only what remains is probed. Known patterns outside the
+/// ambiguous space are ignored.
+pub fn collapse_with_known<S: SequenceScan + ?Sized>(
     mut space: AmbiguousSpace,
+    known: &[(Pattern, f64)],
     db: &S,
     matrix: &CompatibilityMatrix,
     min_match: f64,
@@ -85,6 +116,20 @@ pub fn collapse<S: SequenceScan + ?Sized>(
     assert!(counters_per_scan >= 1, "need room for at least one counter");
     let mut result = CollapseResult::default();
 
+    let (known_patterns, known_values): (Vec<Pattern>, Vec<f64>) = known
+        .iter()
+        .filter(|(p, _)| space.contains(p))
+        .cloned()
+        .unzip();
+    result.known_applied = known_patterns.len();
+    apply_exact_values(
+        &mut space,
+        &mut result,
+        &known_patterns,
+        &known_values,
+        min_match,
+    );
+
     while !space.is_empty() {
         let probes = select_probes(&space, counters_per_scan, strategy);
         debug_assert!(!probes.is_empty());
@@ -92,32 +137,7 @@ pub fn collapse<S: SequenceScan + ?Sized>(
         result.scans += 1;
         result.probes += probes.len();
         result.probes_per_scan.push(probes.len());
-
-        // Apply probe outcomes bottom-up (ascending concrete-symbol count);
-        // the exact values make the final verdicts order-independent, and
-        // probed patterns always get their exact value recorded even when a
-        // sibling probe in the same batch already propagated over them.
-        let mut order: Vec<usize> = (0..probes.len()).collect();
-        order.sort_by_key(|&i| probes[i].non_eternal_count());
-        for &i in &order {
-            let pattern = &probes[i];
-            let value = values[i];
-            if !space.contains(pattern) {
-                attach_exact_value(&mut result, pattern, value, min_match);
-                continue;
-            }
-            if value >= min_match {
-                for p in space.resolve_frequent(pattern) {
-                    push(&mut result, p, true);
-                }
-                replace_probe_record(&mut result, pattern, value, true);
-            } else {
-                for p in space.resolve_infrequent(pattern) {
-                    push(&mut result, p, false);
-                }
-                replace_probe_record(&mut result, pattern, value, false);
-            }
-        }
+        apply_exact_values(&mut space, &mut result, &probes, &values, min_match);
     }
 
     result.propagated = result
@@ -127,6 +147,41 @@ pub fn collapse<S: SequenceScan + ?Sized>(
         .filter(|r| r.resolution == Resolution::Propagated)
         .count();
     result
+}
+
+/// Applies a batch of exact match values to the ambiguous space, bottom-up
+/// (ascending concrete-symbol count); the exact values make the final
+/// verdicts order-independent, and evaluated patterns always get their exact
+/// value recorded even when a sibling in the same batch already propagated
+/// over them.
+fn apply_exact_values(
+    space: &mut AmbiguousSpace,
+    result: &mut CollapseResult,
+    patterns: &[Pattern],
+    values: &[f64],
+    min_match: f64,
+) {
+    let mut order: Vec<usize> = (0..patterns.len()).collect();
+    order.sort_by_key(|&i| patterns[i].non_eternal_count());
+    for &i in &order {
+        let pattern = &patterns[i];
+        let value = values[i];
+        if !space.contains(pattern) {
+            attach_exact_value(result, pattern, value, min_match);
+            continue;
+        }
+        if value >= min_match {
+            for p in space.resolve_frequent(pattern) {
+                push(result, p, true);
+            }
+            replace_probe_record(result, pattern, value, true);
+        } else {
+            for p in space.resolve_infrequent(pattern) {
+                push(result, p, false);
+            }
+            replace_probe_record(result, pattern, value, false);
+        }
+    }
 }
 
 /// Records a resolved pattern; the probe pattern itself is upgraded to
@@ -170,22 +225,13 @@ fn replace_probe_record(
 
 /// A probed pattern that was propagated earlier in the same batch still has
 /// an exact value available — attach it.
-fn attach_exact_value(
-    result: &mut CollapseResult,
-    pattern: &Pattern,
-    value: f64,
-    min_match: f64,
-) {
+fn attach_exact_value(result: &mut CollapseResult, pattern: &Pattern, value: f64, min_match: f64) {
     let frequent = value >= min_match;
     replace_probe_record(result, pattern, value, frequent);
 }
 
 /// Selects up to `budget` patterns to probe in the next scan.
-fn select_probes(
-    space: &AmbiguousSpace,
-    budget: usize,
-    strategy: ProbeStrategy,
-) -> Vec<Pattern> {
+fn select_probes(space: &AmbiguousSpace, budget: usize, strategy: ProbeStrategy) -> Vec<Pattern> {
     let (lo, hi) = space
         .level_range()
         .expect("select_probes requires a non-empty space");
@@ -273,11 +319,7 @@ mod tests {
     fn chain_collapses_in_one_scan_with_enough_memory() {
         // Figure 6(a)'s chain: with a big enough budget every layer fits in
         // one scan.
-        let chain = vec![
-            pat("d1"),
-            pat("d1 d2"),
-            pat("d1 d2 d0"),
-        ];
+        let chain = vec![pat("d1"), pat("d1 d2"), pat("d1 d2 d0")];
         let space = AmbiguousSpace::new(chain);
         let database = db();
         let matrix = CompatibilityMatrix::paper_figure2();
@@ -390,6 +432,111 @@ mod tests {
         let freq_lw: std::collections::HashSet<_> =
             lw.frequent.iter().map(|r| r.pattern.clone()).collect();
         assert_eq!(freq_bc, freq_lw);
+    }
+
+    #[test]
+    fn fully_known_space_collapses_without_scans() {
+        let database = db();
+        let matrix = CompatibilityMatrix::paper_figure2();
+        let min_match = 0.15;
+        let patterns = vec![pat("d0"), pat("d1"), pat("d1 d0"), pat("d3 d1 d0")];
+        let known: Vec<(Pattern, f64)> = patterns
+            .iter()
+            .map(|p| (p.clone(), db_match(p, &database, &matrix)))
+            .collect();
+        let r = collapse_with_known(
+            AmbiguousSpace::new(patterns.clone()),
+            &known,
+            &database,
+            &matrix,
+            min_match,
+            10,
+            ProbeStrategy::BorderCollapsing,
+        );
+        assert_eq!(r.scans, 0, "known values must resolve without scanning");
+        assert_eq!(r.frequent.len() + r.infrequent.len(), patterns.len());
+        for p in &patterns {
+            let exact = db_match(p, &database, &matrix);
+            let in_frequent = r.frequent.iter().any(|x| x.pattern == *p);
+            assert_eq!(in_frequent, exact >= min_match, "{p}");
+        }
+    }
+
+    #[test]
+    fn partially_known_space_agrees_with_plain_collapse() {
+        let database = db();
+        let matrix = CompatibilityMatrix::paper_figure2();
+        let min_match = 0.15;
+        let patterns = vec![
+            pat("d0"),
+            pat("d1"),
+            pat("d3"),
+            pat("d1 d0"),
+            pat("d3 d1"),
+            pat("d3 d1 d0"),
+            pat("d0 d1"),
+            pat("d0 d1 d2"),
+        ];
+        // Exact values for a couple of mid-lattice patterns only.
+        let known: Vec<(Pattern, f64)> = [pat("d3 d1"), pat("d0 d1")]
+            .iter()
+            .map(|p| (p.clone(), db_match(p, &database, &matrix)))
+            .collect();
+        let with_known = collapse_with_known(
+            AmbiguousSpace::new(patterns.clone()),
+            &known,
+            &database,
+            &matrix,
+            min_match,
+            2,
+            ProbeStrategy::BorderCollapsing,
+        );
+        let plain = collapse(
+            AmbiguousSpace::new(patterns.clone()),
+            &database,
+            &matrix,
+            min_match,
+            2,
+            ProbeStrategy::BorderCollapsing,
+        );
+        assert_eq!(with_known.known_applied, 2);
+        assert!(with_known.scans <= plain.scans);
+        let freq_known: std::collections::HashSet<_> = with_known
+            .frequent
+            .iter()
+            .map(|r| r.pattern.clone())
+            .collect();
+        let freq_plain: std::collections::HashSet<_> =
+            plain.frequent.iter().map(|r| r.pattern.clone()).collect();
+        assert_eq!(freq_known, freq_plain);
+        // Everything resolved exactly once.
+        for p in &patterns {
+            let in_frequent = with_known.frequent.iter().any(|x| x.pattern == *p);
+            let in_infrequent = with_known.infrequent.iter().any(|x| x.pattern == *p);
+            assert!(in_frequent ^ in_infrequent, "{p} resolved twice or never");
+        }
+    }
+
+    #[test]
+    fn known_patterns_outside_space_are_ignored() {
+        let database = db();
+        let matrix = CompatibilityMatrix::paper_figure2();
+        let known = vec![(pat("d4 d4"), 0.9)];
+        let r = collapse_with_known(
+            AmbiguousSpace::new(vec![pat("d1")]),
+            &known,
+            &database,
+            &matrix,
+            0.15,
+            10,
+            ProbeStrategy::BorderCollapsing,
+        );
+        assert_eq!(r.known_applied, 0);
+        assert!(!r
+            .frequent
+            .iter()
+            .chain(&r.infrequent)
+            .any(|x| x.pattern == pat("d4 d4")));
     }
 
     #[test]

@@ -163,9 +163,7 @@ mod tests {
         // §4: match of (d1, *, d2) with symbol matches 0.1 and 0.05 → R = 0.05.
         assert!((restricted_spread(&p, &symbol_match) - 0.05).abs() < 1e-12);
         assert_eq!(SpreadMode::Full.spread(&p, &symbol_match), 1.0);
-        assert!(
-            (SpreadMode::Restricted.spread(&p, &symbol_match) - 0.05).abs() < 1e-12
-        );
+        assert!((SpreadMode::Restricted.spread(&p, &symbol_match) - 0.05).abs() < 1e-12);
     }
 
     #[test]

@@ -42,11 +42,7 @@ impl Border {
     /// pattern is now represented on the border (i.e. it was not already
     /// covered by a superpattern).
     pub fn insert(&mut self, pattern: Pattern) -> bool {
-        if self
-            .elements
-            .iter()
-            .any(|e| pattern.is_subpattern_of(e))
-        {
+        if self.elements.iter().any(|e| pattern.is_subpattern_of(e)) {
             return false;
         }
         self.elements.retain(|e| !e.is_subpattern_of(&pattern));
@@ -268,10 +264,7 @@ mod tests {
 
     #[test]
     fn halfway_dedups_across_pairs() {
-        let mids = halfway(
-            &[pat("d1"), pat("d2")],
-            &[pat("d1 d2 d3"), pat("d1 d2 d4")],
-        );
+        let mids = halfway(&[pat("d1"), pat("d2")], &[pat("d1 d2 d3"), pat("d1 d2 d4")]);
         let set: HashSet<&Pattern> = mids.iter().collect();
         assert_eq!(set.len(), mids.len(), "halfway output contains duplicates");
     }

@@ -72,5 +72,5 @@ pub use error::{Error, Result};
 pub use lattice::Border;
 pub use matching::{MatchMetric, PatternMetric, SequenceScan, SupportMetric};
 pub use matrix::CompatibilityMatrix;
-pub use miner::{mine, FrequentPattern, MineOutcome, MinerConfig, MineStats};
+pub use miner::{mine, FrequentPattern, MineOutcome, MineStats, MinerConfig};
 pub use pattern::{Pattern, PatternElem};

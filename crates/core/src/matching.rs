@@ -190,8 +190,7 @@ pub fn db_match_many<S: SequenceScan + ?Sized>(
             }
         });
         if !buffer.is_empty() {
-            let partial =
-                crate::parallel::sum_sequence_matches(patterns, &buffer, matrix, threads);
+            let partial = crate::parallel::sum_sequence_matches(patterns, &buffer, matrix, threads);
             for (t, v) in totals.iter_mut().zip(&partial) {
                 *t += v;
             }
@@ -212,14 +211,10 @@ pub fn sequence_support(pattern: &Pattern, sequence: &[Symbol]) -> f64 {
         return 0.0;
     }
     let hit = sequence.windows(l).any(|w| {
-        pattern
-            .elems()
-            .iter()
-            .zip(w)
-            .all(|(e, &obs)| match e {
-                PatternElem::Any => true,
-                PatternElem::Sym(s) => *s == obs,
-            })
+        pattern.elems().iter().zip(w).all(|(e, &obs)| match e {
+            PatternElem::Any => true,
+            PatternElem::Sym(s) => *s == obs,
+        })
     });
     if hit {
         1.0
@@ -430,10 +425,7 @@ impl SymbolMatchScratch {
 
 /// Match of every individual symbol across the whole database — the output
 /// of Algorithm 4.1 (sampling is layered on top by the miner). One scan.
-pub fn symbol_db_match<S: SequenceScan + ?Sized>(
-    db: &S,
-    matrix: &CompatibilityMatrix,
-) -> Vec<f64> {
+pub fn symbol_db_match<S: SequenceScan + ?Sized>(db: &S, matrix: &CompatibilityMatrix) -> Vec<f64> {
     let m = matrix.len();
     let n = db.num_sequences();
     let mut match_acc = vec![0.0f64; m];
@@ -608,22 +600,15 @@ mod tests {
         let mut total = 0.0;
         for a in 0..5u16 {
             for b in 0..5u16 {
-                let pattern =
-                    Pattern::contiguous(&[Symbol(a), Symbol(b)]).unwrap();
+                let pattern = Pattern::contiguous(&[Symbol(a), Symbol(b)]).unwrap();
                 total += segment_match(&pattern, &obs, &c);
             }
         }
         assert!((total - 1.0).abs() < 1e-9, "total {total}");
         // Spot values from Figure 4(d).
-        assert!(
-            (segment_match(&p("d2 d2"), &obs, &c) - 0.64).abs() < 1e-12
-        );
-        assert!(
-            (segment_match(&p("d2 d1"), &obs, &c) - 0.08).abs() < 1e-12
-        );
-        assert!(
-            (segment_match(&p("d1 d4"), &obs, &c) - 0.01).abs() < 1e-12
-        );
+        assert!((segment_match(&p("d2 d2"), &obs, &c) - 0.64).abs() < 1e-12);
+        assert!((segment_match(&p("d2 d1"), &obs, &c) - 0.08).abs() < 1e-12);
+        assert!((segment_match(&p("d1 d4"), &obs, &c) - 0.01).abs() < 1e-12);
     }
 
     #[test]

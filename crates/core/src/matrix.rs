@@ -405,12 +405,7 @@ impl CompatibilityMatrix {
                 // the other symbols so the column still sums to 1.
                 let spread = (1.0 - new_diag) / (m as f64 - 1.0);
                 *col = (0..m)
-                    .map(|i| {
-                        (
-                            Symbol(i as u16),
-                            if i == j { new_diag } else { spread },
-                        )
-                    })
+                    .map(|i| (Symbol(i as u16), if i == j { new_diag } else { spread }))
                     .collect();
             }
         }
@@ -579,13 +574,15 @@ mod tests {
     #[test]
     fn sparse_columns_round_trip() {
         let fig2 = CompatibilityMatrix::paper_figure2();
-        let cols: Vec<Vec<(Symbol, f64)>> = (0..5u16)
-            .map(|j| fig2.column(Symbol(j)).to_vec())
-            .collect();
+        let cols: Vec<Vec<(Symbol, f64)>> =
+            (0..5u16).map(|j| fig2.column(Symbol(j)).to_vec()).collect();
         let rebuilt = CompatibilityMatrix::from_sparse_columns(cols).unwrap();
         for i in 0..5u16 {
             for j in 0..5u16 {
-                assert_eq!(rebuilt.get(Symbol(i), Symbol(j)), fig2.get(Symbol(i), Symbol(j)));
+                assert_eq!(
+                    rebuilt.get(Symbol(i), Symbol(j)),
+                    fig2.get(Symbol(i), Symbol(j))
+                );
             }
         }
         assert!(rebuilt.is_dense());
@@ -596,9 +593,7 @@ mod tests {
         // Build a large identity-like matrix from sparse columns; storage
         // must switch to sparse and lookups must still be exact.
         let m = DENSE_STORAGE_LIMIT + 10;
-        let cols: Vec<Vec<(Symbol, f64)>> = (0..m)
-            .map(|j| vec![(Symbol(j as u16), 1.0)])
-            .collect();
+        let cols: Vec<Vec<(Symbol, f64)>> = (0..m).map(|j| vec![(Symbol(j as u16), 1.0)]).collect();
         let c = CompatibilityMatrix::from_sparse_columns(cols).unwrap();
         assert!(!c.is_dense());
         assert!(c.is_identity());
@@ -660,11 +655,7 @@ mod tests {
     #[test]
     fn diagonal_normalized_rejects_weak_diagonal() {
         // d0's row max is at column 1, so normalization would exceed 1.
-        let c = CompatibilityMatrix::from_rows(vec![
-            vec![0.3, 0.7],
-            vec![0.7, 0.3],
-        ])
-        .unwrap();
+        let c = CompatibilityMatrix::from_rows(vec![vec![0.3, 0.7], vec![0.7, 0.3]]).unwrap();
         assert!(c.diagonal_normalized().is_err());
     }
 

@@ -84,9 +84,8 @@ fn parse_dense(lines: &[String]) -> Result<(Alphabet, CompatibilityMatrix)> {
         let row: Vec<f64> = line
             .split_whitespace()
             .map(|t| {
-                t.parse::<f64>().map_err(|_| {
-                    Error::InvalidMatrix(format!("row {i}: {t:?} is not a number"))
-                })
+                t.parse::<f64>()
+                    .map_err(|_| Error::InvalidMatrix(format!("row {i}: {t:?} is not a number")))
             })
             .collect::<Result<_>>()?;
         rows.push(row);
@@ -223,7 +222,10 @@ mod tests {
         assert_eq!(a2.name(Symbol(0)).unwrap(), "d1");
         for i in 0..5u16 {
             for j in 0..5u16 {
-                assert_eq!(m2.get(Symbol(i), Symbol(j)), matrix.get(Symbol(i), Symbol(j)));
+                assert_eq!(
+                    m2.get(Symbol(i), Symbol(j)),
+                    matrix.get(Symbol(i), Symbol(j))
+                );
             }
         }
     }
@@ -236,7 +238,10 @@ mod tests {
         let (_, m2) = read_matrix(text.as_bytes()).unwrap();
         for i in 0..5u16 {
             for j in 0..5u16 {
-                assert_eq!(m2.get(Symbol(i), Symbol(j)), matrix.get(Symbol(i), Symbol(j)));
+                assert_eq!(
+                    m2.get(Symbol(i), Symbol(j)),
+                    matrix.get(Symbol(i), Symbol(j))
+                );
             }
         }
     }

@@ -18,7 +18,7 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use crate::alphabet::Symbol;
-use crate::border_collapse::{collapse, ProbeStrategy, Resolution};
+use crate::border_collapse::{collapse_with_known, CollapseResult, ProbeStrategy, Resolution};
 use crate::candidates::{LevelTrace, PatternSpace};
 use crate::chernoff::SpreadMode;
 use crate::error::{Error, Result};
@@ -249,15 +249,56 @@ pub fn mine<S: SequenceScan + ?Sized>(
     config: &MinerConfig,
 ) -> Result<MineOutcome> {
     config.validate()?;
-    let mut stats = MineStats::default();
     let mut rng = StdRng::seed_from_u64(config.seed);
 
     // Phase 1: symbol matches + sample, one scan.
     let t0 = Instant::now();
     let p1 = phase1(db, matrix, config.sample_size, &mut rng);
-    stats.db_scans += 1;
-    stats.sample_size = p1.sample.len();
-    stats.phase1_time = t0.elapsed();
+    let phase1_time = t0.elapsed();
+
+    let mut outcome = mine_from_phase1(db, matrix, config, &p1)?;
+    outcome.stats.db_scans += 1;
+    outcome.stats.phase1_time = phase1_time;
+    Ok(outcome)
+}
+
+/// Runs phases 2 and 3 on an already-computed [`Phase1Output`].
+///
+/// This is the batch miner minus the phase-1 scan: an engine that maintains
+/// symbol matches and a sample *incrementally* (the streaming engine in
+/// `noisemine-stream`) calls this to re-mine without touching phase 1.
+/// `stats.db_scans` counts only phase-3 scans and `stats.phase1_time` stays
+/// zero; [`mine`] adds its own phase-1 contribution on top.
+pub fn mine_from_phase1<S: SequenceScan + ?Sized>(
+    db: &S,
+    matrix: &CompatibilityMatrix,
+    config: &MinerConfig,
+    p1: &Phase1Output,
+) -> Result<MineOutcome> {
+    Ok(mine_from_phase1_with_known(db, matrix, config, p1, &[])?.0)
+}
+
+/// [`mine_from_phase1`] with pre-verified exact matches for phase 3.
+///
+/// `known` pairs patterns with their *exact database match*, maintained
+/// online by the caller; phase 3 applies them through
+/// [`collapse_with_known`] so previously verified patterns collapse their
+/// region of the ambiguous space with zero scans. Also returns the raw
+/// phase-3 [`CollapseResult`] so an incremental caller can adopt the
+/// probed FQT/INFQT border patterns (with their exact matches) as its next
+/// tracked set.
+pub fn mine_from_phase1_with_known<S: SequenceScan + ?Sized>(
+    db: &S,
+    matrix: &CompatibilityMatrix,
+    config: &MinerConfig,
+    p1: &Phase1Output,
+    known: &[(Pattern, f64)],
+) -> Result<(MineOutcome, CollapseResult)> {
+    config.validate()?;
+    let mut stats = MineStats {
+        sample_size: p1.sample.len(),
+        ..MineStats::default()
+    };
 
     // Phase 2: classify candidates on the sample.
     let t1 = Instant::now();
@@ -275,7 +316,10 @@ pub fn mine<S: SequenceScan + ?Sized>(
         return Err(Error::InvalidConfig(format!(
             "phase 2 exceeded the {}-pattern budget: the Chernoff band (delta = {}, {} samples) \
              is too wide to prune at min_match = {} — raise the sample size, threshold, or delta",
-            config.max_sample_patterns, config.delta, p1.sample.len(), config.min_match
+            config.max_sample_patterns,
+            config.delta,
+            p1.sample.len(),
+            config.min_match
         )));
     }
     stats.trace = p2.trace.clone();
@@ -286,8 +330,9 @@ pub fn mine<S: SequenceScan + ?Sized>(
     // Phase 3: resolve the ambiguous patterns against the full database.
     let t2 = Instant::now();
     let ambiguous = AmbiguousSpace::new(p2.ambiguous.iter().map(|(p, _)| p.clone()));
-    let p3 = collapse(
+    let p3 = collapse_with_known(
         ambiguous,
+        known,
         db,
         matrix,
         config.min_match,
@@ -303,12 +348,15 @@ pub fn mine<S: SequenceScan + ?Sized>(
     // Assemble: sample-confident frequents + phase-3 resolutions.
     let (frequent, border) = assemble_outcome(&p2, &p3);
 
-    Ok(MineOutcome {
-        frequent,
-        border,
-        symbol_match: p1.symbol_match,
-        stats,
-    })
+    Ok((
+        MineOutcome {
+            frequent,
+            border,
+            symbol_match: p1.symbol_match.clone(),
+            stats,
+        },
+        p3,
+    ))
 }
 
 /// Assembles the final frequent-pattern list (with provenance and best

@@ -37,9 +37,7 @@ pub fn sum_sequence_matches(
     if p == 0 || sequences.is_empty() {
         return vec![0.0; p];
     }
-    let threads = threads
-        .max(1)
-        .min(sequences.len().div_ceil(CHUNK_SIZE));
+    let threads = threads.max(1).min(sequences.len().div_ceil(CHUNK_SIZE));
     if threads == 1 || p * sequences.len() < PARALLEL_THRESHOLD {
         // Serial path, but with the *same* chunked accumulation grouping as
         // the parallel path, so every thread count produces bit-identical
@@ -61,22 +59,23 @@ pub fn sum_sequence_matches(
     let next = AtomicUsize::new(0);
     let mut partials: Vec<Vec<f64>> = vec![Vec::new(); num_chunks];
     {
-        let partial_slots: Vec<parking_lot::Mutex<&mut Vec<f64>>> =
-            partials.iter_mut().map(parking_lot::Mutex::new).collect();
-        crossbeam::thread::scope(|scope| {
+        let partial_slots: Vec<std::sync::Mutex<&mut Vec<f64>>> =
+            partials.iter_mut().map(std::sync::Mutex::new).collect();
+        std::thread::scope(|scope| {
             for _ in 0..threads {
-                scope.spawn(|_| loop {
+                scope.spawn(|| loop {
                     let idx = next.fetch_add(1, Ordering::Relaxed);
                     if idx >= num_chunks {
                         break;
                     }
                     let mut totals = vec![0.0f64; p];
                     accumulate(patterns, chunks[idx], matrix, &mut totals);
-                    **partial_slots[idx].lock() = totals;
+                    **partial_slots[idx]
+                        .lock()
+                        .expect("match-evaluation worker panicked") = totals;
                 });
             }
-        })
-        .expect("match-evaluation worker panicked");
+        });
     }
 
     // Ordered reduction: chunk 0 + chunk 1 + … regardless of which thread
@@ -112,9 +111,7 @@ mod tests {
         let a = Alphabet::synthetic(6);
         let patterns: Vec<Pattern> = (0..6u16)
             .flat_map(|x| {
-                (0..6u16).map(move |y| {
-                    Pattern::contiguous(&[Symbol(x), Symbol(y)]).unwrap()
-                })
+                (0..6u16).map(move |y| Pattern::contiguous(&[Symbol(x), Symbol(y)]).unwrap())
             })
             .collect();
         let sequences: Vec<Vec<Symbol>> = (0..500)

@@ -223,14 +223,13 @@ impl Pattern {
     /// (Definition 3.3). Empty when `self` is not a subpattern of `other`.
     pub fn alignments_in<'a>(&'a self, other: &'a Pattern) -> impl Iterator<Item = usize> + 'a {
         let (l, l2) = (self.len(), other.len());
-        (0..=(l2.saturating_sub(l)))
-            .filter(move |&j| {
-                l <= l2
-                    && self.elems.iter().enumerate().all(|(i, e)| match e {
-                        PatternElem::Any => true,
-                        PatternElem::Sym(_) => *e == other.elems[i + j],
-                    })
-            })
+        (0..=(l2.saturating_sub(l))).filter(move |&j| {
+            l <= l2
+                && self.elems.iter().enumerate().all(|(i, e)| match e {
+                    PatternElem::Any => true,
+                    PatternElem::Sym(_) => *e == other.elems[i + j],
+                })
+        })
     }
 
     /// The immediate subpatterns of `self`: every pattern obtained by
@@ -280,10 +279,7 @@ impl Pattern {
                 }
                 used
             };
-            let extra: Vec<usize> = sup
-                .symbol_positions()
-                .filter(|&p| !used[p])
-                .collect();
+            let extra: Vec<usize> = sup.symbol_positions().filter(|&p| !used[p]).collect();
             let need = k - k1;
             if need > extra.len() {
                 continue;
@@ -332,7 +328,13 @@ impl fmt::Display for Pattern {
 fn combinations(items: &[usize], choose: usize) -> Vec<Vec<usize>> {
     let mut out = Vec::new();
     let mut cur = Vec::with_capacity(choose);
-    fn rec(items: &[usize], choose: usize, start: usize, cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+    fn rec(
+        items: &[usize],
+        choose: usize,
+        start: usize,
+        cur: &mut Vec<usize>,
+        out: &mut Vec<Vec<usize>>,
+    ) {
         if cur.len() == choose {
             out.push(cur.clone());
             return;

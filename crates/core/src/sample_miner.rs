@@ -110,7 +110,15 @@ pub fn mine_sample_budgeted(
     let values = sample_matches(&level1, sample, matrix, n);
     let mut level_survivors = 0usize;
     for (pattern, value) in level1.iter().zip(&values) {
-        let label = label_pattern(pattern, *value, symbol_match, min_match, delta, n, spread_mode);
+        let label = label_pattern(
+            pattern,
+            *value,
+            symbol_match,
+            min_match,
+            delta,
+            n,
+            spread_mode,
+        );
         record(&mut result, pattern.clone(), *value, label);
         if label != Label::Infrequent {
             alive.insert(pattern.clone());
@@ -172,8 +180,15 @@ pub fn mine_sample_budgeted(
         let mut next_survivors = Vec::new();
         let mut survived = 0usize;
         for (pattern, value) in candidates.iter().zip(&values) {
-            let label =
-                label_pattern(pattern, *value, symbol_match, min_match, delta, n, spread_mode);
+            let label = label_pattern(
+                pattern,
+                *value,
+                symbol_match,
+                min_match,
+                delta,
+                n,
+                spread_mode,
+            );
             record(&mut result, pattern.clone(), *value, label);
             if label != Label::Infrequent {
                 alive.insert(pattern.clone());

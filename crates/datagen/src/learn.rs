@@ -107,10 +107,8 @@ impl ConfusionCounts {
         let m = self.m;
         let mut columns: Vec<Vec<(Symbol, f64)>> = vec![Vec::new(); m];
         for (j, column) in columns.iter_mut().enumerate() {
-            let col_total: f64 = (0..m)
-                .map(|i| self.counts[i * m + j] as f64)
-                .sum::<f64>()
-                + lambda * m as f64;
+            let col_total: f64 =
+                (0..m).map(|i| self.counts[i * m + j] as f64).sum::<f64>() + lambda * m as f64;
             if col_total == 0.0 {
                 return Err(Error::InvalidMatrix(format!(
                     "symbol d{j} never observed in the training data; use lambda > 0 or more data"
@@ -177,10 +175,7 @@ mod tests {
             for j in 0..8u16 {
                 let t = truth.get(Symbol(i), Symbol(j));
                 let l = learned.get(Symbol(i), Symbol(j));
-                assert!(
-                    (t - l).abs() < 0.03,
-                    "C(d{i}, d{j}): true {t}, learned {l}"
-                );
+                assert!((t - l).abs() < 0.03, "C(d{i}, d{j}): true {t}, learned {l}");
             }
         }
     }
@@ -224,9 +219,7 @@ mod tests {
         assert!(c
             .observe_pair(&[Symbol(0), Symbol(1)], &[Symbol(0)])
             .is_err());
-        assert!(c
-            .observe_pairs(&[vec![Symbol(0)]], &[])
-            .is_err());
+        assert!(c.observe_pairs(&[vec![Symbol(0)]], &[]).is_err());
     }
 
     #[test]

@@ -165,9 +165,7 @@ fn embed(
     let max_start = seq.len() - l;
     let mut start = rng.gen_range(0..=max_start);
     for _ in 0..16 {
-        let overlaps = occupied
-            .iter()
-            .any(|&(a, b)| start < b && start + l > a);
+        let overlaps = occupied.iter().any(|&(a, b)| start < b && start + l > a);
         if !overlaps {
             break;
         }
@@ -268,10 +266,7 @@ mod tests {
                 counts[sym.index()] += 1;
             }
         }
-        assert!(
-            counts[0] > counts[9] * 3,
-            "Zipf skew missing: {counts:?}"
-        );
+        assert!(counts[0] > counts[9] * 3, "Zipf skew missing: {counts:?}");
     }
 
     #[test]

@@ -134,7 +134,10 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert_eq!(scalability_db(100, 20, 30, 5), scalability_db(100, 20, 30, 5));
+        assert_eq!(
+            scalability_db(100, 20, 30, 5),
+            scalability_db(100, 20, 30, 5)
+        );
         let a = sparse_random_matrix(20, 0.2, 0.8, 9);
         let b = sparse_random_matrix(20, 0.2, 0.8, 9);
         for i in 0..20u16 {

@@ -72,8 +72,7 @@ impl ProteinWorkload {
     pub fn new(config: ProteinWorkloadConfig) -> Self {
         assert!(config.min_motif_len >= 2, "motifs must have length >= 2");
         assert!(
-            config.max_motif_len >= config.min_motif_len
-                && config.max_motif_len <= config.min_len,
+            config.max_motif_len >= config.min_motif_len && config.max_motif_len <= config.min_len,
             "motif lengths must fit in the shortest sequence"
         );
         let alphabet = Alphabet::amino_acids();
@@ -84,12 +83,9 @@ impl ProteinWorkload {
                 config.max_motif_len
             } else {
                 config.min_motif_len
-                    + i * (config.max_motif_len - config.min_motif_len)
-                        / (config.num_motifs - 1)
+                    + i * (config.max_motif_len - config.min_motif_len) / (config.num_motifs - 1)
             };
-            let symbols: Vec<Symbol> = (0..len)
-                .map(|_| Symbol(rng.gen_range(0..20u16)))
-                .collect();
+            let symbols: Vec<Symbol> = (0..len).map(|_| Symbol(rng.gen_range(0..20u16))).collect();
             motifs.push(Pattern::contiguous(&symbols).expect("non-empty motif"));
         }
         let gen_cfg = GeneratorConfig {
@@ -155,11 +151,7 @@ impl ProteinWorkload {
     /// Derives a test database mutated per the BLOSUM50 channel at rate
     /// `mu`, with the matching compatibility matrix (§5.1's in-text
     /// experiment).
-    pub fn blosum_test_db(
-        &self,
-        mu: f64,
-        seed: u64,
-    ) -> (Vec<Vec<Symbol>>, CompatibilityMatrix) {
+    pub fn blosum_test_db(&self, mu: f64, seed: u64) -> (Vec<Vec<Symbol>>, CompatibilityMatrix) {
         let mut rng = StdRng::seed_from_u64(seed);
         let channel = blosum::mutation_channel(mu);
         let noisy = apply_channel(&self.standard, &channel, &mut rng);

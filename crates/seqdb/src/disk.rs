@@ -19,12 +19,11 @@
 //!   data  : len × u16 LE symbol ids
 //! ```
 
-use std::fs::File;
-use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use bytes::{Buf, BufMut, BytesMut};
 use noisemine_core::matching::SequenceScan;
 use noisemine_core::Symbol;
 
@@ -86,10 +85,10 @@ impl DiskDbWriter {
         let path = path.as_ref().to_path_buf();
         let file = File::create(&path)?;
         let mut out = BufWriter::new(file);
-        let mut header = BytesMut::with_capacity(20);
-        header.put_slice(MAGIC);
-        header.put_u32_le(VERSION);
-        header.put_u64_le(0); // count placeholder
+        let mut header = Vec::with_capacity(20);
+        header.extend_from_slice(MAGIC);
+        header.extend_from_slice(&VERSION.to_le_bytes());
+        header.extend_from_slice(&0u64.to_le_bytes()); // count placeholder
         out.write_all(&header)?;
         Ok(Self {
             out,
@@ -98,13 +97,56 @@ impl DiskDbWriter {
         })
     }
 
+    /// Reopens an existing database file for appending: validates the
+    /// header, seeks past the last record, and continues the sequence
+    /// count, so `append(p)` followed by writes and [`DiskDbWriter::finish`]
+    /// extends the database in place. This is the substrate of the
+    /// streaming ingestion engine's append-only log.
+    pub fn append(path: impl AsRef<Path>) -> DiskResult<Self> {
+        let path = path.as_ref().to_path_buf();
+        // Validate header + count via the reader path.
+        let existing = DiskDb::open(&path)?;
+        let count = existing.count;
+        let mut file = OpenOptions::new().read(true).write(true).open(&path)?;
+        // Seek to the end of the last record (scan the record headers; the
+        // file may be longer than the counted records if a previous append
+        // crashed before patching the header — truncate those).
+        let mut pos: u64 = 20;
+        {
+            let mut reader = BufReader::new(&mut file);
+            reader.seek(SeekFrom::Start(pos))?;
+            let mut head = [0u8; 12];
+            for i in 0..count {
+                reader
+                    .read_exact(&mut head)
+                    .map_err(|e| DiskError::Format(format!("truncated record {i}: {e}")))?;
+                let len = u32::from_le_bytes([head[8], head[9], head[10], head[11]]) as u64;
+                pos += 12 + len * 2;
+                reader.seek(SeekFrom::Start(pos))?;
+            }
+        }
+        file.set_len(pos)?;
+        file.seek(SeekFrom::Start(pos))?;
+        Ok(Self {
+            out: BufWriter::new(file),
+            count,
+            path,
+        })
+    }
+
+    /// Number of sequences written so far (including pre-existing ones when
+    /// opened with [`DiskDbWriter::append`]).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
     /// Appends one sequence.
     pub fn write_sequence(&mut self, id: u64, symbols: &[Symbol]) -> DiskResult<()> {
-        let mut buf = BytesMut::with_capacity(12 + symbols.len() * 2);
-        buf.put_u64_le(id);
-        buf.put_u32_le(symbols.len() as u32);
+        let mut buf = Vec::with_capacity(12 + symbols.len() * 2);
+        buf.extend_from_slice(&id.to_le_bytes());
+        buf.extend_from_slice(&(symbols.len() as u32).to_le_bytes());
         for s in symbols {
-            buf.put_u16_le(s.0);
+            buf.extend_from_slice(&s.0.to_le_bytes());
         }
         self.out.write_all(&buf)?;
         self.count += 1;
@@ -143,19 +185,16 @@ impl DiskDb {
         let mut reader = BufReader::new(File::open(&path)?);
         let mut header = [0u8; 20];
         reader.read_exact(&mut header)?;
-        let mut buf = &header[..];
-        let mut magic = [0u8; 8];
-        buf.copy_to_slice(&mut magic);
-        if &magic != MAGIC {
+        if &header[..8] != MAGIC {
             return Err(DiskError::Format("bad magic; not a noisemine seqdb".into()));
         }
-        let version = buf.get_u32_le();
+        let version = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
         if version != VERSION {
             return Err(DiskError::Format(format!(
                 "unsupported version {version}, expected {VERSION}"
             )));
         }
-        let count = buf.get_u64_le();
+        let count = u64::from_le_bytes(header[12..20].try_into().expect("8 bytes"));
         Ok(Self {
             path,
             count,
@@ -200,16 +239,15 @@ impl DiskDb {
         let mut symbols: Vec<Symbol> = Vec::new();
         let mut raw: Vec<u8> = Vec::new();
         for i in 0..self.count {
-            reader.read_exact(&mut record_head).map_err(|e| {
-                DiskError::Format(format!("truncated record {i}: {e}"))
-            })?;
-            let mut head = &record_head[..];
-            let id = head.get_u64_le();
-            let len = head.get_u32_le() as usize;
+            reader
+                .read_exact(&mut record_head)
+                .map_err(|e| DiskError::Format(format!("truncated record {i}: {e}")))?;
+            let id = u64::from_le_bytes(record_head[..8].try_into().expect("8 bytes"));
+            let len = u32::from_le_bytes(record_head[8..12].try_into().expect("4 bytes")) as usize;
             raw.resize(len * 2, 0);
-            reader.read_exact(&mut raw).map_err(|e| {
-                DiskError::Format(format!("truncated sequence {id}: {e}"))
-            })?;
+            reader
+                .read_exact(&mut raw)
+                .map_err(|e| DiskError::Format(format!("truncated sequence {id}: {e}")))?;
             symbols.clear();
             symbols.extend(
                 raw.chunks_exact(2)
@@ -260,7 +298,11 @@ mod tests {
         db.scan(&mut |id, s| seen.push((id, s.to_vec())));
         assert_eq!(
             seen,
-            vec![(0, data[0].clone()), (1, data[1].clone()), (2, data[2].clone())]
+            vec![
+                (0, data[0].clone()),
+                (1, data[1].clone()),
+                (2, data[2].clone())
+            ]
         );
         assert_eq!(db.scans_performed(), 1);
         std::fs::remove_file(&path).unwrap();
@@ -308,6 +350,63 @@ mod tests {
         let err = db.try_scan(&mut |_, _| {});
         assert!(matches!(err, Err(DiskError::Format(_))));
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn append_extends_in_place() {
+        let path = tmp("append.db");
+        let first = [syms(&[1, 2]), syms(&[3])];
+        let db = DiskDb::create_from(&path, first.iter().map(Vec::as_slice)).unwrap();
+        assert_eq!(db.num_sequences(), 2);
+        drop(db);
+
+        let mut w = DiskDbWriter::append(&path).unwrap();
+        assert_eq!(w.count(), 2);
+        w.write_sequence(2, &syms(&[4, 5, 6])).unwrap();
+        w.write_sequence(3, &syms(&[])).unwrap();
+        let db = w.finish().unwrap();
+        assert_eq!(db.num_sequences(), 4);
+        let mut seen = Vec::new();
+        db.scan(&mut |id, s| seen.push((id, s.to_vec())));
+        assert_eq!(
+            seen,
+            vec![
+                (0, syms(&[1, 2])),
+                (1, syms(&[3])),
+                (2, syms(&[4, 5, 6])),
+                (3, syms(&[])),
+            ]
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn append_truncates_uncounted_tail() {
+        // A crashed append leaves bytes past the counted records; reopening
+        // for append must discard them so the file stays self-consistent.
+        let path = tmp("append-tail.db");
+        let data = [syms(&[7, 8])];
+        let db = DiskDb::create_from(&path, data.iter().map(Vec::as_slice)).unwrap();
+        drop(db);
+        use std::io::Write as _;
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&[0xde, 0xad, 0xbe, 0xef]).unwrap();
+        drop(f);
+
+        let mut w = DiskDbWriter::append(&path).unwrap();
+        w.write_sequence(1, &syms(&[9])).unwrap();
+        let db = w.finish().unwrap();
+        let mut seen = Vec::new();
+        db.scan(&mut |id, s| seen.push((id, s.to_vec())));
+        assert_eq!(seen, vec![(0, syms(&[7, 8])), (1, syms(&[9]))]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn append_to_missing_file_fails() {
+        let path = tmp("append-missing.db");
+        std::fs::remove_file(&path).ok();
+        assert!(DiskDbWriter::append(&path).is_err());
     }
 
     #[test]

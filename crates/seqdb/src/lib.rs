@@ -14,4 +14,6 @@ pub mod text;
 pub use disk::{DiskDb, DiskDbWriter, DiskError, DiskResult};
 pub use memory::MemoryDb;
 pub use sampling::{reservoir_sample, sequential_sample};
-pub use text::{infer_alphabet, read_sequences, read_sequences_file, write_sequences, write_sequences_file};
+pub use text::{
+    infer_alphabet, read_sequences, read_sequences_file, write_sequences, write_sequences_file,
+};

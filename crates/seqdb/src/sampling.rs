@@ -16,24 +16,50 @@ use rand::Rng;
 
 /// Draws exactly `min(n, N)` sequences uniformly at random in one scan,
 /// using sequential sampling (the paper's choice, since `N` is known).
+///
+/// Sequential sampling trusts `db.num_sequences()`. Streaming sources (an
+/// appended-to database, a file tail) can *under-report* that count: the
+/// scan then yields sequences past the reported `N`. Rather than panicking
+/// (or silently short-sampling), those surplus sequences are absorbed with
+/// reservoir-style replacement, so the result still has `min(n, actual)`
+/// sequences. In that fallback the sample is no longer guaranteed to be in
+/// scan order, and uniformity is best-effort (exact again once the reported
+/// count catches up). An *over*-reported count cannot be detected in one
+/// scan and may yield fewer than `min(n, actual)` sequences.
 pub fn sequential_sample<S, R>(db: &S, n: usize, rng: &mut R) -> Vec<Vec<Symbol>>
 where
     S: SequenceScan + ?Sized,
     R: Rng,
 {
-    let total = db.num_sequences();
-    let n = n.min(total);
-    let mut sample = Vec::with_capacity(n);
+    let reported = db.num_sequences();
+    let quota = n.min(reported);
+    let mut sample = Vec::with_capacity(quota);
     let mut seen = 0usize;
     db.scan(&mut |_, seq| {
-        let needed = n - sample.len();
-        let remaining = total - seen;
-        if needed > 0 && rng.gen::<f64>() < needed as f64 / remaining as f64 {
+        if seen < reported {
+            let needed = quota - sample.len();
+            let remaining = reported - seen;
+            if needed > 0 && rng.gen::<f64>() < needed as f64 / remaining as f64 {
+                sample.push(seq.to_vec());
+            }
+        } else if sample.len() < n {
+            // The database under-reported its size; grow toward the
+            // requested n before switching to reservoir replacement.
             sample.push(seq.to_vec());
+        } else {
+            let k = rng.gen_range(0..=seen);
+            if k < n {
+                sample[k] = seq.to_vec();
+            }
         }
         seen += 1;
     });
-    debug_assert_eq!(sample.len(), n, "sequential sampling must fill the quota");
+    debug_assert!(
+        seen < reported || sample.len() == n.min(seen),
+        "sequential sampling must fill the quota (got {} of {})",
+        sample.len(),
+        n.min(seen),
+    );
     sample
 }
 
@@ -91,11 +117,15 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), 20, "duplicates in sample");
-        assert_eq!(ids, {
-            let mut o = ids.clone();
-            o.sort_unstable();
-            o
-        }, "sequential sampling preserves scan order");
+        assert_eq!(
+            ids,
+            {
+                let mut o = ids.clone();
+                o.sort_unstable();
+                o
+            },
+            "sequential sampling preserves scan order"
+        );
     }
 
     #[test]
@@ -147,6 +177,93 @@ mod tests {
                 (freq - 0.5).abs() < 0.06,
                 "sequence {i} selected with frequency {freq}, expected ~0.5"
             );
+        }
+    }
+
+    /// A database that reports fewer sequences than its scan yields, the
+    /// way a concurrently appended-to store does.
+    struct UnderReportingDb {
+        inner: MemoryDb,
+        reported: usize,
+    }
+
+    impl SequenceScan for UnderReportingDb {
+        fn num_sequences(&self) -> usize {
+            self.reported
+        }
+        fn scan(&self, visit: &mut dyn FnMut(u64, &[Symbol])) {
+            self.inner.scan(visit)
+        }
+    }
+
+    #[test]
+    fn sequential_handles_empty_requests_and_empty_dbs() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(sequential_sample(&db(0), 0, &mut rng).is_empty());
+        assert!(sequential_sample(&db(0), 10, &mut rng).is_empty());
+        assert!(sequential_sample(&db(25), 0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn sequential_caps_at_database_size() {
+        let database = db(8);
+        let mut rng = StdRng::seed_from_u64(11);
+        let s = sequential_sample(&database, 8, &mut rng);
+        assert_eq!(s.len(), 8);
+        let s = sequential_sample(&database, 1000, &mut rng);
+        assert_eq!(s.len(), 8, "n >= N must return every sequence");
+    }
+
+    #[test]
+    fn sequential_falls_back_to_reservoir_on_underreported_count() {
+        // 40 actual sequences, only 15 admitted. Quota requests larger and
+        // smaller than both counts must all come back full-size.
+        let lying = UnderReportingDb {
+            inner: db(40),
+            reported: 15,
+        };
+        let mut rng = StdRng::seed_from_u64(21);
+        for n in [0, 10, 15, 25, 40, 60] {
+            let s = sequential_sample(&lying, n, &mut rng);
+            assert_eq!(s.len(), n.min(40), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn sequential_fallback_covers_surplus_sequences() {
+        // With n >= actual the fallback must return every sequence,
+        // including the ones past the reported count.
+        let lying = UnderReportingDb {
+            inner: db(30),
+            reported: 5,
+        };
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut ids: Vec<u16> = sequential_sample(&lying, 30, &mut rng)
+            .iter()
+            .map(|seq| seq[0].0)
+            .collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..30).collect::<Vec<u16>>());
+    }
+
+    #[test]
+    fn sequential_fallback_reaches_all_positions() {
+        // Reservoir replacement must be able to select surplus sequences
+        // without starving the sequentially chosen prefix.
+        let lying = UnderReportingDb {
+            inner: db(20),
+            reported: 10,
+        };
+        let mut rng = StdRng::seed_from_u64(13);
+        let trials = 2000;
+        let mut counts = [0usize; 20];
+        for _ in 0..trials {
+            for seq in sequential_sample(&lying, 5, &mut rng) {
+                counts[seq[0].0 as usize] += 1;
+            }
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(c > 0, "sequence {i} never selected across {trials} trials");
         }
     }
 

@@ -34,9 +34,9 @@ pub fn read_sequences<R: Read>(reader: R, alphabet: &Alphabet) -> DiskResult<Vec
         if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('>') {
             continue;
         }
-        let seq = alphabet.encode(trimmed).map_err(|e| {
-            DiskError::Format(format!("line {}: {e}", lineno + 1))
-        })?;
+        let seq = alphabet
+            .encode(trimmed)
+            .map_err(|e| DiskError::Format(format!("line {}: {e}", lineno + 1)))?;
         out.push(seq);
     }
     Ok(out)

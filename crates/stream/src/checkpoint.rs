@@ -1,0 +1,367 @@
+//! Checkpoint/restore of the full engine state.
+//!
+//! A checkpoint captures everything [`StreamState`] holds — configuration,
+//! per-symbol match sums, the reservoir (with the exact RNG state driving
+//! its replacements), tracked border patterns with their online match sums,
+//! and the drift anchor — so ingestion can resume after a restart and
+//! produce *bit-identical* results to an uninterrupted run.
+//!
+//! ## On-disk format (all integers little-endian)
+//!
+//! ```text
+//! magic            8 bytes  "NMSTRCK\0"
+//! version          u32      currently 1
+//! config           min_match f64, delta f64, sample_size u64,
+//!                  counters_per_scan u64, max_gap u64, max_len u64,
+//!                  spread_mode u8, probe_strategy u8, seed u64,
+//!                  max_sample_patterns u64
+//! matrix check     m u32, fnv-1a u64 over the entries' f64 bits
+//! total            u64
+//! match_sums       m × f64
+//! rng state        4 × u64          (xoshiro256** words)
+//! reservoir        count u64, then per sequence: len u32 + len × u16
+//! tracked          count u64, then per pattern: elems u32,
+//!                  elems × u32 (0 = eternal, sym+1 otherwise), sum f64
+//! drift anchor     u8 flag, then if set: total u64 + m × f64
+//! ```
+//!
+//! The compatibility matrix itself is *not* stored — the caller supplies it
+//! at restore time, and the checkpoint's fingerprint guards against mixing
+//! state with a different matrix. Writes go through a temporary file and a
+//! rename, so a crash mid-checkpoint leaves the previous checkpoint intact.
+
+use std::fs;
+use std::path::Path;
+
+use noisemine_core::border_collapse::ProbeStrategy;
+use noisemine_core::chernoff::SpreadMode;
+use noisemine_core::miner::MinerConfig;
+use noisemine_core::{CompatibilityMatrix, Pattern, PatternElem, PatternSpace, Symbol};
+use rand::rngs::StdRng;
+
+use crate::error::{Error, Result};
+use crate::state::{MineSnapshot, StreamState};
+
+const MAGIC: &[u8; 8] = b"NMSTRCK\0";
+const VERSION: u32 = 1;
+
+/// FNV-1a over the bit patterns of every matrix entry, row-major.
+fn matrix_fingerprint(matrix: &CompatibilityMatrix) -> u64 {
+    let m = matrix.len();
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for i in 0..m {
+        for j in 0..m {
+            let bits = matrix.get(Symbol(i as u16), Symbol(j as u16)).to_bits();
+            for b in bits.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+    }
+    h
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+/// Cursor over a checkpoint buffer with structural error reporting.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8]> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
+        let Some(end) = end else {
+            return Err(Error::Corrupt(format!(
+                "truncated while reading {what} at offset {}",
+                self.pos
+            )));
+        };
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self, what: &str) -> Result<f64> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    /// Bounds a count field against the bytes actually left in the buffer,
+    /// so a corrupted length cannot trigger a huge allocation.
+    fn count(&mut self, min_record: usize, what: &str) -> Result<usize> {
+        let n = self.u64(what)? as usize;
+        let left = self.buf.len() - self.pos;
+        if n.checked_mul(min_record).is_none_or(|need| need > left) {
+            return Err(Error::Corrupt(format!(
+                "{what} claims {n} records but only {left} bytes remain"
+            )));
+        }
+        Ok(n)
+    }
+}
+
+fn encode_pattern(out: &mut Vec<u8>, pattern: &Pattern) {
+    put_u32(out, pattern.elems().len() as u32);
+    for e in pattern.elems() {
+        match e.symbol() {
+            None => put_u32(out, 0),
+            Some(Symbol(s)) => put_u32(out, s as u32 + 1),
+        }
+    }
+}
+
+fn decode_pattern(r: &mut Reader<'_>) -> Result<Pattern> {
+    let len = r.u32("pattern length")? as usize;
+    let mut elems = Vec::with_capacity(len);
+    for _ in 0..len {
+        let code = r.u32("pattern element")?;
+        elems.push(match code {
+            0 => PatternElem::Any,
+            s if s <= u16::MAX as u32 + 1 => PatternElem::Sym(Symbol((s - 1) as u16)),
+            s => {
+                return Err(Error::Corrupt(format!(
+                    "pattern element code {s} out of range"
+                )));
+            }
+        });
+    }
+    Pattern::new(elems).map_err(|e| Error::Corrupt(format!("invalid tracked pattern: {e}")))
+}
+
+impl StreamState {
+    /// Serializes the full engine state to `path`, atomically (temp file +
+    /// rename).
+    pub fn checkpoint(&self, path: &Path) -> Result<()> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        put_u32(&mut out, VERSION);
+
+        // Config.
+        let cfg = &self.config;
+        put_f64(&mut out, cfg.min_match);
+        put_f64(&mut out, cfg.delta);
+        put_u64(&mut out, cfg.sample_size as u64);
+        put_u64(&mut out, cfg.counters_per_scan as u64);
+        put_u64(&mut out, cfg.space.max_gap as u64);
+        put_u64(&mut out, cfg.space.max_len as u64);
+        out.push(match cfg.spread_mode {
+            SpreadMode::Full => 0,
+            SpreadMode::Restricted => 1,
+        });
+        out.push(match cfg.probe_strategy {
+            ProbeStrategy::BorderCollapsing => 0,
+            ProbeStrategy::LevelWise => 1,
+        });
+        put_u64(&mut out, cfg.seed);
+        put_u64(&mut out, cfg.max_sample_patterns as u64);
+
+        // Matrix fingerprint.
+        put_u32(&mut out, self.matrix.len() as u32);
+        put_u64(&mut out, matrix_fingerprint(&self.matrix));
+
+        // Counters and RNG.
+        put_u64(&mut out, self.total);
+        for &s in &self.match_sums {
+            put_f64(&mut out, s);
+        }
+        for w in self.rng.state() {
+            put_u64(&mut out, w);
+        }
+
+        // Reservoir.
+        put_u64(&mut out, self.reservoir.len() as u64);
+        for seq in &self.reservoir {
+            put_u32(&mut out, seq.len() as u32);
+            for &Symbol(s) in seq {
+                out.extend_from_slice(&s.to_le_bytes());
+            }
+        }
+
+        // Tracked borders.
+        put_u64(&mut out, self.tracked.len() as u64);
+        for (pattern, sum) in &self.tracked {
+            encode_pattern(&mut out, pattern);
+            put_f64(&mut out, *sum);
+        }
+
+        // Drift anchor.
+        match &self.last_mine {
+            None => out.push(0),
+            Some(snap) => {
+                out.push(1);
+                put_u64(&mut out, snap.total);
+                for &v in &snap.symbol_match {
+                    put_f64(&mut out, v);
+                }
+            }
+        }
+
+        let tmp = path.with_extension("tmp");
+        fs::write(&tmp, &out)?;
+        fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Rebuilds an engine from a checkpoint, resuming deterministically.
+    ///
+    /// `matrix` must be the same compatibility matrix the checkpointed
+    /// engine was created with (validated by fingerprint).
+    pub fn restore(path: &Path, matrix: CompatibilityMatrix) -> Result<Self> {
+        let buf = fs::read(path)?;
+        let mut r = Reader { buf: &buf, pos: 0 };
+
+        if r.take(8, "magic")? != MAGIC {
+            return Err(Error::Corrupt("bad magic".into()));
+        }
+        let version = r.u32("version")?;
+        if version != VERSION {
+            return Err(Error::Corrupt(format!(
+                "unsupported checkpoint version {version} (expected {VERSION})"
+            )));
+        }
+
+        // Config.
+        let min_match = r.f64("min_match")?;
+        let delta = r.f64("delta")?;
+        let sample_size = r.u64("sample_size")? as usize;
+        let counters_per_scan = r.u64("counters_per_scan")? as usize;
+        let max_gap = r.u64("max_gap")? as usize;
+        let max_len = r.u64("max_len")? as usize;
+        let spread_mode = match r.u8("spread_mode")? {
+            0 => SpreadMode::Full,
+            1 => SpreadMode::Restricted,
+            v => return Err(Error::Corrupt(format!("unknown spread mode {v}"))),
+        };
+        let probe_strategy = match r.u8("probe_strategy")? {
+            0 => ProbeStrategy::BorderCollapsing,
+            1 => ProbeStrategy::LevelWise,
+            v => return Err(Error::Corrupt(format!("unknown probe strategy {v}"))),
+        };
+        let seed = r.u64("seed")?;
+        let max_sample_patterns = r.u64("max_sample_patterns")? as usize;
+        let space = PatternSpace::new(max_gap, max_len)
+            .map_err(|e| Error::Corrupt(format!("invalid pattern space: {e}")))?;
+        let config = MinerConfig {
+            min_match,
+            delta,
+            sample_size,
+            counters_per_scan,
+            space,
+            spread_mode,
+            probe_strategy,
+            seed,
+            max_sample_patterns,
+        };
+        config
+            .validate()
+            .map_err(|e| Error::Corrupt(format!("invalid checkpointed config: {e}")))?;
+
+        // Matrix fingerprint.
+        let m = r.u32("alphabet size")? as usize;
+        if m != matrix.len() {
+            return Err(Error::MatrixMismatch {
+                expected: m,
+                got: matrix.len(),
+            });
+        }
+        let fp = r.u64("matrix fingerprint")?;
+        if fp != matrix_fingerprint(&matrix) {
+            return Err(Error::Corrupt(
+                "matrix fingerprint mismatch: checkpoint was taken against \
+                 different compatibility values"
+                    .into(),
+            ));
+        }
+
+        // Counters and RNG.
+        let total = r.u64("total")?;
+        let mut match_sums = Vec::with_capacity(m);
+        for _ in 0..m {
+            match_sums.push(r.f64("match sum")?);
+        }
+        let mut words = [0u64; 4];
+        for w in &mut words {
+            *w = r.u64("rng state")?;
+        }
+        let rng = StdRng::from_state(words);
+
+        // Reservoir.
+        let count = r.count(4, "reservoir count")?;
+        if count > sample_size {
+            return Err(Error::Corrupt(format!(
+                "reservoir holds {count} sequences, above the configured \
+                 capacity {sample_size}"
+            )));
+        }
+        let mut reservoir = Vec::with_capacity(count);
+        for _ in 0..count {
+            let len = r.u32("sequence length")? as usize;
+            let raw = r.take(len * 2, "sequence symbols")?;
+            reservoir.push(
+                raw.chunks_exact(2)
+                    .map(|c| Symbol(u16::from_le_bytes([c[0], c[1]])))
+                    .collect(),
+            );
+        }
+
+        // Tracked borders.
+        let count = r.count(12, "tracked count")?;
+        let mut tracked = Vec::with_capacity(count);
+        for _ in 0..count {
+            let pattern = decode_pattern(&mut r)?;
+            let sum = r.f64("tracked sum")?;
+            tracked.push((pattern, sum));
+        }
+
+        // Drift anchor.
+        let last_mine = match r.u8("drift anchor flag")? {
+            0 => None,
+            1 => {
+                let anchor_total = r.u64("drift anchor total")?;
+                let mut symbol_match = Vec::with_capacity(m);
+                for _ in 0..m {
+                    symbol_match.push(r.f64("drift anchor match")?);
+                }
+                Some(MineSnapshot {
+                    total: anchor_total,
+                    symbol_match,
+                })
+            }
+            v => return Err(Error::Corrupt(format!("unknown drift anchor flag {v}"))),
+        };
+
+        if r.pos != buf.len() {
+            return Err(Error::Corrupt(format!(
+                "{} trailing bytes after checkpoint payload",
+                buf.len() - r.pos
+            )));
+        }
+
+        Ok(StreamState::from_parts(
+            matrix, config, total, match_sums, rng, reservoir, tracked, last_mine,
+        ))
+    }
+}

@@ -1,0 +1,29 @@
+//! # noisemine-stream
+//!
+//! Streaming ingestion + incremental mining for the paper's noisy-match
+//! model (Yang, Wang, Yu, Han — SIGMOD 2002).
+//!
+//! The batch miner assumes the whole database is available for one phase-1
+//! scan. This crate removes that assumption: sequences arrive one at a
+//! time, and the engine maintains every phase-1 product incrementally —
+//! per-symbol match sums (first-occurrence optimized) and a uniform
+//! reservoir sample (Vitter's Algorithm R, since the total count is
+//! unknown up front). Re-mining is cheap and triggered only when the
+//! symbol-match estimates drift past the Chernoff deviation; phase 3 then
+//! reuses the previously verified FQT/INFQT border patterns (their exact
+//! matches are kept online) so only the patterns between the stale borders
+//! get re-probed.
+//!
+//! The full engine state checkpoints to disk and restores bit-exactly:
+//! after ingesting any prefix with any number of checkpoint/restore cycles
+//! at arbitrary points, the mined frequent-pattern set equals a batch
+//! [`mine`] over the same prefix with the same seed.
+//!
+//! [`mine`]: noisemine_core::miner::mine
+
+mod checkpoint;
+mod error;
+mod state;
+
+pub use error::{Error, Result};
+pub use state::{MineSnapshot, StreamState};

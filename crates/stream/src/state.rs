@@ -1,0 +1,297 @@
+//! The incremental mining engine: online phase-1 state plus drift-triggered
+//! re-mining.
+//!
+//! [`StreamState`] maintains, per appended sequence and without rescanning
+//! anything:
+//!
+//! - the **per-symbol match sums** of Algorithm 4.1 (first-occurrence
+//!   optimized via [`SymbolMatchScratch`]), so the phase-1 symbol matches of
+//!   the whole ingested prefix are always available as `sums / total`;
+//! - a **uniform reservoir sample** (Vitter's Algorithm R) of up to
+//!   `sample_size` sequences — the streaming replacement for the paper's
+//!   sequential sampler, which needs the total count `N` up front;
+//! - **exact match sums for tracked patterns**: the FQT/INFQT border
+//!   patterns probed by the last phase 3. Keeping their exact matches
+//!   online means the next re-mine collapses their region of the ambiguous
+//!   space with *zero* database scans ([`collapse_with_known`]); only
+//!   patterns between the stale borders are re-probed.
+//!
+//! A re-mine is triggered when the per-symbol match estimates drift by more
+//! than the Chernoff deviation `ε = sqrt(R²·ln(1/δ) / 2n)` since the last
+//! mine — the same bound phase 2 uses for classification, so a smaller
+//! movement provably cannot flip a confident label.
+//!
+//! [`collapse_with_known`]: noisemine_core::border_collapse::collapse_with_known
+
+use noisemine_core::border_collapse::CollapseResult;
+use noisemine_core::chernoff::epsilon;
+use noisemine_core::matching::{sequence_match, SequenceScan, SymbolMatchScratch};
+use noisemine_core::miner::{mine_from_phase1_with_known, MineOutcome, MinerConfig, Phase1Output};
+use noisemine_core::{CompatibilityMatrix, Pattern, Symbol};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::Result;
+
+/// Phase-1 snapshot taken at the last re-mine, for drift detection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MineSnapshot {
+    /// Sequences ingested when the snapshot was taken.
+    pub total: u64,
+    /// Per-symbol matches at that point.
+    pub symbol_match: Vec<f64>,
+}
+
+/// Incremental mining engine over an append-only sequence stream.
+///
+/// The engine owns everything phase 1 produces (symbol matches, sample) and
+/// everything phase 3 learned (tracked border patterns with exact match
+/// sums); the full ingested prefix itself lives with the caller (typically
+/// an appendable [`DiskDb`] log), and is passed in only when
+/// [`StreamState::mine`] needs phase-3 scans.
+///
+/// [`DiskDb`]: noisemine_seqdb::DiskDb
+#[derive(Debug)]
+pub struct StreamState {
+    pub(crate) matrix: CompatibilityMatrix,
+    pub(crate) config: MinerConfig,
+    /// Sequences ingested so far.
+    pub(crate) total: u64,
+    /// Unnormalized per-symbol match accumulators (`match · total`).
+    pub(crate) match_sums: Vec<f64>,
+    /// RNG driving reservoir replacement; checkpointed exactly so a
+    /// restored engine draws the same replacements as an uninterrupted one.
+    pub(crate) rng: StdRng,
+    /// The uniform sample (capacity `config.sample_size`).
+    pub(crate) reservoir: Vec<Vec<Symbol>>,
+    /// `(pattern, unnormalized exact match sum)` for the borders probed by
+    /// the last phase 3.
+    pub(crate) tracked: Vec<(Pattern, f64)>,
+    /// Phase-1 snapshot at the last re-mine.
+    pub(crate) last_mine: Option<MineSnapshot>,
+    scratch: SymbolMatchScratch,
+}
+
+impl StreamState {
+    /// Creates an empty engine for the given compatibility matrix.
+    ///
+    /// `config.sample_size` bounds the reservoir; `config.seed` seeds the
+    /// reservoir RNG, making the whole engine deterministic.
+    pub fn new(matrix: CompatibilityMatrix, config: MinerConfig) -> Result<Self> {
+        config.validate()?;
+        let m = matrix.len();
+        Ok(Self {
+            config: config.clone(),
+            total: 0,
+            match_sums: vec![0.0; m],
+            rng: StdRng::seed_from_u64(config.seed),
+            reservoir: Vec::with_capacity(config.sample_size),
+            tracked: Vec::new(),
+            last_mine: None,
+            scratch: SymbolMatchScratch::new(m),
+            matrix,
+        })
+    }
+
+    /// Rebuilds an engine from checkpointed parts (used by restore).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        matrix: CompatibilityMatrix,
+        config: MinerConfig,
+        total: u64,
+        match_sums: Vec<f64>,
+        rng: StdRng,
+        reservoir: Vec<Vec<Symbol>>,
+        tracked: Vec<(Pattern, f64)>,
+        last_mine: Option<MineSnapshot>,
+    ) -> Self {
+        let scratch = SymbolMatchScratch::new(matrix.len());
+        Self {
+            matrix,
+            config,
+            total,
+            match_sums,
+            rng,
+            reservoir,
+            tracked,
+            last_mine,
+            scratch,
+        }
+    }
+
+    /// Ingests one appended sequence: O(len · m) symbol-match update, O(1)
+    /// expected reservoir update, one match evaluation per tracked pattern.
+    pub fn ingest(&mut self, seq: &[Symbol]) {
+        let per_seq = self.scratch.sequence(seq, &self.matrix);
+        for (acc, &v) in self.match_sums.iter_mut().zip(per_seq) {
+            *acc += v;
+        }
+        for (pattern, sum) in &mut self.tracked {
+            *sum += sequence_match(pattern, seq, &self.matrix);
+        }
+        // Algorithm R: the (total+1)-th sequence replaces a random slot
+        // with probability capacity / (total+1).
+        let capacity = self.config.sample_size;
+        if self.reservoir.len() < capacity {
+            self.reservoir.push(seq.to_vec());
+        } else if capacity > 0 {
+            let k = self.rng.gen_range(0..=self.total as usize);
+            if k < capacity {
+                self.reservoir[k] = seq.to_vec();
+            }
+        }
+        self.total += 1;
+    }
+
+    /// Ingests a batch of sequences in order.
+    pub fn ingest_all<I, T>(&mut self, seqs: I)
+    where
+        I: IntoIterator<Item = T>,
+        T: AsRef<[Symbol]>,
+    {
+        for s in seqs {
+            self.ingest(s.as_ref());
+        }
+    }
+
+    /// Number of sequences ingested so far.
+    pub fn total_seen(&self) -> u64 {
+        self.total
+    }
+
+    /// The current reservoir sample.
+    pub fn sample(&self) -> &[Vec<Symbol>] {
+        &self.reservoir
+    }
+
+    /// The engine's miner configuration.
+    pub fn config(&self) -> &MinerConfig {
+        &self.config
+    }
+
+    /// The engine's compatibility matrix.
+    pub fn matrix(&self) -> &CompatibilityMatrix {
+        &self.matrix
+    }
+
+    /// Patterns whose exact matches are maintained online (last borders).
+    pub fn tracked_patterns(&self) -> impl Iterator<Item = &Pattern> {
+        self.tracked.iter().map(|(p, _)| p)
+    }
+
+    /// Per-symbol matches of the ingested prefix (phase-1 output).
+    pub fn symbol_match(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return self.match_sums.clone();
+        }
+        let n = self.total as f64;
+        self.match_sums.iter().map(|&s| s / n).collect()
+    }
+
+    /// The phase-1 view of the ingested prefix: normalized symbol matches
+    /// plus the reservoir sample.
+    pub fn phase1_output(&self) -> Phase1Output {
+        Phase1Output {
+            symbol_match: self.symbol_match(),
+            sample: self.reservoir.clone(),
+        }
+    }
+
+    /// Tracked patterns with normalized exact matches over the prefix.
+    pub fn known_matches(&self) -> Vec<(Pattern, f64)> {
+        if self.total == 0 {
+            return Vec::new();
+        }
+        let n = self.total as f64;
+        self.tracked
+            .iter()
+            .map(|(p, s)| (p.clone(), s / n))
+            .collect()
+    }
+
+    /// Per-symbol drift since the last mine, as `|current − last|`.
+    pub fn drift(&self) -> Vec<f64> {
+        match &self.last_mine {
+            None => self.symbol_match(),
+            Some(snap) => self
+                .symbol_match()
+                .iter()
+                .zip(&snap.symbol_match)
+                .map(|(c, l)| (c - l).abs())
+                .collect(),
+        }
+    }
+
+    /// Whether some symbol's match estimate has moved by more than the
+    /// Chernoff deviation `ε = sqrt(R²·ln(1/δ) / 2n)` since the last mine
+    /// (`R` = the symbol's own match, its restricted spread as a
+    /// 1-pattern; `n` = the current prefix length). Until the first mine,
+    /// any non-empty prefix counts as drifted.
+    pub fn drift_exceeded(&self) -> bool {
+        let Some(snap) = &self.last_mine else {
+            return self.total > 0;
+        };
+        if self.total == snap.total {
+            return false;
+        }
+        let n = self.total as usize;
+        let delta = self.config.delta;
+        self.symbol_match()
+            .iter()
+            .zip(&snap.symbol_match)
+            .any(|(c, l)| {
+                let spread = c.max(*l).min(1.0);
+                if spread <= 0.0 {
+                    return false;
+                }
+                (c - l).abs() > epsilon(spread, n, delta)
+            })
+    }
+
+    /// Re-mines the ingested prefix.
+    ///
+    /// Runs phase 2 on the reservoir and phase 3 against `db` — which must
+    /// scan exactly the sequences ingested so far, in ingestion order.
+    /// Tracked border patterns contribute their online exact matches, so
+    /// only ambiguous patterns between the stale FQT/INFQT borders cost
+    /// scans. Afterwards the tracked set is replaced by the borders this
+    /// mine probed, and the drift detector is re-anchored.
+    pub fn mine<S: SequenceScan + ?Sized>(&mut self, db: &S) -> Result<MineOutcome> {
+        let p1 = self.phase1_output();
+        let known = self.known_matches();
+        let (outcome, p3) =
+            mine_from_phase1_with_known(db, &self.matrix, &self.config, &p1, &known)?;
+        self.adopt_borders(&p3);
+        self.last_mine = Some(MineSnapshot {
+            total: self.total,
+            symbol_match: p1.symbol_match,
+        });
+        Ok(outcome)
+    }
+
+    /// Convenience driver: re-mines only if the drift bound is exceeded.
+    /// Returns `None` when the current borders are still trustworthy.
+    pub fn mine_if_drifted<S: SequenceScan + ?Sized>(
+        &mut self,
+        db: &S,
+    ) -> Result<Option<MineOutcome>> {
+        if self.drift_exceeded() {
+            self.mine(db).map(Some)
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Replaces the tracked set with every pattern the given phase-3 run
+    /// verified exactly (probed, or pre-verified and re-applied), seeding
+    /// each with `match · total` so future ingests keep the sum exact.
+    fn adopt_borders(&mut self, p3: &CollapseResult) {
+        let n = self.total as f64;
+        self.tracked = p3
+            .frequent
+            .iter()
+            .chain(&p3.infrequent)
+            .filter_map(|r| r.match_value.map(|v| (r.pattern.clone(), v * n)))
+            .collect();
+    }
+}

@@ -1,0 +1,285 @@
+//! Correctness anchor for the streaming engine: after ingesting any prefix
+//! — in chunks, with checkpoint/restore at arbitrary points — the
+//! incremental engine's frequent-pattern set must equal a batch `mine()`
+//! over the same prefix with the same seed.
+
+use std::collections::HashSet;
+
+use noisemine_core::matching::MemorySequences;
+use noisemine_core::miner::{mine, MinerConfig};
+use noisemine_core::{CompatibilityMatrix, Pattern, PatternSpace, Symbol};
+use noisemine_datagen::scalability_db;
+use noisemine_stream::{Error, StreamState};
+
+const M: usize = 5;
+
+fn workload(n: usize, seed: u64) -> Vec<Vec<Symbol>> {
+    scalability_db(M, n, 8, seed)
+}
+
+fn config(sample_size: usize) -> MinerConfig {
+    MinerConfig {
+        min_match: 0.2,
+        delta: 0.05,
+        sample_size,
+        counters_per_scan: 10,
+        space: PatternSpace::contiguous(4),
+        seed: 42,
+        ..MinerConfig::default()
+    }
+}
+
+fn pattern_set(patterns: Vec<Pattern>) -> HashSet<Pattern> {
+    patterns.into_iter().collect()
+}
+
+fn tmp_path(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("noisemine-stream-{}-{name}", std::process::id()))
+}
+
+/// The acceptance criterion: seeded workload, ingested in chunks with a
+/// checkpoint/restore cycle mid-stream; at every chunk boundary the
+/// incremental mine equals the batch mine over the same prefix.
+#[test]
+fn incremental_equals_batch_with_checkpoint_mid_stream() {
+    let matrix = CompatibilityMatrix::paper_figure2();
+    let seqs = workload(60, 7);
+    // Full-coverage sample: the reservoir sees every sequence, exactly like
+    // the batch sequential sampler with n >= N.
+    let cfg = config(seqs.len());
+    let mut engine = StreamState::new(matrix.clone(), cfg.clone()).unwrap();
+    let ckpt = tmp_path("equiv.ckpt");
+
+    let chunks = [15usize, 10, 20, 15];
+    let mut ingested = 0usize;
+    for (round, &chunk) in chunks.iter().enumerate() {
+        engine.ingest_all(&seqs[ingested..ingested + chunk]);
+        ingested += chunk;
+
+        // Restart the process mid-stream after the second chunk.
+        if round == 1 {
+            engine.checkpoint(&ckpt).unwrap();
+            engine = StreamState::restore(&ckpt, matrix.clone()).unwrap();
+        }
+
+        let prefix = MemorySequences(seqs[..ingested].to_vec());
+        let incremental = engine.mine(&prefix).unwrap();
+        let batch = mine(&prefix, &matrix, &cfg).unwrap();
+        assert_eq!(
+            pattern_set(incremental.patterns()),
+            pattern_set(batch.patterns()),
+            "incremental and batch disagree after {ingested} sequences"
+        );
+    }
+    std::fs::remove_file(&ckpt).ok();
+}
+
+/// With a small reservoir, chunked + checkpointed ingestion must be
+/// bit-identical to one-shot ingestion: same totals, same symbol matches,
+/// same sample, same subsequent mining output.
+#[test]
+fn chunked_checkpointed_ingestion_equals_one_shot() {
+    let matrix = CompatibilityMatrix::paper_figure2();
+    let seqs = workload(200, 11);
+    let cfg = config(16); // reservoir much smaller than the stream
+
+    let mut oneshot = StreamState::new(matrix.clone(), cfg.clone()).unwrap();
+    oneshot.ingest_all(&seqs);
+
+    let ckpt = tmp_path("chunked.ckpt");
+    let mut chunked = StreamState::new(matrix.clone(), cfg.clone()).unwrap();
+    for (i, chunk) in seqs.chunks(33).enumerate() {
+        chunked.ingest_all(chunk);
+        if i % 2 == 0 {
+            chunked.checkpoint(&ckpt).unwrap();
+            chunked = StreamState::restore(&ckpt, matrix.clone()).unwrap();
+        }
+    }
+    std::fs::remove_file(&ckpt).ok();
+
+    assert_eq!(oneshot.total_seen(), chunked.total_seen());
+    assert_eq!(oneshot.sample(), chunked.sample(), "reservoirs diverged");
+    let (a, b) = (oneshot.symbol_match(), chunked.symbol_match());
+    assert_eq!(a, b, "symbol matches diverged");
+
+    let db = MemorySequences(seqs);
+    let out_a = oneshot.mine(&db).unwrap();
+    let out_b = chunked.mine(&db).unwrap();
+    assert_eq!(out_a.patterns(), out_b.patterns());
+}
+
+/// Restore must reproduce the engine exactly: continuing an original and a
+/// restored engine over the same suffix gives identical reservoirs (the
+/// RNG state is part of the checkpoint).
+#[test]
+fn restore_resumes_rng_deterministically() {
+    let matrix = CompatibilityMatrix::paper_figure2();
+    let seqs = workload(300, 23);
+    let cfg = config(8);
+    let ckpt = tmp_path("rng.ckpt");
+
+    let mut original = StreamState::new(matrix.clone(), cfg).unwrap();
+    original.ingest_all(&seqs[..150]);
+    original.checkpoint(&ckpt).unwrap();
+    let mut restored = StreamState::restore(&ckpt, matrix).unwrap();
+    std::fs::remove_file(&ckpt).ok();
+
+    original.ingest_all(&seqs[150..]);
+    restored.ingest_all(&seqs[150..]);
+    assert_eq!(original.sample(), restored.sample());
+    assert_eq!(original.symbol_match(), restored.symbol_match());
+}
+
+/// Tracked borders survive checkpointing: mine, checkpoint, restore, and
+/// the restored engine still knows the probed patterns.
+#[test]
+fn checkpoint_preserves_tracked_borders_and_drift_anchor() {
+    let matrix = CompatibilityMatrix::paper_figure2();
+    let seqs = workload(80, 3);
+    let cfg = config(80);
+    let ckpt = tmp_path("borders.ckpt");
+
+    let mut engine = StreamState::new(matrix.clone(), cfg).unwrap();
+    engine.ingest_all(&seqs);
+    let db = MemorySequences(seqs.clone());
+    engine.mine(&db).unwrap();
+    assert!(
+        !engine.drift_exceeded(),
+        "freshly mined engine cannot have drifted"
+    );
+
+    let tracked_before: Vec<Pattern> = engine.tracked_patterns().cloned().collect();
+    engine.checkpoint(&ckpt).unwrap();
+    let restored = StreamState::restore(&ckpt, matrix).unwrap();
+    std::fs::remove_file(&ckpt).ok();
+
+    let tracked_after: Vec<Pattern> = restored.tracked_patterns().cloned().collect();
+    assert_eq!(tracked_before, tracked_after);
+    assert!(
+        !restored.drift_exceeded(),
+        "drift anchor lost in checkpoint"
+    );
+    assert_eq!(restored.total_seen(), 80);
+}
+
+/// The drift detector: trips on first data, settles after a mine, and
+/// trips again when the symbol distribution shifts hard.
+#[test]
+fn drift_detector_reacts_to_distribution_shift() {
+    let matrix = CompatibilityMatrix::paper_figure2();
+    let cfg = config(64);
+    let mut engine = StreamState::new(matrix, cfg).unwrap();
+    assert!(!engine.drift_exceeded(), "empty engine has nothing to mine");
+
+    let seqs = workload(50, 9);
+    engine.ingest_all(&seqs);
+    assert!(engine.drift_exceeded(), "first data must trigger a mine");
+
+    let db = MemorySequences(seqs);
+    engine.mine(&db).unwrap();
+    assert!(!engine.drift_exceeded());
+
+    // Shift: a long burst of pure d0 sequences moves symbol matches fast.
+    for _ in 0..200 {
+        engine.ingest(&[Symbol(0), Symbol(0), Symbol(0), Symbol(0)]);
+    }
+    assert!(
+        engine.drift_exceeded(),
+        "hard distribution shift went unnoticed"
+    );
+}
+
+/// `mine_if_drifted` is a no-op while estimates are stable.
+#[test]
+fn mine_if_drifted_skips_stable_streams() {
+    let matrix = CompatibilityMatrix::paper_figure2();
+    let cfg = config(512);
+    let mut engine = StreamState::new(matrix, cfg).unwrap();
+    let seqs = workload(100, 31);
+    engine.ingest_all(&seqs[..99]);
+    let db99 = MemorySequences(seqs[..99].to_vec());
+    assert!(engine.mine_if_drifted(&db99).unwrap().is_some());
+    // One more sequence from the same distribution: estimates barely move.
+    engine.ingest(&seqs[99]);
+    let db100 = MemorySequences(seqs.clone());
+    assert!(engine.mine_if_drifted(&db100).unwrap().is_none());
+}
+
+/// Restoring against the wrong matrix must fail loudly, not corrupt state.
+#[test]
+fn restore_rejects_wrong_matrix() {
+    let matrix = CompatibilityMatrix::paper_figure2();
+    let cfg = config(8);
+    let ckpt = tmp_path("wrongmatrix.ckpt");
+    let mut engine = StreamState::new(matrix, cfg).unwrap();
+    engine.ingest_all(workload(20, 1));
+    engine.checkpoint(&ckpt).unwrap();
+
+    // Wrong size.
+    let err = StreamState::restore(&ckpt, CompatibilityMatrix::identity(7)).unwrap_err();
+    assert!(matches!(
+        err,
+        Error::MatrixMismatch {
+            expected: 5,
+            got: 7
+        }
+    ));
+    // Right size, different entries.
+    let err = StreamState::restore(&ckpt, CompatibilityMatrix::identity(5)).unwrap_err();
+    assert!(matches!(err, Error::Corrupt(_)));
+    std::fs::remove_file(&ckpt).ok();
+}
+
+/// Truncated or garbled checkpoint files are rejected with `Corrupt`.
+#[test]
+fn restore_rejects_corrupt_files() {
+    let matrix = CompatibilityMatrix::paper_figure2;
+    let cfg = config(8);
+    let ckpt = tmp_path("corrupt.ckpt");
+    let mut engine = StreamState::new(matrix(), cfg).unwrap();
+    engine.ingest_all(workload(20, 2));
+    engine.checkpoint(&ckpt).unwrap();
+
+    let bytes = std::fs::read(&ckpt).unwrap();
+    // Truncation.
+    std::fs::write(&ckpt, &bytes[..bytes.len() / 2]).unwrap();
+    assert!(matches!(
+        StreamState::restore(&ckpt, matrix()).unwrap_err(),
+        Error::Corrupt(_)
+    ));
+    // Bad magic.
+    let mut garbled = bytes.clone();
+    garbled[0] ^= 0xff;
+    std::fs::write(&ckpt, &garbled).unwrap();
+    assert!(matches!(
+        StreamState::restore(&ckpt, matrix()).unwrap_err(),
+        Error::Corrupt(_)
+    ));
+    std::fs::remove_file(&ckpt).ok();
+}
+
+/// Second mine reuses tracked borders: the phase-3 scan count cannot
+/// exceed the batch miner's on the same prefix, and verdicts stay exact.
+#[test]
+fn remine_with_tracked_borders_stays_correct() {
+    let matrix = CompatibilityMatrix::paper_figure2();
+    let seqs = workload(120, 17);
+    let cfg = config(seqs.len());
+    let mut engine = StreamState::new(matrix.clone(), cfg.clone()).unwrap();
+
+    engine.ingest_all(&seqs[..100]);
+    let prefix = MemorySequences(seqs[..100].to_vec());
+    engine.mine(&prefix).unwrap();
+
+    engine.ingest_all(&seqs[100..]);
+    let full = MemorySequences(seqs.clone());
+    let incremental = engine.mine(&full).unwrap();
+    let batch = mine(&full, &matrix, &cfg).unwrap();
+    assert_eq!(
+        pattern_set(incremental.patterns()),
+        pattern_set(batch.patterns())
+    );
+    // The incremental run's phase 3 may not scan more than batch phase 3
+    // (batch stats include phase 1's scan).
+    assert!(incremental.stats.db_scans <= batch.stats.db_scans);
+}

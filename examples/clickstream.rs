@@ -12,17 +12,27 @@
 
 use noisemine::core::matching::MemorySequences;
 use noisemine::core::miner::{mine, MinerConfig};
+use noisemine::core::Pattern;
 use noisemine::core::{Alphabet, PatternSpace};
 use noisemine::datagen::noise::{apply_channel, channel_to_compatibility};
 use noisemine::datagen::{generate, Background, GeneratorConfig, PlantedMotif};
-use noisemine::core::Pattern;
 
 fn main() {
     // A small product catalog: each product has one near-substitute
     // (espresso <-> lungo, tea <-> chai, ...).
     let products = [
-        "espresso", "lungo", "tea", "chai", "croissant", "brioche", "bagel", "pretzel", "juice",
-        "smoothie", "yogurt", "skyr",
+        "espresso",
+        "lungo",
+        "tea",
+        "chai",
+        "croissant",
+        "brioche",
+        "bagel",
+        "pretzel",
+        "juice",
+        "smoothie",
+        "yogurt",
+        "skyr",
     ];
     let alphabet = Alphabet::new(products).expect("distinct products");
     let m = alphabet.len();
@@ -89,10 +99,7 @@ fn main() {
     }
 
     for habit in &habits {
-        let found = outcome
-            .frequent
-            .iter()
-            .any(|f| &f.pattern == habit);
+        let found = outcome.frequent.iter().any(|f| &f.pattern == habit);
         println!(
             "habit {:?}: {}",
             habit.display(&alphabet).unwrap(),

@@ -66,9 +66,7 @@ fn main() {
         "batch-job signature {} (8 levels):",
         signature.display(&alphabet).unwrap()
     );
-    println!(
-        "  support in jittered traces: {support:.3}   (planted occurrence was 0.50)"
-    );
+    println!("  support in jittered traces: {support:.3}   (planted occurrence was 0.50)");
     println!("  match   in jittered traces: {match_value:.3}");
 
     // Mine and check the signature's prefix chain is recovered.

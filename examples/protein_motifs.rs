@@ -16,7 +16,9 @@
 //! ```
 
 use noisemine::baselines::mine_levelwise;
-use noisemine::core::matching::{db_match, db_support, MatchMetric, MemorySequences, SupportMetric};
+use noisemine::core::matching::{
+    db_match, db_support, MatchMetric, MemorySequences, SupportMetric,
+};
 use noisemine::core::PatternSpace;
 use noisemine::datagen::{ProteinWorkload, ProteinWorkloadConfig};
 

@@ -84,7 +84,15 @@ fn main() {
     let threshold = 0.30;
     println!(
         "\nat min threshold {threshold}: support model {} the signature, match model {} it",
-        if support >= threshold { "keeps" } else { "LOSES" },
-        if match_value >= threshold { "keeps" } else { "LOSES" },
+        if support >= threshold {
+            "keeps"
+        } else {
+            "LOSES"
+        },
+        if match_value >= threshold {
+            "keeps"
+        } else {
+            "LOSES"
+        },
     );
 }

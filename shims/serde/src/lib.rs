@@ -1,0 +1,28 @@
+//! Offline no-op shim for [`serde`](https://crates.io/crates/serde).
+//!
+//! The workspace annotates public result types with
+//! `#[derive(Serialize, Deserialize)]` so downstream users *could* plug in
+//! a serde format crate — but no format crate is part of the allowed
+//! dependency set, so nothing in-tree ever calls serde's methods. This shim
+//! keeps the annotations compiling without network access:
+//!
+//! - [`Serialize`] / [`Deserialize`] are marker traits blanket-implemented
+//!   for every type;
+//! - the derive macros (re-exported from the sibling `serde_derive` shim)
+//!   expand to nothing.
+//!
+//! Actual on-disk persistence in this workspace (checkpoints, the binary
+//! sequence database) uses explicit, versioned formats written by hand —
+//! see `noisemine-seqdb::disk` and `noisemine-stream::checkpoint`.
+
+/// Marker stand-in for `serde::Serialize`; satisfied by every type.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; satisfied by every type.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+pub use serde_derive::{Deserialize, Serialize};

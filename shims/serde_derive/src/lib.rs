@@ -1,0 +1,19 @@
+//! No-op `Serialize` / `Deserialize` derive macros for the serde shim.
+//!
+//! The shim's traits are blanket-implemented for all types, so the derives
+//! have nothing to generate — they exist only so `#[derive(Serialize,
+//! Deserialize)]` annotations parse.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; the serde shim blanket-implements `Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; the serde shim blanket-implements `Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

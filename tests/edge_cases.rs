@@ -62,7 +62,10 @@ fn gapped_support_counts_fixed_length_gaps_only() {
     ]);
     let p = pat("d1 * d2");
     assert!((db_support(&p, &db) - 0.5).abs() < 1e-12);
-    assert_eq!(sequence_support(&p, &alphabet.encode("d1 d9 d9 d2").unwrap()), 0.0);
+    assert_eq!(
+        sequence_support(&p, &alphabet.encode("d1 d9 d9 d2").unwrap()),
+        0.0
+    );
 }
 
 #[test]

@@ -16,7 +16,11 @@ use noisemine::datagen::{apply_channel, generate, Background, GeneratorConfig, P
 use noisemine::seqdb::{DiskDb, MemoryDb};
 
 /// A deterministic noisy workload with one strong planted motif.
-fn workload() -> (Vec<Vec<noisemine::core::Symbol>>, CompatibilityMatrix, Pattern) {
+fn workload() -> (
+    Vec<Vec<noisemine::core::Symbol>>,
+    CompatibilityMatrix,
+    Pattern,
+) {
     let alphabet = noisemine::core::Alphabet::synthetic(12);
     let motif = Pattern::parse("d0 d1 d2 d3 d4 d5", &alphabet).unwrap();
     let standard = generate(&GeneratorConfig {
@@ -121,10 +125,17 @@ fn all_four_miners_agree_on_disk_database() {
     let toivonen = mine_toivonen(&db, &matrix, &cfg).unwrap();
 
     let ours_set: HashSet<Pattern> = ours.patterns().into_iter().collect();
-    let toivonen_set: HashSet<Pattern> =
-        toivonen.frequent.iter().map(|f| f.pattern.clone()).collect();
+    let toivonen_set: HashSet<Pattern> = toivonen
+        .frequent
+        .iter()
+        .map(|f| f.pattern.clone())
+        .collect();
     assert_eq!(ours_set, exact.pattern_set(), "three-phase vs exact");
-    assert_eq!(maxminer.pattern_set(), exact.pattern_set(), "max-miner vs exact");
+    assert_eq!(
+        maxminer.pattern_set(),
+        exact.pattern_set(),
+        "max-miner vs exact"
+    );
     assert_eq!(toivonen_set, exact.pattern_set(), "toivonen vs exact");
 
     std::fs::remove_file(&path).unwrap();

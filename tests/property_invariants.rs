@@ -1,4 +1,4 @@
-//! Property-based tests of the model's core invariants (proptest).
+//! Property-based tests of the model's core invariants (seeded harness).
 //!
 //! These exercise the claims of Section 3 on *random* patterns, sequences,
 //! and compatibility matrices — not just the worked examples:
@@ -10,206 +10,160 @@
 //! - halfway patterns lie between their endpoints (Algorithm 4.4);
 //! - sequential sampling returns exactly `min(n, N)` distinct sequences.
 
+mod common;
+
+use common::{random_matrix, random_pattern, random_sequence, random_sequences, run_cases};
 use noisemine::core::chernoff::restricted_spread;
 use noisemine::core::matching::{
     db_match, db_support, sequence_match, symbol_db_match, MemorySequences,
 };
-use noisemine::core::{CompatibilityMatrix, Pattern, PatternElem, Symbol};
+use noisemine::core::{CompatibilityMatrix, Pattern, Symbol};
 use noisemine::seqdb::{sequential_sample, MemoryDb};
-use proptest::prelude::*;
+use rand::Rng;
 
 const M: usize = 6;
+const CASES: usize = 128;
 
-/// A random column-stochastic compatibility matrix over `M` symbols.
-fn matrix_strategy() -> impl Strategy<Value = CompatibilityMatrix> {
-    proptest::collection::vec(
-        proptest::collection::vec(0.01f64..1.0, M),
-        M,
-    )
-    .prop_map(|cols| {
-        // cols[j][i] is an unnormalized weight for C(i, j).
-        let mut rows = vec![vec![0.0; M]; M];
-        for (j, col) in cols.iter().enumerate() {
-            let total: f64 = col.iter().sum();
-            for (i, w) in col.iter().enumerate() {
-                rows[i][j] = w / total;
-            }
-        }
-        CompatibilityMatrix::from_rows(rows).expect("normalized columns")
-    })
-}
-
-fn sequence_strategy(max_len: usize) -> impl Strategy<Value = Vec<Symbol>> {
-    proptest::collection::vec(0..M as u16, 1..max_len).prop_map(|v| {
-        v.into_iter().map(Symbol).collect()
-    })
-}
-
-/// A random valid pattern (first/last concrete) of up to 5 positions.
-fn pattern_strategy() -> impl Strategy<Value = Pattern> {
-    proptest::collection::vec((0..M as u16, proptest::bool::ANY), 1..5).prop_map(|spec| {
-        let mut elems: Vec<PatternElem> = spec
-            .iter()
-            .map(|&(s, any)| {
-                if any {
-                    PatternElem::Any
-                } else {
-                    PatternElem::Sym(Symbol(s))
-                }
-            })
-            .collect();
-        // Force the endpoints to be concrete.
-        let first = spec.first().unwrap().0;
-        let last = spec.last().unwrap().0;
-        let n = elems.len();
-        elems[0] = PatternElem::Sym(Symbol(first));
-        elems[n - 1] = PatternElem::Sym(Symbol(last));
-        Pattern::new(elems).expect("endpoints are concrete")
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Claim 3.1: the match of a pattern never exceeds the match of any of
-    /// its (immediate) subpatterns, in any sequence.
-    #[test]
-    fn apriori_on_sequences(
-        pattern in pattern_strategy(),
-        seq in sequence_strategy(20),
-        matrix in matrix_strategy(),
-    ) {
+/// Claim 3.1: the match of a pattern never exceeds the match of any of
+/// its (immediate) subpatterns, in any sequence.
+#[test]
+fn apriori_on_sequences() {
+    run_cases(CASES, |rng| {
+        let pattern = random_pattern(rng, M);
+        let seq = random_sequence(rng, M, 20);
+        let matrix = random_matrix(rng, M, 0.01);
         let sup_match = sequence_match(&pattern, &seq, &matrix);
         for sub in pattern.immediate_subpatterns() {
             let sub_match = sequence_match(&sub, &seq, &matrix);
-            prop_assert!(
+            assert!(
                 sub_match >= sup_match - 1e-12,
                 "subpattern {sub} matches {sub_match} < superpattern {pattern} {sup_match}"
             );
         }
-    }
+    });
+}
 
-    /// Claim 3.2: Apriori carries over to whole databases.
-    #[test]
-    fn apriori_on_databases(
-        pattern in pattern_strategy(),
-        seqs in proptest::collection::vec(sequence_strategy(15), 1..12),
-        matrix in matrix_strategy(),
-    ) {
-        let db = MemorySequences(seqs);
+/// Claim 3.2: Apriori carries over to whole databases.
+#[test]
+fn apriori_on_databases() {
+    run_cases(CASES, |rng| {
+        let pattern = random_pattern(rng, M);
+        let db = MemorySequences(random_sequences(rng, M, 15, 1, 12));
+        let matrix = random_matrix(rng, M, 0.01);
         let sup = db_match(&pattern, &db, &matrix);
         for sub in pattern.immediate_subpatterns() {
-            prop_assert!(db_match(&sub, &db, &matrix) >= sup - 1e-12);
+            assert!(db_match(&sub, &db, &matrix) >= sup - 1e-12);
         }
-    }
+    });
+}
 
-    /// Identity matrix: match degenerates to support exactly.
-    #[test]
-    fn identity_matrix_means_support(
-        pattern in pattern_strategy(),
-        seqs in proptest::collection::vec(sequence_strategy(15), 1..12),
-    ) {
+/// Identity matrix: match degenerates to support exactly.
+#[test]
+fn identity_matrix_means_support() {
+    run_cases(CASES, |rng| {
+        let pattern = random_pattern(rng, M);
+        let db = MemorySequences(random_sequences(rng, M, 15, 1, 12));
         let id = CompatibilityMatrix::identity(M);
-        let db = MemorySequences(seqs);
         let m = db_match(&pattern, &db, &id);
         let s = db_support(&pattern, &db);
-        prop_assert!((m - s).abs() < 1e-12, "match {m} != support {s}");
-    }
+        assert!((m - s).abs() < 1e-12, "match {m} != support {s}");
+    });
+}
 
-    /// Total noise: every pattern with the same number of concrete symbols
-    /// has exactly the same match in every sufficiently long sequence.
-    #[test]
-    fn total_noise_flattens_all_patterns(
-        seqs in proptest::collection::vec(sequence_strategy(15), 1..8),
-        a in 0..M as u16,
-        b in 0..M as u16,
-        c in 0..M as u16,
-        d in 0..M as u16,
-    ) {
+/// Total noise: every pattern with the same number of concrete symbols
+/// has exactly the same match in every sufficiently long sequence.
+#[test]
+fn total_noise_flattens_all_patterns() {
+    run_cases(CASES, |rng| {
+        let db = MemorySequences(random_sequences(rng, M, 15, 1, 8));
+        let (a, b) = (rng.gen_range(0..M as u16), rng.gen_range(0..M as u16));
+        let (c, d) = (rng.gen_range(0..M as u16), rng.gen_range(0..M as u16));
         let flat = CompatibilityMatrix::total_noise(M);
-        let db = MemorySequences(seqs);
         let p1 = Pattern::contiguous(&[Symbol(a), Symbol(b)]).unwrap();
         let p2 = Pattern::contiguous(&[Symbol(c), Symbol(d)]).unwrap();
-        prop_assert!((db_match(&p1, &db, &flat) - db_match(&p2, &db, &flat)).abs() < 1e-12);
-    }
+        assert!((db_match(&p1, &db, &flat) - db_match(&p2, &db, &flat)).abs() < 1e-12);
+    });
+}
 
-    /// Claim 4.2: a pattern's database match never exceeds its restricted
-    /// spread (the minimum of its symbols' matches).
-    #[test]
-    fn restricted_spread_bounds_match(
-        pattern in pattern_strategy(),
-        seqs in proptest::collection::vec(sequence_strategy(15), 1..12),
-        matrix in matrix_strategy(),
-    ) {
-        let db = MemorySequences(seqs);
+/// Claim 4.2: a pattern's database match never exceeds its restricted
+/// spread (the minimum of its symbols' matches).
+#[test]
+fn restricted_spread_bounds_match() {
+    run_cases(CASES, |rng| {
+        let pattern = random_pattern(rng, M);
+        let db = MemorySequences(random_sequences(rng, M, 15, 1, 12));
+        let matrix = random_matrix(rng, M, 0.01);
         let symbol_match = symbol_db_match(&db, &matrix);
         let spread = restricted_spread(&pattern, &symbol_match);
         let value = db_match(&pattern, &db, &matrix);
-        prop_assert!(
+        assert!(
             value <= spread + 1e-12,
             "match {value} exceeds restricted spread {spread} for {pattern}"
         );
-    }
+    });
+}
 
-    /// Match is always a probability-like value in [0, 1].
-    #[test]
-    fn match_is_bounded(
-        pattern in pattern_strategy(),
-        seq in sequence_strategy(20),
-        matrix in matrix_strategy(),
-    ) {
+/// Match is always a probability-like value in [0, 1].
+#[test]
+fn match_is_bounded() {
+    run_cases(CASES, |rng| {
+        let pattern = random_pattern(rng, M);
+        let seq = random_sequence(rng, M, 20);
+        let matrix = random_matrix(rng, M, 0.01);
         let v = sequence_match(&pattern, &seq, &matrix);
-        prop_assert!((0.0..=1.0).contains(&v));
-    }
+        assert!((0.0..=1.0).contains(&v));
+    });
+}
 
-    /// Algorithm 4.4: every halfway pattern between `P` and a superpattern
-    /// extension of `P` is a superpattern of `P` and a subpattern of the
-    /// extension, with the right number of concrete symbols.
-    #[test]
-    fn halfway_patterns_are_between(
-        pattern in pattern_strategy(),
-        exts in proptest::collection::vec((0usize..2, 0..M as u16), 1..4),
-    ) {
+/// Algorithm 4.4: every halfway pattern between `P` and a superpattern
+/// extension of `P` is a superpattern of `P` and a subpattern of the
+/// extension, with the right number of concrete symbols.
+#[test]
+fn halfway_patterns_are_between() {
+    run_cases(CASES, |rng| {
+        let pattern = random_pattern(rng, M);
         let mut sup = pattern.clone();
-        for (gap, sym) in exts {
-            sup = sup.extend(gap, Symbol(sym));
+        for _ in 0..rng.gen_range(1..4usize) {
+            let gap = rng.gen_range(0..2usize);
+            let sym = Symbol(rng.gen_range(0..M as u16));
+            sup = sup.extend(gap, sym);
         }
         let k1 = pattern.non_eternal_count();
         let k2 = sup.non_eternal_count();
         let mid = (k1 + k2).div_ceil(2);
         for candidate in pattern.between(&sup, mid) {
-            prop_assert_eq!(candidate.non_eternal_count(), mid);
-            prop_assert!(pattern.is_subpattern_of(&candidate));
-            prop_assert!(candidate.is_subpattern_of(&sup));
+            assert_eq!(candidate.non_eternal_count(), mid);
+            assert!(pattern.is_subpattern_of(&candidate));
+            assert!(candidate.is_subpattern_of(&sup));
         }
-    }
+    });
+}
 
-    /// Sequential sampling returns exactly `min(n, N)` sequences, in scan
-    /// order, without duplication of positions.
-    #[test]
-    fn sequential_sampling_quota(
-        n in 0usize..40,
-        count in 1usize..30,
-        seed in 0u64..1000,
-    ) {
+/// Sequential sampling returns exactly `min(n, N)` sequences, in scan
+/// order, without duplication of positions.
+#[test]
+fn sequential_sampling_quota() {
+    run_cases(CASES, |rng| {
+        let n = rng.gen_range(0..40usize);
+        let count = rng.gen_range(1..30usize);
         let db = MemoryDb::from_sequences(
             (0..count).map(|i| vec![Symbol((i % M) as u16), Symbol(((i / M) % M) as u16)]),
         );
-        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
-        let sample = sequential_sample(&db, n, &mut rng);
-        prop_assert_eq!(sample.len(), n.min(count));
-    }
+        let sample = sequential_sample(&db, n, rng);
+        assert_eq!(sample.len(), n.min(count));
+    });
+}
 
-    /// Sub-/super-pattern relation is transitive through `extend`.
-    #[test]
-    fn extension_preserves_subpattern_relation(
-        pattern in pattern_strategy(),
-        gap in 0usize..3,
-        sym in 0..M as u16,
-    ) {
-        let ext = pattern.extend(gap, Symbol(sym));
-        prop_assert!(pattern.is_subpattern_of(&ext));
-        prop_assert!(!ext.is_subpattern_of(&pattern) || ext == pattern);
-        prop_assert_eq!(ext.non_eternal_count(), pattern.non_eternal_count() + 1);
-    }
+/// Sub-/super-pattern relation is transitive through `extend`.
+#[test]
+fn extension_preserves_subpattern_relation() {
+    run_cases(CASES, |rng| {
+        let pattern = random_pattern(rng, M);
+        let gap = rng.gen_range(0..3usize);
+        let sym = Symbol(rng.gen_range(0..M as u16));
+        let ext = pattern.extend(gap, sym);
+        assert!(pattern.is_subpattern_of(&ext));
+        assert!(!ext.is_subpattern_of(&pattern) || ext == pattern);
+        assert_eq!(ext.non_eternal_count(), pattern.non_eternal_count() + 1);
+    });
 }

@@ -1,43 +1,41 @@
 //! Property tests for the serialization layers: every writer/reader pair
 //! must round-trip arbitrary valid data exactly.
 
-use noisemine::core::{matrix_io, Alphabet, CompatibilityMatrix, Pattern, Symbol};
-use noisemine::seqdb::{read_sequences, write_sequences, DiskDb};
+mod common;
+
+use common::{random_matrix, run_cases};
 use noisemine::core::matching::SequenceScan;
-use proptest::prelude::*;
+use noisemine::core::{matrix_io, Alphabet, Pattern, Symbol};
+use noisemine::seqdb::{read_sequences, write_sequences, DiskDb};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+const CASES: usize = 64;
 
 /// Arbitrary token-style alphabet (multi-character names, no whitespace).
-fn alphabet_strategy() -> impl Strategy<Value = Alphabet> {
-    proptest::collection::btree_set("[a-z]{2,6}", 2..10)
-        .prop_map(|names| Alphabet::new(names).expect("btree set names are distinct"))
+fn random_alphabet(rng: &mut StdRng) -> Alphabet {
+    let count = rng.gen_range(2..10usize);
+    let mut names = std::collections::BTreeSet::new();
+    while names.len() < count {
+        let len = rng.gen_range(2..7usize);
+        let name: String = (0..len)
+            .map(|_| (b'a' + rng.gen_range(0..26u8)) as char)
+            .collect();
+        names.insert(name);
+    }
+    Alphabet::new(names).expect("btree set names are distinct")
 }
 
-fn matrix_strategy(m: usize) -> impl Strategy<Value = CompatibilityMatrix> {
-    proptest::collection::vec(proptest::collection::vec(0.01f64..1.0, m), m).prop_map(
-        move |cols| {
-            let mut rows = vec![vec![0.0; m]; m];
-            for (j, col) in cols.iter().enumerate() {
-                let total: f64 = col.iter().sum();
-                for (i, w) in col.iter().enumerate() {
-                    rows[i][j] = w / total;
-                }
-            }
-            CompatibilityMatrix::from_rows(rows).expect("normalized")
-        },
-    )
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Text sequences round-trip for any alphabet and content.
-    #[test]
-    fn text_sequences_round_trip(
-        alphabet in alphabet_strategy(),
-        shape in proptest::collection::vec(1usize..20, 0..10),
-        seed in 0u64..1000,
-    ) {
+/// Text sequences round-trip for any alphabet and content.
+#[test]
+fn text_sequences_round_trip() {
+    run_cases(CASES, |rng| {
+        let alphabet = random_alphabet(rng);
         let m = alphabet.len() as u64;
+        let seed: u64 = rng.gen_range(0..1000u64);
+        let shape: Vec<usize> = (0..rng.gen_range(0..10usize))
+            .map(|_| rng.gen_range(1..20usize))
+            .collect();
         let sequences: Vec<Vec<Symbol>> = shape
             .iter()
             .enumerate()
@@ -50,23 +48,20 @@ proptest! {
         let mut buf = Vec::new();
         write_sequences(&mut buf, &sequences, &alphabet).unwrap();
         let back = read_sequences(buf.as_slice(), &alphabet).unwrap();
-        prop_assert_eq!(back, sequences);
-    }
+        assert_eq!(back, sequences);
+    });
+}
 
-    /// Dense and sparse matrix text formats round-trip bit-for-bit... up to
-    /// the decimal re-parse (we write with `{}` which is shortest-exact for
-    /// f64, so values are preserved exactly).
-    #[test]
-    fn matrix_text_round_trip(
-        m in 2usize..8,
-        dense in proptest::bool::ANY,
-        seed in 0u64..1000,
-    ) {
-        let matrix = {
-            // Deterministic stand-in for a strategy-of-strategy: reuse the
-            // sparse_random generator from datagen.
-            noisemine::datagen::sparse_random_matrix(m, 0.5, 0.6, seed)
-        };
+/// Dense and sparse matrix text formats round-trip bit-for-bit... up to
+/// the decimal re-parse (we write with `{}` which is shortest-exact for
+/// f64, so values are preserved exactly).
+#[test]
+fn matrix_text_round_trip() {
+    run_cases(CASES, |rng| {
+        let m = rng.gen_range(2..8usize);
+        let dense = rng.gen_bool(0.5);
+        let seed: u64 = rng.gen_range(0..1000u64);
+        let matrix = noisemine::datagen::sparse_random_matrix(m, 0.5, 0.6, seed);
         let alphabet = Alphabet::synthetic(m);
         let text = if dense {
             matrix_io::to_dense_string(&alphabet, &matrix).unwrap()
@@ -74,39 +69,50 @@ proptest! {
             matrix_io::to_sparse_string(&alphabet, &matrix).unwrap()
         };
         let (a2, m2) = matrix_io::read_matrix(text.as_bytes()).unwrap();
-        prop_assert_eq!(a2.len(), m);
+        assert_eq!(a2.len(), m);
         for i in 0..m as u16 {
             for j in 0..m as u16 {
-                prop_assert_eq!(
+                assert_eq!(
                     m2.get(Symbol(i), Symbol(j)),
                     matrix.get(Symbol(i), Symbol(j)),
-                    "entry ({}, {})", i, j
+                    "entry ({i}, {j})"
                 );
             }
         }
-    }
+    });
+}
 
-    /// Random column-stochastic matrices round-trip through the dense text
-    /// format.
-    #[test]
-    fn dense_matrix_round_trip_random(matrix in matrix_strategy(5)) {
+/// Random column-stochastic matrices round-trip through the dense text
+/// format.
+#[test]
+fn dense_matrix_round_trip_random() {
+    run_cases(CASES, |rng| {
+        let matrix = random_matrix(rng, 5, 0.01);
         let alphabet = Alphabet::synthetic(5);
         let text = matrix_io::to_dense_string(&alphabet, &matrix).unwrap();
         let (_, m2) = matrix_io::read_matrix(text.as_bytes()).unwrap();
         for i in 0..5u16 {
             for j in 0..5u16 {
-                prop_assert_eq!(m2.get(Symbol(i), Symbol(j)), matrix.get(Symbol(i), Symbol(j)));
+                assert_eq!(
+                    m2.get(Symbol(i), Symbol(j)),
+                    matrix.get(Symbol(i), Symbol(j))
+                );
             }
         }
-    }
+    });
+}
 
-    /// The binary disk format round-trips arbitrary sequences (including
-    /// empty ones and max-id symbols).
-    #[test]
-    fn disk_round_trip(
-        shape in proptest::collection::vec(0usize..30, 0..12),
-        seed in 0u64..1000,
-    ) {
+/// The binary disk format round-trips arbitrary sequences (including
+/// empty ones and max-id symbols).
+#[test]
+fn disk_round_trip() {
+    let mut case = 0u64;
+    run_cases(CASES, |rng| {
+        case += 1;
+        let seed: u64 = rng.gen_range(0..1000u64);
+        let shape: Vec<usize> = (0..rng.gen_range(0..12usize))
+            .map(|_| rng.gen_range(0..30usize))
+            .collect();
         let sequences: Vec<Vec<Symbol>> = shape
             .iter()
             .enumerate()
@@ -117,32 +123,33 @@ proptest! {
             })
             .collect();
         let path = std::env::temp_dir().join(format!(
-            "noisemine-prop-disk-{}-{seed}-{}.db",
+            "noisemine-prop-disk-{}-{case}.db",
             std::process::id(),
-            shape.len(),
         ));
         let db = DiskDb::create_from(&path, sequences.iter().map(Vec::as_slice)).unwrap();
-        prop_assert_eq!(db.num_sequences(), sequences.len());
+        assert_eq!(db.num_sequences(), sequences.len());
         let mut back = Vec::new();
         db.scan(&mut |_, s| back.push(s.to_vec()));
         std::fs::remove_file(&path).ok();
-        prop_assert_eq!(back, sequences);
-    }
+        assert_eq!(back, sequences);
+    });
+}
 
-    /// Pattern parse/display round-trips for arbitrary valid patterns over
-    /// a single-character alphabet.
-    #[test]
-    fn pattern_parse_display_round_trip(
-        spec in proptest::collection::vec((0u16..20, 0usize..3), 1..8),
-    ) {
+/// Pattern parse/display round-trips for arbitrary valid patterns over
+/// a single-character alphabet.
+#[test]
+fn pattern_parse_display_round_trip() {
+    run_cases(CASES, |rng| {
         let alphabet = Alphabet::amino_acids();
-        // Build: symbol, then (gap, symbol) pairs.
-        let mut pattern = Pattern::single(Symbol(spec[0].0));
-        for &(sym, gap) in &spec[1..] {
-            pattern = pattern.extend(gap, Symbol(sym));
+        let count = rng.gen_range(1..8usize);
+        let mut pattern = Pattern::single(Symbol(rng.gen_range(0..20u16)));
+        for _ in 1..count {
+            let sym = Symbol(rng.gen_range(0..20u16));
+            let gap = rng.gen_range(0..3usize);
+            pattern = pattern.extend(gap, sym);
         }
         let text = pattern.display(&alphabet).unwrap();
         let back = Pattern::parse(&text, &alphabet).unwrap();
-        prop_assert_eq!(back, pattern);
-    }
+        assert_eq!(back, pattern);
+    });
 }

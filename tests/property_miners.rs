@@ -4,59 +4,47 @@
 //! border collapsing must agree with level-wise verification for any
 //! counter budget.
 
+mod common;
+
 use std::collections::HashSet;
 
-use noisemine::baselines::{mine_depth_first, mine_hierarchical, mine_levelwise, mine_maxminer, MaxMinerConfig};
+use common::{random_matrix, run_cases};
+use noisemine::baselines::{
+    mine_depth_first, mine_hierarchical, mine_levelwise, mine_maxminer, MaxMinerConfig,
+};
 use noisemine::core::border_collapse::{collapse, ProbeStrategy};
 use noisemine::core::lattice::AmbiguousSpace;
 use noisemine::core::matching::{db_match, MatchMetric};
 use noisemine::core::miner::{mine, MinerConfig};
-use noisemine::core::{CompatibilityMatrix, Pattern, PatternSpace, Symbol};
+use noisemine::core::{Pattern, PatternSpace, Symbol};
 use noisemine::seqdb::MemoryDb;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::Rng;
 
 const M: usize = 5;
+const CASES: usize = 48;
 
-fn matrix_strategy() -> impl Strategy<Value = CompatibilityMatrix> {
-    proptest::collection::vec(proptest::collection::vec(0.05f64..1.0, M), M).prop_map(|cols| {
-        let mut rows = vec![vec![0.0; M]; M];
-        for (j, col) in cols.iter().enumerate() {
-            let total: f64 = col.iter().sum();
-            for (i, w) in col.iter().enumerate() {
-                rows[i][j] = w / total;
-            }
-        }
-        CompatibilityMatrix::from_rows(rows).expect("normalized columns")
-    })
+fn random_db(rng: &mut StdRng) -> MemoryDb {
+    let count = rng.gen_range(3..12usize);
+    MemoryDb::from_sequences((0..count).map(|_| {
+        let len = rng.gen_range(2..10usize);
+        (0..len)
+            .map(|_| Symbol(rng.gen_range(0..M as u16)))
+            .collect::<Vec<_>>()
+    }))
 }
 
-fn db_strategy() -> impl Strategy<Value = MemoryDb> {
-    proptest::collection::vec(
-        proptest::collection::vec(0..M as u16, 2..10),
-        3..12,
-    )
-    .prop_map(|seqs| {
-        MemoryDb::from_sequences(
-            seqs.into_iter()
-                .map(|s| s.into_iter().map(Symbol).collect()),
-        )
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// With the sample covering the whole database, the three-phase miner's
-    /// output equals the exact level-wise result for any threshold and
-    /// either probe strategy.
-    #[test]
-    fn three_phase_with_full_sample_is_exact(
-        db in db_strategy(),
-        matrix in matrix_strategy(),
-        min_match in 0.05f64..0.6,
-        counters in 1usize..20,
-        levelwise_probe in proptest::bool::ANY,
-    ) {
+/// With the sample covering the whole database, the three-phase miner's
+/// output equals the exact level-wise result for any threshold and
+/// either probe strategy.
+#[test]
+fn three_phase_with_full_sample_is_exact() {
+    run_cases(CASES, |rng| {
+        let db = random_db(rng);
+        let matrix = random_matrix(rng, M, 0.05);
+        let min_match = rng.gen_range(0.05..0.6f64);
+        let counters = rng.gen_range(1..20usize);
+        let levelwise_probe = rng.gen_bool(0.5);
         let space = PatternSpace::contiguous(4);
         let cfg = MinerConfig {
             min_match,
@@ -78,22 +66,23 @@ proptest! {
             &MatchMetric { matrix: &matrix },
             M,
             min_match,
-            &space,
+            &cfg.space,
             usize::MAX,
         );
         let got: HashSet<Pattern> = outcome.patterns().into_iter().collect();
-        prop_assert_eq!(got, exact.pattern_set());
-    }
+        assert_eq!(got, exact.pattern_set());
+    });
+}
 
-    /// Max-Miner finds exactly the level-wise frequent set regardless of
-    /// look-ahead configuration.
-    #[test]
-    fn maxminer_is_exact(
-        db in db_strategy(),
-        matrix in matrix_strategy(),
-        min_match in 0.05f64..0.6,
-        lookaheads in 0usize..16,
-    ) {
+/// Max-Miner finds exactly the level-wise frequent set regardless of
+/// look-ahead configuration.
+#[test]
+fn maxminer_is_exact() {
+    run_cases(CASES, |rng| {
+        let db = random_db(rng);
+        let matrix = random_matrix(rng, M, 0.05);
+        let min_match = rng.gen_range(0.05..0.6f64);
+        let lookaheads = rng.gen_range(0..16usize);
         let space = PatternSpace::contiguous(4);
         let mm = mine_maxminer(
             &db,
@@ -101,7 +90,10 @@ proptest! {
             M,
             min_match,
             &space,
-            &MaxMinerConfig { lookaheads_per_scan: lookaheads, counters_per_scan: 50 },
+            &MaxMinerConfig {
+                lookaheads_per_scan: lookaheads,
+                counters_per_scan: 50,
+            },
         );
         let exact = mine_levelwise(
             &db,
@@ -111,18 +103,19 @@ proptest! {
             &space,
             usize::MAX,
         );
-        prop_assert_eq!(mm.pattern_set(), exact.pattern_set());
-    }
+        assert_eq!(mm.pattern_set(), exact.pattern_set());
+    });
+}
 
-    /// Depth-first and hierarchical mining both reproduce the exact
-    /// level-wise frequent set on random instances.
-    #[test]
-    fn depthfirst_and_hierarchical_are_exact(
-        db in db_strategy(),
-        matrix in matrix_strategy(),
-        min_match in 0.05f64..0.6,
-        min_compat in 0.05f64..0.5,
-    ) {
+/// Depth-first and hierarchical mining both reproduce the exact
+/// level-wise frequent set on random instances.
+#[test]
+fn depthfirst_and_hierarchical_are_exact() {
+    run_cases(CASES, |rng| {
+        let db = random_db(rng);
+        let matrix = random_matrix(rng, M, 0.05);
+        let min_match = rng.gen_range(0.05..0.6f64);
+        let min_compat = rng.gen_range(0.05..0.5f64);
         let space = PatternSpace::contiguous(4);
         let sequences: Vec<Vec<Symbol>> = {
             use noisemine::core::matching::SequenceScan;
@@ -139,21 +132,22 @@ proptest! {
             usize::MAX,
         );
         let dfs = mine_depth_first(&sequences, &matrix, min_match, &space);
-        prop_assert_eq!(dfs.pattern_set(), exact.pattern_set());
+        assert_eq!(dfs.pattern_set(), exact.pattern_set());
         let hier = mine_hierarchical(&sequences, &matrix, min_match, &space, min_compat);
-        prop_assert_eq!(hier.pattern_set(), exact.pattern_set());
-    }
+        assert_eq!(hier.pattern_set(), exact.pattern_set());
+    });
+}
 
-    /// Border collapsing resolves every ambiguous pattern to the same
-    /// verdict as direct counting, for any probe budget and strategy.
-    #[test]
-    fn collapse_is_exact_for_any_budget(
-        db in db_strategy(),
-        matrix in matrix_strategy(),
-        min_match in 0.05f64..0.6,
-        budget in 1usize..12,
-        levelwise_probe in proptest::bool::ANY,
-    ) {
+/// Border collapsing resolves every ambiguous pattern to the same
+/// verdict as direct counting, for any probe budget and strategy.
+#[test]
+fn collapse_is_exact_for_any_budget() {
+    run_cases(CASES, |rng| {
+        let db = random_db(rng);
+        let matrix = random_matrix(rng, M, 0.05);
+        let min_match = rng.gen_range(0.05..0.6f64);
+        let budget = rng.gen_range(1..12usize);
+        let levelwise_probe = rng.gen_bool(0.5);
         // Ambiguous set: all 1- and 2-patterns.
         let mut patterns = Vec::new();
         for a in 0..M as u16 {
@@ -179,11 +173,15 @@ proptest! {
             let exact = db_match(p, &db, &matrix);
             let frequent = result.frequent.iter().any(|r| &r.pattern == p);
             let infrequent = result.infrequent.iter().any(|r| &r.pattern == p);
-            prop_assert!(frequent ^ infrequent, "{} resolved {}", p,
-                if frequent { "twice" } else { "never" });
-            prop_assert_eq!(frequent, exact >= min_match);
+            assert!(
+                frequent ^ infrequent,
+                "{} resolved {}",
+                p,
+                if frequent { "twice" } else { "never" }
+            );
+            assert_eq!(frequent, exact >= min_match);
         }
-    }
+    });
 }
 
 /// Helper: MemoryDb does not expose num_sequences directly without the
