@@ -121,6 +121,7 @@ pub fn toivonen_config(
         probe_strategy: ProbeStrategy::LevelWise,
         seed,
         max_sample_patterns: noisemine_core::sample_miner::DEFAULT_MAX_SAMPLE_PATTERNS,
+        threads: 0,
     }
 }
 

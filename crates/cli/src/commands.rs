@@ -286,6 +286,7 @@ pub fn cmd_mine(opts: &Opts) -> CliResult<()> {
         "counters",
         "strategy",
         "seed",
+        "threads",
         "limit",
         "top",
         "format",
@@ -336,6 +337,7 @@ pub fn cmd_mine(opts: &Opts) -> CliResult<()> {
                     other => return Err(format!("unknown strategy {other:?}").into()),
                 },
                 seed: opts.num("seed", 2002u64)?,
+                threads: opts.num("threads", 0usize)?,
                 ..MinerConfig::default()
             };
             let outcome = mine(&db, &matrix, &config).map_err(|e| e.to_string())?;
@@ -438,6 +440,7 @@ pub fn cmd_stream(opts: &Opts) -> CliResult<()> {
         "max-len",
         "strategy",
         "seed",
+        "threads",
         "limit",
         "format",
     ])?;
@@ -484,6 +487,7 @@ pub fn cmd_stream(opts: &Opts) -> CliResult<()> {
                     other => return Err(format!("unknown strategy {other:?}").into()),
                 },
                 seed: opts.num("seed", 2002u64)?,
+                threads: opts.num("threads", 0usize)?,
                 ..MinerConfig::default()
             };
             StreamState::new(matrix.clone(), config).map_err(|e| e.to_string())?

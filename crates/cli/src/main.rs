@@ -8,8 +8,9 @@
 //! noisemine mine    --db db.txt [--matrix m.txt] [--normalize] [--min-match 0.1]
 //!                   [--algorithm three-phase|levelwise|depth-first|max-miner] [--top k]
 //!                   [--max-gap 0] [--max-len 16] [--sample N] [--strategy border|levelwise]
+//!                   [--threads 0]
 //! noisemine stream  --db db.txt [--matrix m.txt] [--checkpoint state.ckpt]
-//!                   [--chunk 1000] [--min-match 0.1] [--sample 1000]
+//!                   [--chunk 1000] [--min-match 0.1] [--sample 1000] [--threads 0]
 //! noisemine convert --db db.txt --out db.nmdb
 //! ```
 
@@ -32,12 +33,12 @@ USAGE:
                     [--algorithm three-phase|levelwise|depth-first|max-miner]
                     [--max-gap 0] [--max-len 16] [--sample N] [--delta 0.001]
                     [--counters 100000] [--strategy border|levelwise]
-                    [--seed 2002] [--limit 50] [--top k]
+                    [--seed 2002] [--threads 0] [--limit 50] [--top k]
   noisemine stream  --db db.txt|- [--matrix m.txt] [--normalize]
                     [--checkpoint state.ckpt] [--chunk 1000] [--min-match 0.1]
                     [--sample 1000] [--delta 0.001] [--counters 100000]
                     [--max-gap 0] [--max-len 16] [--strategy border|levelwise]
-                    [--seed 2002] [--limit 50]
+                    [--seed 2002] [--threads 0] [--limit 50]
   noisemine learn   --truth clean.txt --observed noisy.txt --out m.txt [--lambda 0.1]
   noisemine convert --db db.txt --out db.nmdb
 
@@ -47,7 +48,9 @@ the #noisemine-matrix dense/sparse text format. --normalize mines with the
 diagonal-normalized score matrix (match on the noise-free support scale).
 `stream` ingests incrementally, re-mines only when symbol-match estimates
 drift past the Chernoff bound, and persists engine state via --checkpoint so
-a later run over a grown file resumes from the tail.";
+a later run over a grown file resumes from the tail. --threads sets the scan
+worker count for the three-phase miner (0 = auto); results are bit-identical
+at any thread count.";
 
 fn run() -> CliResult<()> {
     let opts = Opts::parse(std::env::args().skip(1))?;

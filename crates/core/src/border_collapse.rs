@@ -10,10 +10,12 @@
 //! `x` layers per scan the ambiguous space shrinks to `1/x` per scan, giving
 //! `O(log_x y)` scans where a level-wise search needs `y`.
 
+use std::collections::HashMap;
+
 use serde::{Deserialize, Serialize};
 
 use crate::lattice::AmbiguousSpace;
-use crate::matching::{db_match_many, SequenceScan};
+use crate::matching::{db_match_many_threads, SequenceScan};
 use crate::matrix::CompatibilityMatrix;
 use crate::pattern::Pattern;
 
@@ -93,6 +95,7 @@ pub fn collapse<S: SequenceScan + ?Sized>(
         min_match,
         counters_per_scan,
         strategy,
+        0,
     )
 }
 
@@ -103,7 +106,10 @@ pub fn collapse<S: SequenceScan + ?Sized>(
 /// it has probed before. Those verdicts are applied first, collapsing their
 /// region of the ambiguous space via Apriori propagation without a single
 /// database scan; only what remains is probed. Known patterns outside the
-/// ambiguous space are ignored.
+/// ambiguous space are ignored. `threads` is the worker-thread count for
+/// each verification scan (`0` = all available cores); it never changes the
+/// verdicts (see [`db_match_many_threads`]).
+#[allow(clippy::too_many_arguments)]
 pub fn collapse_with_known<S: SequenceScan + ?Sized>(
     mut space: AmbiguousSpace,
     known: &[(Pattern, f64)],
@@ -112,9 +118,11 @@ pub fn collapse_with_known<S: SequenceScan + ?Sized>(
     min_match: f64,
     counters_per_scan: usize,
     strategy: ProbeStrategy,
+    threads: usize,
 ) -> CollapseResult {
     assert!(counters_per_scan >= 1, "need room for at least one counter");
     let mut result = CollapseResult::default();
+    let mut index = ResultIndex::default();
 
     let (known_patterns, known_values): (Vec<Pattern>, Vec<f64>) = known
         .iter()
@@ -125,6 +133,7 @@ pub fn collapse_with_known<S: SequenceScan + ?Sized>(
     apply_exact_values(
         &mut space,
         &mut result,
+        &mut index,
         &known_patterns,
         &known_values,
         min_match,
@@ -133,11 +142,18 @@ pub fn collapse_with_known<S: SequenceScan + ?Sized>(
     while !space.is_empty() {
         let probes = select_probes(&space, counters_per_scan, strategy);
         debug_assert!(!probes.is_empty());
-        let values = db_match_many(&probes, db, matrix);
+        let values = db_match_many_threads(&probes, db, matrix, threads);
         result.scans += 1;
         result.probes += probes.len();
         result.probes_per_scan.push(probes.len());
-        apply_exact_values(&mut space, &mut result, &probes, &values, min_match);
+        apply_exact_values(
+            &mut space,
+            &mut result,
+            &mut index,
+            &probes,
+            &values,
+            min_match,
+        );
     }
 
     result.propagated = result
@@ -157,6 +173,7 @@ pub fn collapse_with_known<S: SequenceScan + ?Sized>(
 fn apply_exact_values(
     space: &mut AmbiguousSpace,
     result: &mut CollapseResult,
+    index: &mut ResultIndex,
     patterns: &[Pattern],
     values: &[f64],
     min_match: f64,
@@ -167,54 +184,77 @@ fn apply_exact_values(
         let pattern = &patterns[i];
         let value = values[i];
         if !space.contains(pattern) {
-            attach_exact_value(result, pattern, value, min_match);
+            attach_exact_value(result, index, pattern, value, min_match);
             continue;
         }
         if value >= min_match {
             for p in space.resolve_frequent(pattern) {
-                push(result, p, true);
+                push(result, index, p, true);
             }
-            replace_probe_record(result, pattern, value, true);
+            replace_probe_record(result, index, pattern, value, true);
         } else {
             for p in space.resolve_infrequent(pattern) {
-                push(result, p, false);
+                push(result, index, p, false);
             }
-            replace_probe_record(result, pattern, value, false);
+            replace_probe_record(result, index, pattern, value, false);
+        }
+    }
+}
+
+/// Positions of every recorded pattern within [`CollapseResult`]'s frequent
+/// and infrequent lists. A collapse run can resolve tens of thousands of
+/// patterns; upgrading a probe record by linear search made phase 3
+/// O(probes²) overall, so the maps keep it O(1) per record.
+#[derive(Default)]
+struct ResultIndex {
+    frequent: HashMap<Pattern, usize>,
+    infrequent: HashMap<Pattern, usize>,
+}
+
+impl ResultIndex {
+    fn list_of<'a>(
+        &'a mut self,
+        result: &'a mut CollapseResult,
+        frequent: bool,
+    ) -> (
+        &'a mut Vec<ResolvedPattern>,
+        &'a mut HashMap<Pattern, usize>,
+    ) {
+        if frequent {
+            (&mut result.frequent, &mut self.frequent)
+        } else {
+            (&mut result.infrequent, &mut self.infrequent)
         }
     }
 }
 
 /// Records a resolved pattern; the probe pattern itself is upgraded to
 /// `Probed` by [`replace_probe_record`].
-fn push(result: &mut CollapseResult, pattern: Pattern, frequent: bool) {
-    let rec = ResolvedPattern {
+fn push(result: &mut CollapseResult, index: &mut ResultIndex, pattern: Pattern, frequent: bool) {
+    let (list, map) = index.list_of(result, frequent);
+    map.insert(pattern.clone(), list.len());
+    list.push(ResolvedPattern {
         pattern,
         match_value: None,
         resolution: Resolution::Propagated,
-    };
-    if frequent {
-        result.frequent.push(rec);
-    } else {
-        result.infrequent.push(rec);
-    }
+    });
 }
 
 /// Upgrades the record of the probed pattern itself with its exact value.
 fn replace_probe_record(
     result: &mut CollapseResult,
+    index: &mut ResultIndex,
     pattern: &Pattern,
     value: f64,
     frequent: bool,
 ) {
-    let list = if frequent {
-        &mut result.frequent
-    } else {
-        &mut result.infrequent
-    };
-    if let Some(rec) = list.iter_mut().find(|r| &r.pattern == pattern) {
+    let (list, map) = index.list_of(result, frequent);
+    if let Some(&at) = map.get(pattern) {
+        let rec = &mut list[at];
         rec.match_value = Some(value);
         rec.resolution = Resolution::Probed;
     } else {
+        map.insert(pattern.clone(), list.len());
         list.push(ResolvedPattern {
             pattern: pattern.clone(),
             match_value: Some(value),
@@ -225,9 +265,15 @@ fn replace_probe_record(
 
 /// A probed pattern that was propagated earlier in the same batch still has
 /// an exact value available — attach it.
-fn attach_exact_value(result: &mut CollapseResult, pattern: &Pattern, value: f64, min_match: f64) {
+fn attach_exact_value(
+    result: &mut CollapseResult,
+    index: &mut ResultIndex,
+    pattern: &Pattern,
+    value: f64,
+    min_match: f64,
+) {
     let frequent = value >= min_match;
-    replace_probe_record(result, pattern, value, frequent);
+    replace_probe_record(result, index, pattern, value, frequent);
 }
 
 /// Selects up to `budget` patterns to probe in the next scan.
@@ -452,6 +498,7 @@ mod tests {
             min_match,
             10,
             ProbeStrategy::BorderCollapsing,
+            0,
         );
         assert_eq!(r.scans, 0, "known values must resolve without scanning");
         assert_eq!(r.frequent.len() + r.infrequent.len(), patterns.len());
@@ -490,6 +537,7 @@ mod tests {
             min_match,
             2,
             ProbeStrategy::BorderCollapsing,
+            0,
         );
         let plain = collapse(
             AmbiguousSpace::new(patterns.clone()),
@@ -530,6 +578,7 @@ mod tests {
             0.15,
             10,
             ProbeStrategy::BorderCollapsing,
+            0,
         );
         assert_eq!(r.known_applied, 0);
         assert!(!r

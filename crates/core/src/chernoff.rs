@@ -68,10 +68,25 @@ pub fn classify(sample_match: f64, min_match: f64, eps: f64) -> Label {
 /// `symbol_match[d]` is the match of symbol `d` in the *entire* database
 /// (computed in phase 1). Returns 1 for a pattern with no concrete symbols
 /// (which cannot occur for valid patterns).
+///
+/// # Panics
+///
+/// Panics with a descriptive message if the pattern uses a symbol outside
+/// the `symbol_match` vector — the same alphabet/matrix-mismatch guard as
+/// `SymbolMatchScratch::sequence`, instead of a raw index error.
 pub fn restricted_spread(pattern: &Pattern, symbol_match: &[f64]) -> f64 {
+    let m = symbol_match.len();
     pattern
         .symbols()
-        .map(|s| symbol_match[s.index()])
+        .map(|s| {
+            assert!(
+                s.index() < m,
+                "pattern symbol d{} lies outside the {m}-symbol phase-1 match vector \
+                 (alphabet/matrix mismatch)",
+                s.0
+            );
+            symbol_match[s.index()]
+        })
         .fold(f64::INFINITY, f64::min)
         .min(1.0)
 }
@@ -164,6 +179,16 @@ mod tests {
         assert!((restricted_spread(&p, &symbol_match) - 0.05).abs() < 1e-12);
         assert_eq!(SpreadMode::Full.spread(&p, &symbol_match), 1.0);
         assert!((SpreadMode::Restricted.spread(&p, &symbol_match) - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "alphabet/matrix mismatch")]
+    fn restricted_spread_rejects_out_of_range_symbols() {
+        let a = Alphabet::synthetic(8);
+        let p = Pattern::parse("d0 d7", &a).unwrap();
+        // Phase-1 vector for a 5-symbol alphabet: d7 is out of range.
+        let symbol_match = [0.1, 0.2, 0.3, 0.4, 0.5];
+        let _ = restricted_spread(&p, &symbol_match);
     }
 
     #[test]

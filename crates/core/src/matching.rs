@@ -14,20 +14,121 @@ use crate::alphabet::Symbol;
 use crate::matrix::CompatibilityMatrix;
 use crate::pattern::{Pattern, PatternElem};
 
+/// A batch of sequences in flat storage, the unit of work of the block
+/// scan API ([`SequenceScan::scan_blocks`]).
+///
+/// All symbols live in one contiguous buffer with per-sequence end offsets,
+/// so a block can be recycled across scan iterations: once its vectors have
+/// grown to a block's worth of data, refilling it allocates nothing. Blocks
+/// are passed **by value** through the scan pipeline precisely so producers
+/// and consumers can hand buffers back and forth instead of copying
+/// sequences out.
+#[derive(Debug, Clone, Default)]
+pub struct SequenceBlock {
+    ids: Vec<u64>,
+    ends: Vec<usize>,
+    symbols: Vec<Symbol>,
+}
+
+impl SequenceBlock {
+    /// An empty block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one sequence to the block.
+    pub fn push(&mut self, id: u64, seq: &[Symbol]) {
+        self.ids.push(id);
+        self.symbols.extend_from_slice(seq);
+        self.ends.push(self.symbols.len());
+    }
+
+    /// Number of sequences currently in the block.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// `true` when the block holds no sequences.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Empties the block, keeping its allocations for reuse.
+    pub fn clear(&mut self) {
+        self.ids.clear();
+        self.ends.clear();
+        self.symbols.clear();
+    }
+
+    /// The `i`-th sequence as `(id, symbols)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn get(&self, i: usize) -> (u64, &[Symbol]) {
+        let start = if i == 0 { 0 } else { self.ends[i - 1] };
+        (self.ids[i], &self.symbols[start..self.ends[i]])
+    }
+
+    /// Iterates the sequences in insertion (scan) order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &[Symbol])> {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+}
+
 /// A source of sequences that can be scanned front to back.
 ///
 /// This is the minimal contract the mining algorithms need; the
 /// `noisemine-seqdb` crate provides in-memory and disk-resident
 /// implementations with scan accounting. A "scan" in the paper's
-/// cost model corresponds to exactly one call of [`SequenceScan::scan`].
+/// cost model corresponds to exactly one call of [`SequenceScan::scan`]
+/// (or, equivalently, one call of [`SequenceScan::scan_blocks`]).
 pub trait SequenceScan {
     /// Number of sequences `N` in the database.
+    ///
+    /// This is a *report*, not a promise: a store that is being appended to
+    /// concurrently may yield more sequences during a scan than it reported
+    /// here. Consumers that average over a scan must count the sequences
+    /// actually visited rather than trust this number.
     fn num_sequences(&self) -> usize;
 
     /// Visits every sequence in order, calling `visit(id, symbols)` once per
     /// sequence. Implementations that track I/O cost count one database scan
     /// per call.
     fn scan(&self, visit: &mut dyn FnMut(u64, &[Symbol]));
+
+    /// Visits every sequence in order, batched into [`SequenceBlock`]s of up
+    /// to `block_size` sequences (only the final block may be smaller).
+    ///
+    /// `sink` consumes each filled block and returns a block for the
+    /// implementation to reuse (its contents are cleared before refilling).
+    /// That ownership round-trip is what lets the caller ship blocks to
+    /// worker threads and lets pipelined implementations recycle buffers —
+    /// one physical scan can feed N compute workers without copying
+    /// sequences one by one.
+    ///
+    /// The visit order is exactly that of [`SequenceScan::scan`], and one
+    /// call counts as one database scan. The default implementation batches
+    /// on top of `scan`; `noisemine-seqdb`'s stores override it with a
+    /// read-ahead double-buffered producer thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size` is zero.
+    fn scan_blocks(&self, block_size: usize, sink: &mut dyn FnMut(SequenceBlock) -> SequenceBlock) {
+        assert!(block_size >= 1, "block_size must be at least 1");
+        let mut block = SequenceBlock::new();
+        self.scan(&mut |id, seq| {
+            block.push(id, seq);
+            if block.len() >= block_size {
+                block = sink(std::mem::take(&mut block));
+                block.clear();
+            }
+        });
+        if !block.is_empty() {
+            sink(block);
+        }
+    }
 }
 
 impl<T: SequenceScan + ?Sized> SequenceScan for &T {
@@ -36,6 +137,9 @@ impl<T: SequenceScan + ?Sized> SequenceScan for &T {
     }
     fn scan(&self, visit: &mut dyn FnMut(u64, &[Symbol])) {
         (**self).scan(visit)
+    }
+    fn scan_blocks(&self, block_size: usize, sink: &mut dyn FnMut(SequenceBlock) -> SequenceBlock) {
+        (**self).scan_blocks(block_size, sink)
     }
 }
 
@@ -129,75 +233,101 @@ fn segment_match_pruned(
 
 /// Match of a pattern in a database (Definition 3.7): the average of
 /// [`sequence_match`] over every sequence. Performs exactly one scan.
+///
+/// The average is taken over the sequences the scan *actually* visited, not
+/// over the reported [`SequenceScan::num_sequences`] — the two can disagree
+/// on a store that is appended to mid-scan, and dividing by a stale report
+/// would push the result outside `[0, 1]`.
 pub fn db_match<S: SequenceScan + ?Sized>(
     pattern: &Pattern,
     db: &S,
     matrix: &CompatibilityMatrix,
 ) -> f64 {
-    let n = db.num_sequences();
-    if n == 0 {
-        return 0.0;
-    }
     let mut total = 0.0;
+    let mut visited = 0usize;
     db.scan(&mut |_, seq| {
         total += sequence_match(pattern, seq, matrix);
+        visited += 1;
     });
-    total / n as f64
+    if visited == 0 {
+        0.0
+    } else {
+        total / visited as f64
+    }
 }
 
 /// Computes the match of many patterns in one scan of the database — the
 /// building block of phase 3, where a memory-budgeted set of counters is
 /// evaluated per scan (§4.3). Returns values aligned with `patterns`.
-///
-/// Large counter batches are evaluated across all cores: the scan buffers
-/// sequences in fixed-size batches and hands each batch to the
-/// deterministic parallel kernel of [`crate::parallel`]; batch and chunk
-/// boundaries are constants, so results are bit-identical on any machine
-/// and core count. Small batches take the direct single-pass path (no
-/// buffering copies).
+/// Equivalent to [`db_match_many_threads`] with `threads = 0` (all cores).
 pub fn db_match_many<S: SequenceScan + ?Sized>(
     patterns: &[Pattern],
     db: &S,
     matrix: &CompatibilityMatrix,
 ) -> Vec<f64> {
-    let n = db.num_sequences();
-    let mut totals = vec![0.0f64; patterns.len()];
-    if n == 0 || patterns.is_empty() {
+    db_match_many_threads(patterns, db, matrix, 0)
+}
+
+/// [`db_match_many`] with an explicit worker-thread count (`0` = all
+/// available cores).
+///
+/// The scan streams borrowed [`SequenceBlock`]s through the deterministic
+/// block pipeline of [`crate::parallel::scan_map_reduce`] — no per-sequence
+/// copies; a block moves to a worker and its buffer comes back for reuse.
+/// Block boundaries are the constant [`crate::parallel::SCAN_BLOCK_SIZE`]
+/// and per-block partial sums are reduced in block order, so results are
+/// bit-identical for every thread count (the thread count is purely an
+/// operational knob). The average divides by the number of sequences the
+/// scan actually visited, which keeps values in `[0, 1]` even when the
+/// store under-reports [`SequenceScan::num_sequences`].
+pub fn db_match_many_threads<S: SequenceScan + ?Sized>(
+    patterns: &[Pattern],
+    db: &S,
+    matrix: &CompatibilityMatrix,
+    threads: usize,
+) -> Vec<f64> {
+    use crate::parallel::{resolve_threads, scan_map_reduce, PARALLEL_THRESHOLD, SCAN_BLOCK_SIZE};
+
+    let p = patterns.len();
+    let mut totals = vec![0.0f64; p];
+    if p == 0 {
         return totals;
     }
-    let threads = std::thread::available_parallelism().map_or(1, |t| t.get());
-    if threads == 1 || patterns.len() < 16 {
-        db.scan(&mut |_, seq| {
-            for (t, p) in totals.iter_mut().zip(patterns) {
-                *t += sequence_match(p, seq, matrix);
-            }
-        });
+    // With `threads = 0` (auto), skip spawning when the reported work is too
+    // small to pay for it; an explicit thread count is honored as given. The
+    // thread count never changes the result, so a stale report here can only
+    // cost performance, never correctness.
+    let threads = if threads == 0 && p.saturating_mul(db.num_sequences()) < PARALLEL_THRESHOLD {
+        1
     } else {
-        // Batch size is a constant (not a function of the core count) so
-        // the floating-point accumulation grouping — and therefore the
-        // exact result — is machine-independent.
-        let batch_size = crate::parallel::CHUNK_SIZE * 64;
-        let mut buffer: Vec<Vec<Symbol>> = Vec::with_capacity(batch_size);
-        db.scan(&mut |_, seq| {
-            buffer.push(seq.to_vec());
-            if buffer.len() >= batch_size {
-                let partial =
-                    crate::parallel::sum_sequence_matches(patterns, &buffer, matrix, threads);
-                for (t, v) in totals.iter_mut().zip(&partial) {
-                    *t += v;
+        resolve_threads(threads)
+    };
+    let mut visited = 0usize;
+    let partials = scan_map_reduce(
+        db,
+        SCAN_BLOCK_SIZE,
+        threads,
+        &mut |block| visited += block.len(),
+        &|| (),
+        &|_scratch, block| {
+            let mut partial = vec![0.0f64; p];
+            for (_, seq) in block.iter() {
+                for (t, pattern) in partial.iter_mut().zip(patterns) {
+                    *t += sequence_match(pattern, seq, matrix);
                 }
-                buffer.clear();
             }
-        });
-        if !buffer.is_empty() {
-            let partial = crate::parallel::sum_sequence_matches(patterns, &buffer, matrix, threads);
-            for (t, v) in totals.iter_mut().zip(&partial) {
-                *t += v;
-            }
+            partial
+        },
+    );
+    for partial in &partials {
+        for (t, &v) in totals.iter_mut().zip(partial) {
+            *t += v;
         }
     }
-    for t in &mut totals {
-        *t /= n as f64;
+    if visited > 0 {
+        for t in &mut totals {
+            *t /= visited as f64;
+        }
     }
     totals
 }
@@ -224,15 +354,20 @@ pub fn sequence_support(pattern: &Pattern, sequence: &[Symbol]) -> f64 {
 }
 
 /// Support of a pattern in a database: the fraction of sequences containing
-/// an exact occurrence.
+/// an exact occurrence. Averaged over the sequences actually visited, like
+/// [`db_match`].
 pub fn db_support<S: SequenceScan + ?Sized>(pattern: &Pattern, db: &S) -> f64 {
-    let n = db.num_sequences();
-    if n == 0 {
-        return 0.0;
-    }
     let mut total = 0.0;
-    db.scan(&mut |_, seq| total += sequence_support(pattern, seq));
-    total / n as f64
+    let mut visited = 0usize;
+    db.scan(&mut |_, seq| {
+        total += sequence_support(pattern, seq);
+        visited += 1;
+    });
+    if visited == 0 {
+        0.0
+    } else {
+        total / visited as f64
+    }
 }
 
 /// A significance metric on `(pattern, sequence)` pairs, averaged over the
@@ -424,23 +559,24 @@ impl SymbolMatchScratch {
 }
 
 /// Match of every individual symbol across the whole database — the output
-/// of Algorithm 4.1 (sampling is layered on top by the miner). One scan.
+/// of Algorithm 4.1 (sampling is layered on top by the miner). One scan,
+/// averaged over the sequences actually visited, like [`db_match`].
 pub fn symbol_db_match<S: SequenceScan + ?Sized>(db: &S, matrix: &CompatibilityMatrix) -> Vec<f64> {
     let m = matrix.len();
-    let n = db.num_sequences();
     let mut match_acc = vec![0.0f64; m];
-    if n == 0 {
-        return match_acc;
-    }
     let mut scratch = SymbolMatchScratch::new(m);
+    let mut visited = 0usize;
     db.scan(&mut |_, seq| {
         let per_seq = scratch.sequence(seq, matrix);
         for (acc, &v) in match_acc.iter_mut().zip(per_seq) {
             *acc += v;
         }
+        visited += 1;
     });
-    for v in &mut match_acc {
-        *v /= n as f64;
+    if visited > 0 {
+        for v in &mut match_acc {
+            *v /= visited as f64;
+        }
     }
     match_acc
 }
@@ -676,6 +812,106 @@ mod tests {
         let mut out = vec![0.0; 6];
         sup.symbol_values(&seq("d0 d2 d2"), 6, &mut out);
         assert_eq!(out, vec![1.0, 0.0, 1.0, 0.0, 0.0, 0.0]);
+    }
+
+    /// A database that reports fewer sequences than its scan yields — the
+    /// shape of a store that is appended to between `num_sequences()` and
+    /// the scan (or during it).
+    struct UnderReportingDb {
+        inner: MemorySequences,
+        reported: usize,
+    }
+
+    impl SequenceScan for UnderReportingDb {
+        fn num_sequences(&self) -> usize {
+            self.reported
+        }
+        fn scan(&self, visit: &mut dyn FnMut(u64, &[Symbol])) {
+            self.inner.scan(visit)
+        }
+    }
+
+    #[test]
+    fn scan_blocks_default_impl_preserves_order_and_sizes() {
+        let db = MemorySequences((0..10u16).map(|i| vec![Symbol(i % 6); 3]).collect());
+        let mut ids = Vec::new();
+        let mut sizes = Vec::new();
+        db.scan_blocks(4, &mut |block| {
+            sizes.push(block.len());
+            for (id, seq) in block.iter() {
+                ids.push(id);
+                assert_eq!(seq.len(), 3);
+                assert_eq!(seq[0], Symbol((id % 6) as u16));
+            }
+            block
+        });
+        assert_eq!(sizes, vec![4, 4, 2]);
+        assert_eq!(ids, (0..10u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scan_blocks_recycles_returned_blocks() {
+        let db = MemorySequences((0..9u16).map(|i| vec![Symbol(i % 6)]).collect());
+        let mut seen = 0usize;
+        db.scan_blocks(2, &mut |block| {
+            seen += block.len();
+            // Hand back the same (uncleaned) block: the scan must clear it
+            // before refilling, so no sequence is ever observed twice.
+            block
+        });
+        assert_eq!(seen, 9);
+    }
+
+    #[test]
+    fn averages_use_visited_count_not_reported_count() {
+        let db = UnderReportingDb {
+            inner: fig4_db(),
+            reported: 2, // actual: 4
+        };
+        let c = fig2();
+        let pattern = p("d2 d1");
+        let truth = db_match(&pattern, &db.inner, &c);
+        assert!((db_match(&pattern, &db, &c) - truth).abs() < 1e-15);
+        assert!((db_support(&pattern, &db) - db_support(&pattern, &db.inner)).abs() < 1e-15);
+        let many = db_match_many(std::slice::from_ref(&pattern), &db, &c);
+        assert!((many[0] - truth).abs() < 1e-15);
+        for (got, want) in symbol_db_match(&db, &c)
+            .iter()
+            .zip(symbol_db_match(&db.inner, &c))
+        {
+            assert!((got - want).abs() < 1e-15);
+            assert!((0.0..=1.0).contains(got));
+        }
+    }
+
+    #[test]
+    fn empty_scan_yields_zero_not_nan() {
+        let db = MemorySequences(Vec::new());
+        let c = fig2();
+        let pattern = p("d1 d2");
+        assert_eq!(db_match(&pattern, &db, &c), 0.0);
+        assert_eq!(db_support(&pattern, &db), 0.0);
+        assert_eq!(db_match_many(&[pattern], &db, &c), vec![0.0]);
+        assert!(symbol_db_match(&db, &c).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn db_match_many_threads_is_bit_identical_across_thread_counts() {
+        let db = MemorySequences(
+            (0..700u16)
+                .map(|i| (0..12).map(|j| Symbol((i + j) % 5)).collect())
+                .collect(),
+        );
+        let c = fig2();
+        let patterns = vec![p("d1 d2"), p("d2 d1"), p("d3 d4"), p("d2 * d1")];
+        let serial = db_match_many_threads(&patterns, &db, &c, 1);
+        for threads in [2, 3, 8] {
+            assert_eq!(
+                serial,
+                db_match_many_threads(&patterns, &db, &c, threads),
+                "threads = {threads}"
+            );
+        }
     }
 
     #[test]

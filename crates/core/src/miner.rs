@@ -23,8 +23,9 @@ use crate::candidates::{LevelTrace, PatternSpace};
 use crate::chernoff::SpreadMode;
 use crate::error::{Error, Result};
 use crate::lattice::{AmbiguousSpace, Border};
-use crate::matching::{SequenceScan, SymbolMatchScratch};
+use crate::matching::{SequenceBlock, SequenceScan, SymbolMatchScratch};
 use crate::matrix::CompatibilityMatrix;
+use crate::parallel::{resolve_threads, scan_map_reduce, SCAN_BLOCK_SIZE};
 use crate::pattern::Pattern;
 use crate::sample_miner::{mine_sample_budgeted, DEFAULT_MAX_SAMPLE_PATTERNS};
 
@@ -51,6 +52,12 @@ pub struct MinerConfig {
     /// aborts the run with a diagnostic (it means the Chernoff band is too
     /// wide to prune — raise the sample size, threshold, or delta).
     pub max_sample_patterns: usize,
+    /// Worker threads for the phase-1/phase-3 scan pipeline; `0` means all
+    /// available cores. Purely operational: block sizes are constants and
+    /// partial sums reduce in block order, so mining output is bit-identical
+    /// at every thread count (which is also why this knob is not part of any
+    /// checkpointed state).
+    pub threads: usize,
 }
 
 impl Default for MinerConfig {
@@ -65,6 +72,7 @@ impl Default for MinerConfig {
             probe_strategy: ProbeStrategy::BorderCollapsing,
             seed: 0x6e6f_6973, // "nois"
             max_sample_patterns: DEFAULT_MAX_SAMPLE_PATTERNS,
+            threads: 0,
         }
     }
 }
@@ -199,41 +207,131 @@ pub struct Phase1Output {
     pub sample: Vec<Vec<Symbol>>,
 }
 
+/// The phase-1 sequence sampler: Vitter's sequential sampling within the
+/// reported database size, hardened with the same reservoir fallback as
+/// `noisemine-seqdb`'s `sequential_sample` for scans that yield more
+/// sequences than [`SequenceScan::num_sequences`] reported (a store being
+/// appended to concurrently). Without the fallback, `reported - seen`
+/// underflows on the first surplus sequence — a panic in debug builds, a
+/// corrupted inclusion probability in release builds.
+struct SequentialSampler {
+    /// The caller's requested sample size.
+    requested: usize,
+    /// `min(requested, reported)` — the sequential-sampling quota.
+    quota: usize,
+    reported: usize,
+    seen: usize,
+    sample: Vec<Vec<Symbol>>,
+}
+
+impl SequentialSampler {
+    fn new(requested: usize, reported: usize) -> Self {
+        let quota = requested.min(reported);
+        Self {
+            requested,
+            quota,
+            reported,
+            seen: 0,
+            sample: Vec::with_capacity(quota),
+        }
+    }
+
+    fn offer(&mut self, seq: &[Symbol], rng: &mut impl Rng) {
+        if self.seen < self.reported {
+            // Sequential sampling: exactly `quota` of the reported `N`
+            // sequences, uniformly, in scan order.
+            let needed = self.quota - self.sample.len();
+            let remaining = self.reported - self.seen;
+            if needed > 0 && rng.gen::<f64>() < needed as f64 / remaining as f64 {
+                self.sample.push(seq.to_vec());
+            }
+        } else if self.sample.len() < self.requested {
+            // The reported count was a lie: grow toward the full quota...
+            self.sample.push(seq.to_vec());
+        } else if self.requested > 0 {
+            // ...then degrade to reservoir replacement so the surplus
+            // sequences still have a chance of being represented.
+            let k = rng.gen_range(0..=self.seen);
+            if k < self.requested {
+                self.sample[k] = seq.to_vec();
+            }
+        }
+        self.seen += 1;
+    }
+
+    /// The sample plus the number of sequences actually offered.
+    fn finish(self) -> (Vec<Vec<Symbol>>, usize) {
+        (self.sample, self.seen)
+    }
+}
+
 /// Runs phase 1 (Algorithm 4.1): one scan computing every symbol's match
 /// and drawing a uniform sample of up to `sample_size` sequences using
 /// sequential sampling (choose the `i`-th sequence with probability
-/// `(n − j) / (N − i)` given `j` already chosen).
+/// `(n − j) / (N − i)` given `j` already chosen). Equivalent to
+/// [`phase1_threads`] with `threads = 0` (all cores).
 pub fn phase1<S: SequenceScan + ?Sized>(
     db: &S,
     matrix: &CompatibilityMatrix,
     sample_size: usize,
     rng: &mut impl Rng,
 ) -> Phase1Output {
+    phase1_threads(db, matrix, sample_size, rng, 0)
+}
+
+/// [`phase1`] with an explicit worker-thread count (`0` = all available
+/// cores).
+///
+/// The scan streams blocks of [`SCAN_BLOCK_SIZE`] sequences through
+/// [`scan_map_reduce`]: per-symbol matches accumulate on worker threads
+/// (one [`SymbolMatchScratch`] per worker) into per-block partial sums that
+/// are reduced in block order, while sequential sampling runs on the
+/// in-order block stream *before* the fan-out — so both the symbol matches
+/// and the seeded sample are bit-identical at every thread count. The final
+/// average divides by the number of sequences actually visited, not the
+/// reported count, and the sampler falls back to reservoir replacement past
+/// the reported count, so a database appended to mid-scan yields a
+/// full-quota sample and in-range match values instead of a panic.
+pub fn phase1_threads<S: SequenceScan + ?Sized>(
+    db: &S,
+    matrix: &CompatibilityMatrix,
+    sample_size: usize,
+    rng: &mut impl Rng,
+    threads: usize,
+) -> Phase1Output {
     let m = matrix.len();
-    let total = db.num_sequences();
-    let n = sample_size.min(total);
+    let threads = resolve_threads(threads);
+    let mut sampler = SequentialSampler::new(sample_size, db.num_sequences());
+    let partials = scan_map_reduce(
+        db,
+        SCAN_BLOCK_SIZE,
+        threads,
+        &mut |block| {
+            for (_, seq) in block.iter() {
+                sampler.offer(seq, rng);
+            }
+        },
+        &|| SymbolMatchScratch::new(m),
+        &|scratch: &mut SymbolMatchScratch, block: &SequenceBlock| {
+            let mut partial = vec![0.0f64; m];
+            for (_, seq) in block.iter() {
+                for (acc, &v) in partial.iter_mut().zip(scratch.sequence(seq, matrix)) {
+                    *acc += v;
+                }
+            }
+            partial
+        },
+    );
     let mut match_acc = vec![0.0f64; m];
-    let mut sample: Vec<Vec<Symbol>> = Vec::with_capacity(n);
-    let mut scratch = SymbolMatchScratch::new(m);
-    let mut seen = 0usize;
-    db.scan(&mut |_, seq| {
-        let per_seq = scratch.sequence(seq, matrix);
-        for (acc, &v) in match_acc.iter_mut().zip(per_seq) {
+    for partial in &partials {
+        for (acc, &v) in match_acc.iter_mut().zip(partial) {
             *acc += v;
         }
-        // Sequential sampling: exactly n of N sequences, uniformly.
-        let remaining_needed = n - sample.len();
-        let remaining_total = total - seen;
-        if remaining_needed > 0
-            && rng.gen::<f64>() < remaining_needed as f64 / remaining_total as f64
-        {
-            sample.push(seq.to_vec());
-        }
-        seen += 1;
-    });
-    if total > 0 {
+    }
+    let (sample, visited) = sampler.finish();
+    if visited > 0 {
         for v in &mut match_acc {
-            *v /= total as f64;
+            *v /= visited as f64;
         }
     }
     Phase1Output {
@@ -253,7 +351,7 @@ pub fn mine<S: SequenceScan + ?Sized>(
 
     // Phase 1: symbol matches + sample, one scan.
     let t0 = Instant::now();
-    let p1 = phase1(db, matrix, config.sample_size, &mut rng);
+    let p1 = phase1_threads(db, matrix, config.sample_size, &mut rng, config.threads);
     let phase1_time = t0.elapsed();
 
     let mut outcome = mine_from_phase1(db, matrix, config, &p1)?;
@@ -338,6 +436,7 @@ pub fn mine_from_phase1_with_known<S: SequenceScan + ?Sized>(
         config.min_match,
         config.counters_per_scan,
         config.probe_strategy,
+        config.threads,
     );
     stats.db_scans += p3.scans;
     stats.verified_patterns = p3.probes;
@@ -533,6 +632,99 @@ mod tests {
         cfg.counters_per_scan = 0;
         assert!(cfg.validate().is_err());
         assert!(config().validate().is_ok());
+    }
+
+    /// A database whose scan yields more sequences than `num_sequences()`
+    /// reports — the concurrent-append scenario behind the phase-1
+    /// underflow bug.
+    struct UnderReportingDb {
+        inner: MemorySequences,
+        reported: usize,
+    }
+
+    impl SequenceScan for UnderReportingDb {
+        fn num_sequences(&self) -> usize {
+            self.reported
+        }
+        fn scan(&self, visit: &mut dyn FnMut(u64, &[Symbol])) {
+            self.inner.scan(visit)
+        }
+    }
+
+    #[test]
+    fn phase1_fills_quota_on_underreporting_db() {
+        // Regression: `total - seen` underflowed once the scan ran past the
+        // reported count. The sampler must fall back to reservoir
+        // replacement and still fill its quota.
+        let matrix = CompatibilityMatrix::paper_figure2();
+        let database = UnderReportingDb {
+            inner: db(), // 6 sequences
+            reported: 2,
+        };
+        for requested in [1usize, 2, 4, 6, 10] {
+            let mut rng = StdRng::seed_from_u64(9);
+            let out = phase1(&database, &matrix, requested, &mut rng);
+            assert_eq!(
+                out.sample.len(),
+                requested.min(6),
+                "requested = {requested}"
+            );
+            for s in &out.sample {
+                assert!(database.inner.0.contains(s));
+            }
+            for &v in &out.symbol_match {
+                assert!((0.0..=1.0).contains(&v), "symbol match {v} out of range");
+            }
+        }
+        // Matches divide by the visited count, so they equal the honest
+        // full-database values.
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = phase1(&database, &matrix, 3, &mut rng);
+        let expect = crate::matching::symbol_db_match(&database.inner, &matrix);
+        for (a, b) in out.symbol_match.iter().zip(&expect) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mine_survives_underreporting_db() {
+        let matrix = CompatibilityMatrix::paper_figure2();
+        let database = UnderReportingDb {
+            inner: db(),
+            reported: 3,
+        };
+        let cfg = config(); // sample_size 6: the fallback grows to full coverage
+        let out = mine(&database, &matrix, &cfg).unwrap();
+        assert!(!out.frequent.is_empty());
+        for f in &out.frequent {
+            let exact = db_match(&f.pattern, &database.inner, &matrix);
+            assert!(
+                exact >= cfg.min_match - 1e-12,
+                "{} frequent but exact match {exact} < {}",
+                f.pattern,
+                cfg.min_match
+            );
+        }
+    }
+
+    #[test]
+    fn phase1_threads_bit_identical_across_thread_counts() {
+        // Enough sequences for several scan blocks.
+        let a = Alphabet::synthetic(5);
+        let seqs: Vec<Vec<Symbol>> = (0..600u16)
+            .map(|i| (0..10).map(|j| Symbol((i + j) % 5)).collect())
+            .collect();
+        let database = MemorySequences(seqs);
+        let matrix = CompatibilityMatrix::paper_figure2();
+        let _ = a;
+        let mut rng = StdRng::seed_from_u64(77);
+        let serial = phase1_threads(&database, &matrix, 40, &mut rng, 1);
+        for threads in [2, 3, 8] {
+            let mut rng = StdRng::seed_from_u64(77);
+            let par = phase1_threads(&database, &matrix, 40, &mut rng, threads);
+            assert_eq!(serial.symbol_match, par.symbol_match, "threads = {threads}");
+            assert_eq!(serial.sample, par.sample, "threads = {threads}");
+        }
     }
 
     #[test]

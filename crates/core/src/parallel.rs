@@ -1,4 +1,6 @@
-//! Deterministic parallel match evaluation for memory-resident data.
+//! Deterministic parallel kernels: chunked match evaluation for
+//! memory-resident data, and the block-scan map-reduce that parallelizes
+//! the full-database scans of phases 1 and 3.
 //!
 //! Phase 2 evaluates every candidate against every sample sequence — an
 //! embarrassingly parallel product that dominates wall-clock time on large
@@ -7,10 +9,19 @@
 //! order**, so results are bit-for-bit identical for any thread count
 //! (including 1). Chunk boundaries are a constant, not a function of the
 //! thread count, which is what makes the reduction order stable.
+//!
+//! [`scan_map_reduce`] extends the same determinism contract to streaming
+//! scans over a [`SequenceScan`]: the scan is cut into blocks of exactly
+//! [`SCAN_BLOCK_SIZE`] sequences, per-block results are computed on worker
+//! threads, and the caller receives them **in block order** — so any fold
+//! over them is bit-identical at every thread count, while order-sensitive
+//! work (sequential sampling) runs on the in-order block stream before the
+//! fan-out.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
 
-use crate::matching::sequence_match;
+use crate::matching::{sequence_match, SequenceBlock, SequenceScan};
 use crate::matrix::CompatibilityMatrix;
 use crate::pattern::Pattern;
 use crate::Symbol;
@@ -19,9 +30,126 @@ use crate::Symbol;
 /// the floating-point reduction order) do not depend on the thread count.
 pub const CHUNK_SIZE: usize = 64;
 
+/// Sequences per scan block in [`scan_map_reduce`]. Like [`CHUNK_SIZE`],
+/// this is a constant so the per-block accumulation grouping — and with it
+/// every floating-point result derived from a block scan — is independent
+/// of machine, thread count, and backing store.
+pub const SCAN_BLOCK_SIZE: usize = 256;
+
 /// Work size (patterns × sequences) below which the serial path is used —
 /// thread startup costs more than it saves.
 pub const PARALLEL_THRESHOLD: usize = 50_000;
+
+/// Resolves a thread-count knob: `0` means all available cores.
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |t| t.get())
+    } else {
+        threads
+    }
+}
+
+/// Runs a deterministic map-reduce over the blocks of one database scan.
+///
+/// - `inspect` runs on the scanning thread, in block order, *before* the
+///   block is handed to a worker — the hook for order-sensitive work
+///   (sequential sampling, visit counting).
+/// - `map` runs on one of `threads` workers with that worker's private
+///   scratch value (from `make_scratch`), producing one `T` per block.
+///
+/// Returns the per-block results **in block order**, regardless of which
+/// worker produced each or when. Block boundaries are fixed by
+/// `block_size`, so the caller's fold over the results is bit-identical for
+/// every thread count; with `threads <= 1` everything runs on the calling
+/// thread with the same block grouping. Blocks circulate by value — worker
+/// → scanner → refill — so the steady state allocates nothing and never
+/// copies a sequence out of its block.
+pub fn scan_map_reduce<S, W, T>(
+    db: &S,
+    block_size: usize,
+    threads: usize,
+    inspect: &mut dyn FnMut(&SequenceBlock),
+    make_scratch: &(dyn Fn() -> W + Sync),
+    map: &(dyn Fn(&mut W, &SequenceBlock) -> T + Sync),
+) -> Vec<T>
+where
+    S: SequenceScan + ?Sized,
+    T: Send,
+{
+    if threads <= 1 {
+        let mut results = Vec::new();
+        let mut scratch = make_scratch();
+        db.scan_blocks(block_size, &mut |block| {
+            inspect(&block);
+            results.push(map(&mut scratch, &block));
+            block
+        });
+        return results;
+    }
+
+    // Everything the scoped threads borrow must be declared before the
+    // scope (its implicit join happens after the closure body returns).
+    let (work_tx, work_rx) = mpsc::sync_channel::<(usize, SequenceBlock)>(threads * 2);
+    let work_rx = Mutex::new(work_rx);
+    let (done_tx, done_rx) = mpsc::channel::<(usize, T, SequenceBlock)>();
+    let mut slots: Vec<Option<T>> = Vec::new();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let done_tx = done_tx.clone();
+            let work_rx = &work_rx;
+            scope.spawn(move || {
+                let mut scratch = make_scratch();
+                loop {
+                    // Lock scoped to the recv: workers contend only on the
+                    // hand-off, not while mapping.
+                    let received = work_rx.lock().expect("scan worker panicked").recv();
+                    let Ok((idx, block)) = received else { break };
+                    let value = map(&mut scratch, &block);
+                    if done_tx.send((idx, value, block)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        // Workers hold their own clones; drop ours so `done_rx` disconnects
+        // once they all finish.
+        drop(done_tx);
+
+        let mut next = 0usize;
+        let mut spare: Vec<SequenceBlock> = Vec::new();
+        db.scan_blocks(block_size, &mut |block| {
+            inspect(&block);
+            work_tx
+                .send((next, block))
+                .expect("scan workers exited early");
+            next += 1;
+            // Opportunistically collect finished results and recycle their
+            // blocks back into the scan.
+            while let Ok((idx, value, recycled)) = done_rx.try_recv() {
+                store(&mut slots, idx, value);
+                spare.push(recycled);
+            }
+            spare.pop().unwrap_or_default()
+        });
+        // Closing the work channel ends the worker loops; drain whatever is
+        // still in flight.
+        drop(work_tx);
+        for (idx, value, _) in done_rx.iter() {
+            store(&mut slots, idx, value);
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("scan worker produced no result for a block"))
+        .collect()
+}
+
+fn store<T>(slots: &mut Vec<Option<T>>, idx: usize, value: T) {
+    if slots.len() <= idx {
+        slots.resize_with(idx + 1, || None);
+    }
+    slots[idx] = Some(value);
+}
 
 /// Sum over all sequences of each pattern's sequence match, computed with
 /// up to `threads` worker threads. Returns sums (not means) aligned with
@@ -166,5 +294,64 @@ mod tests {
         let tiny = &sequences[..2];
         let v = sum_sequence_matches(&patterns[..2], tiny, &matrix, 8);
         assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn scan_map_reduce_returns_results_in_block_order() {
+        let db = crate::matching::MemorySequences(
+            (0..1000u16).map(|i| vec![Symbol(i % 6); 2]).collect(),
+        );
+        for threads in [1, 2, 3, 8] {
+            let mut inspected = Vec::new();
+            let ids = scan_map_reduce(
+                &db,
+                64,
+                threads,
+                &mut |block| inspected.push(block.get(0).0),
+                &|| (),
+                &|_, block| block.iter().map(|(id, _)| id).collect::<Vec<u64>>(),
+            );
+            let flat: Vec<u64> = ids.into_iter().flatten().collect();
+            assert_eq!(
+                flat,
+                (0..1000u64).collect::<Vec<_>>(),
+                "threads = {threads}"
+            );
+            // `inspect` saw every block first symbol, in scan order.
+            assert_eq!(inspected, (0..1000u64).step_by(64).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn scan_map_reduce_serial_and_parallel_agree_bitwise() {
+        let (_, sequences, matrix) = workload();
+        let db = crate::matching::MemorySequences(sequences);
+        let pattern = Pattern::contiguous(&[Symbol(1), Symbol(2)]).unwrap();
+        let run = |threads: usize| -> Vec<f64> {
+            scan_map_reduce(
+                &db,
+                SCAN_BLOCK_SIZE,
+                threads,
+                &mut |_| {},
+                &|| (),
+                &|_, block| {
+                    block
+                        .iter()
+                        .map(|(_, seq)| sequence_match(&pattern, seq, &matrix))
+                        .sum::<f64>()
+                },
+            )
+        };
+        let serial = run(1);
+        for threads in [2, 4, 16] {
+            assert_eq!(serial, run(threads), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn scan_map_reduce_on_empty_db() {
+        let db = crate::matching::MemorySequences(Vec::new());
+        let out = scan_map_reduce(&db, 8, 4, &mut |_| {}, &|| (), &|_, block| block.len());
+        assert!(out.is_empty());
     }
 }

@@ -24,7 +24,7 @@ use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use noisemine_core::matching::SequenceScan;
+use noisemine_core::matching::{SequenceBlock, SequenceScan};
 use noisemine_core::Symbol;
 
 /// File magic for the sequence-database format.
@@ -272,6 +272,19 @@ impl SequenceScan for DiskDb {
         self.try_scan(visit)
             .unwrap_or_else(|e| panic!("scan of {} failed: {e}", self.path.display()));
     }
+
+    fn scan_blocks(&self, block_size: usize, sink: &mut dyn FnMut(SequenceBlock) -> SequenceBlock) {
+        self.scans.fetch_add(1, Ordering::Relaxed);
+        // Read-ahead double buffering: a dedicated thread streams and
+        // decodes the file into blocks while the calling thread consumes
+        // them, so disk I/O overlaps with compute.
+        crate::pipeline::double_buffered(
+            block_size,
+            |emitter| self.try_scan(&mut |id, seq| emitter.push(id, seq)),
+            sink,
+        )
+        .unwrap_or_else(|e| panic!("scan of {} failed: {e}", self.path.display()));
+    }
 }
 
 #[cfg(test)]
@@ -407,6 +420,31 @@ mod tests {
         let path = tmp("append-missing.db");
         std::fs::remove_file(&path).ok();
         assert!(DiskDbWriter::append(&path).is_err());
+    }
+
+    #[test]
+    fn scan_blocks_streams_in_order_and_counts() {
+        let path = tmp("blocks.db");
+        let data: Vec<Vec<Symbol>> = (0..10u16).map(|i| syms(&[i, i + 1])).collect();
+        let db = DiskDb::create_from(&path, data.iter().map(Vec::as_slice)).unwrap();
+        let mut seen = Vec::new();
+        let mut sizes = Vec::new();
+        db.scan_blocks(4, &mut |block| {
+            sizes.push(block.len());
+            for (id, s) in block.iter() {
+                seen.push((id, s.to_vec()));
+            }
+            block
+        });
+        assert_eq!(sizes, vec![4, 4, 2]);
+        let expected: Vec<(u64, Vec<Symbol>)> = data
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as u64, s.clone()))
+            .collect();
+        assert_eq!(seen, expected);
+        assert_eq!(db.scans_performed(), 1);
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use noisemine_core::matching::SequenceScan;
+use noisemine_core::matching::{SequenceBlock, SequenceScan};
 use noisemine_core::Symbol;
 
 /// An in-memory sequence database.
@@ -87,6 +87,26 @@ impl SequenceScan for MemoryDb {
             visit(*id, seq);
         }
     }
+
+    fn scan_blocks(&self, block_size: usize, sink: &mut dyn FnMut(SequenceBlock) -> SequenceBlock) {
+        self.scans.fetch_add(1, Ordering::Relaxed);
+        // Double buffering matters less here than for the disk store, but a
+        // producer thread still overlaps block assembly with the consumer's
+        // compute, and keeps the two stores behaviorally identical.
+        let result: Result<(), std::convert::Infallible> = crate::pipeline::double_buffered(
+            block_size,
+            |emitter| {
+                for (id, seq) in &self.sequences {
+                    emitter.push(*id, seq);
+                }
+                Ok(())
+            },
+            sink,
+        );
+        match result {
+            Ok(()) => {}
+        }
+    }
 }
 
 #[cfg(test)]
@@ -118,6 +138,29 @@ mod tests {
         assert_eq!(db.push(syms(&[2, 3])), 1);
         assert_eq!(db.get(1), Some(syms(&[2, 3]).as_slice()));
         assert_eq!(db.get(9), None);
+    }
+
+    #[test]
+    fn scan_blocks_streams_in_order_and_counts() {
+        let data: Vec<Vec<Symbol>> = (0..7u16).map(|i| syms(&[i])).collect();
+        let db = MemoryDb::from_sequences(data.clone());
+        let mut seen = Vec::new();
+        let mut sizes = Vec::new();
+        db.scan_blocks(3, &mut |block| {
+            sizes.push(block.len());
+            for (id, s) in block.iter() {
+                seen.push((id, s.to_vec()));
+            }
+            block
+        });
+        assert_eq!(sizes, vec![3, 3, 1]);
+        let expected: Vec<(u64, Vec<Symbol>)> = data
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as u64, s.clone()))
+            .collect();
+        assert_eq!(seen, expected);
+        assert_eq!(db.scans_performed(), 1);
     }
 
     #[test]

@@ -1,0 +1,153 @@
+//! Read-ahead double buffering for block scans.
+//!
+//! One producer thread (typically doing I/O) fills
+//! [`SequenceBlock`](noisemine_core::matching::SequenceBlock)s and hands
+//! them over a small bounded channel while the consumer drains them;
+//! consumed blocks come back over a recycle channel, so the steady state
+//! shuttles a fixed set of buffers back and forth without allocating. The
+//! hand-off preserves scan order exactly — blocks arrive in the order the
+//! producer filled them — so everything layered on
+//! [`SequenceScan::scan_blocks`](noisemine_core::matching::SequenceScan::scan_blocks)
+//! (sequential sampling, ordered reductions) behaves as if the scan were
+//! serial.
+
+use std::sync::mpsc;
+
+use noisemine_core::matching::SequenceBlock;
+use noisemine_core::Symbol;
+
+/// Filled blocks in flight between producer and consumer. Two means the
+/// producer can fill one block while the consumer processes another, with
+/// one more buffered against scheduling jitter.
+const READ_AHEAD: usize = 2;
+
+/// The producer's half of the pipeline: accumulates sequences into blocks
+/// and ships full ones to the consumer.
+pub(crate) struct BlockEmitter {
+    filled: mpsc::SyncSender<SequenceBlock>,
+    recycle: mpsc::Receiver<SequenceBlock>,
+    block_size: usize,
+    block: SequenceBlock,
+}
+
+impl BlockEmitter {
+    /// Appends one sequence, shipping the block once it reaches capacity.
+    pub(crate) fn push(&mut self, id: u64, seq: &[Symbol]) {
+        self.block.push(id, seq);
+        if self.block.len() >= self.block_size {
+            self.ship();
+        }
+    }
+
+    fn ship(&mut self) {
+        let mut next = self.recycle.try_recv().unwrap_or_default();
+        next.clear();
+        let full = std::mem::replace(&mut self.block, next);
+        // A closed channel means the consumer is gone (it panicked and is
+        // unwinding); go quiet and let the consumer side surface the
+        // failure.
+        let _ = self.filled.send(full);
+    }
+}
+
+/// Runs `produce` on a dedicated thread, streaming its blocks through
+/// `sink` on the calling thread in production order; `sink` returns each
+/// block for recycling. Returns `produce`'s result once the stream is
+/// fully drained. On `Err` the blocks shipped before the failure have
+/// already been consumed — mirroring how a plain streaming scan visits
+/// records up to the point of failure.
+pub(crate) fn double_buffered<E, P>(
+    block_size: usize,
+    produce: P,
+    sink: &mut dyn FnMut(SequenceBlock) -> SequenceBlock,
+) -> Result<(), E>
+where
+    E: Send,
+    P: FnOnce(&mut BlockEmitter) -> Result<(), E> + Send,
+{
+    assert!(block_size >= 1, "block_size must be at least 1");
+    let (filled_tx, filled_rx) = mpsc::sync_channel::<SequenceBlock>(READ_AHEAD);
+    let (recycle_tx, recycle_rx) = mpsc::channel::<SequenceBlock>();
+    std::thread::scope(|scope| {
+        let producer = scope.spawn(move || {
+            let mut emitter = BlockEmitter {
+                filled: filled_tx,
+                recycle: recycle_rx,
+                block_size,
+                block: SequenceBlock::new(),
+            };
+            let result = produce(&mut emitter);
+            if result.is_ok() && !emitter.block.is_empty() {
+                emitter.ship();
+            }
+            // Dropping `emitter` closes the filled channel, which ends the
+            // consumer loop below.
+            result
+        });
+        for block in filled_rx.iter() {
+            let returned = sink(block);
+            // The producer may already have finished; it just means nobody
+            // needs the recycled buffer anymore.
+            let _ = recycle_tx.send(returned);
+        }
+        producer.join().expect("block producer thread panicked")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_blocks_in_order_with_tail() {
+        let out: Result<(), std::convert::Infallible> = double_buffered(
+            4,
+            |emitter| {
+                for i in 0..10u64 {
+                    emitter.push(i, &[Symbol(i as u16)]);
+                }
+                Ok(())
+            },
+            &mut {
+                let mut expected = 0u64;
+                move |block| {
+                    for (id, seq) in block.iter() {
+                        assert_eq!(id, expected);
+                        assert_eq!(seq, &[Symbol(expected as u16)]);
+                        expected += 1;
+                    }
+                    block
+                }
+            },
+        );
+        out.unwrap();
+    }
+
+    #[test]
+    fn propagates_producer_errors_after_draining() {
+        let mut seen = 0usize;
+        let out: Result<(), &'static str> = double_buffered(
+            2,
+            |emitter| {
+                for i in 0..4u64 {
+                    emitter.push(i, &[]);
+                }
+                Err("disk on fire")
+            },
+            &mut |block| {
+                seen += block.len();
+                block
+            },
+        );
+        assert_eq!(out.unwrap_err(), "disk on fire");
+        // The two full blocks shipped before the error were consumed.
+        assert_eq!(seen, 4);
+    }
+
+    #[test]
+    fn empty_producer_yields_no_blocks() {
+        let out: Result<(), std::convert::Infallible> =
+            double_buffered(8, |_| Ok(()), &mut |_| panic!("no blocks expected"));
+        out.unwrap();
+    }
+}

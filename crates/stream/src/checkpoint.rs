@@ -10,14 +10,15 @@
 //!
 //! ```text
 //! magic            8 bytes  "NMSTRCK\0"
-//! version          u32      currently 1
+//! version          u32      currently 2
 //! config           min_match f64, delta f64, sample_size u64,
 //!                  counters_per_scan u64, max_gap u64, max_len u64,
 //!                  spread_mode u8, probe_strategy u8, seed u64,
 //!                  max_sample_patterns u64
 //! matrix check     m u32, fnv-1a u64 over the entries' f64 bits
 //! total            u64
-//! match_sums       m × f64
+//! match_sums       m × f64          (completed-block sums)
+//! pending          m × f64          (current block's partial sums; v2+)
 //! rng state        4 × u64          (xoshiro256** words)
 //! reservoir        count u64, then per sequence: len u32 + len × u16
 //! tracked          count u64, then per pattern: elems u32,
@@ -27,8 +28,11 @@
 //!
 //! The compatibility matrix itself is *not* stored — the caller supplies it
 //! at restore time, and the checkpoint's fingerprint guards against mixing
-//! state with a different matrix. Writes go through a temporary file and a
-//! rename, so a crash mid-checkpoint leaves the previous checkpoint intact.
+//! state with a different matrix. The config's `threads` field is also not
+//! stored: it is purely operational (results are bit-identical at any
+//! thread count), so a restored engine starts with `threads = 0` (auto).
+//! Writes go through a temporary file and a rename, so a crash
+//! mid-checkpoint leaves the previous checkpoint intact.
 
 use std::fs;
 use std::path::Path;
@@ -43,7 +47,7 @@ use crate::error::{Error, Result};
 use crate::state::{MineSnapshot, StreamState};
 
 const MAGIC: &[u8; 8] = b"NMSTRCK\0";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 
 /// FNV-1a over the bit patterns of every matrix entry, row-major.
 fn matrix_fingerprint(matrix: &CompatibilityMatrix) -> u64 {
@@ -187,6 +191,13 @@ impl StreamState {
         for &s in &self.match_sums {
             put_f64(&mut out, s);
         }
+        // The in-flight block partial is stored as-is (NOT folded into the
+        // sums): a restored engine must resume mid-block so its addition
+        // grouping — and therefore its results — stay bit-identical to an
+        // uninterrupted run.
+        for &p in &self.pending {
+            put_f64(&mut out, p);
+        }
         for w in self.rng.state() {
             put_u64(&mut out, w);
         }
@@ -274,6 +285,8 @@ impl StreamState {
             probe_strategy,
             seed,
             max_sample_patterns,
+            // Operational only, never checkpointed: 0 = auto-detect.
+            threads: 0,
         };
         config
             .validate()
@@ -301,6 +314,10 @@ impl StreamState {
         let mut match_sums = Vec::with_capacity(m);
         for _ in 0..m {
             match_sums.push(r.f64("match sum")?);
+        }
+        let mut pending = Vec::with_capacity(m);
+        for _ in 0..m {
+            pending.push(r.f64("pending block sum")?);
         }
         let mut words = [0u64; 4];
         for w in &mut words {
@@ -361,7 +378,7 @@ impl StreamState {
         }
 
         Ok(StreamState::from_parts(
-            matrix, config, total, match_sums, rng, reservoir, tracked, last_mine,
+            matrix, config, total, match_sums, pending, rng, reservoir, tracked, last_mine,
         ))
     }
 }

@@ -6,7 +6,11 @@
 //!
 //! - the **per-symbol match sums** of Algorithm 4.1 (first-occurrence
 //!   optimized via [`SymbolMatchScratch`]), so the phase-1 symbol matches of
-//!   the whole ingested prefix are always available as `sums / total`;
+//!   the whole ingested prefix are always available as `sums / total`.
+//!   Sums are accumulated in [`SCAN_BLOCK_SIZE`]-sequence blocks — the same
+//!   grouping the batch miner's block scan uses — so incremental ingestion
+//!   reproduces batch phase 1 **bit for bit** despite floating-point
+//!   addition being non-associative;
 //! - a **uniform reservoir sample** (Vitter's Algorithm R) of up to
 //!   `sample_size` sequences — the streaming replacement for the paper's
 //!   sequential sampler, which needs the total count `N` up front;
@@ -27,6 +31,7 @@ use noisemine_core::border_collapse::CollapseResult;
 use noisemine_core::chernoff::epsilon;
 use noisemine_core::matching::{sequence_match, SequenceScan, SymbolMatchScratch};
 use noisemine_core::miner::{mine_from_phase1_with_known, MineOutcome, MinerConfig, Phase1Output};
+use noisemine_core::parallel::SCAN_BLOCK_SIZE;
 use noisemine_core::{CompatibilityMatrix, Pattern, Symbol};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -57,8 +62,14 @@ pub struct StreamState {
     pub(crate) config: MinerConfig,
     /// Sequences ingested so far.
     pub(crate) total: u64,
-    /// Unnormalized per-symbol match accumulators (`match · total`).
+    /// Unnormalized per-symbol match accumulators over *completed*
+    /// [`SCAN_BLOCK_SIZE`]-sequence blocks (`match · total`, minus the
+    /// pending partial below).
     pub(crate) match_sums: Vec<f64>,
+    /// Per-symbol partial sums of the current (incomplete) block; flushed
+    /// into `match_sums` every [`SCAN_BLOCK_SIZE`] sequences so the
+    /// grouping of additions matches the batch miner's block scan exactly.
+    pub(crate) pending: Vec<f64>,
     /// RNG driving reservoir replacement; checkpointed exactly so a
     /// restored engine draws the same replacements as an uninterrupted one.
     pub(crate) rng: StdRng,
@@ -84,6 +95,7 @@ impl StreamState {
             config: config.clone(),
             total: 0,
             match_sums: vec![0.0; m],
+            pending: vec![0.0; m],
             rng: StdRng::seed_from_u64(config.seed),
             reservoir: Vec::with_capacity(config.sample_size),
             tracked: Vec::new(),
@@ -100,6 +112,7 @@ impl StreamState {
         config: MinerConfig,
         total: u64,
         match_sums: Vec<f64>,
+        pending: Vec<f64>,
         rng: StdRng,
         reservoir: Vec<Vec<Symbol>>,
         tracked: Vec<(Pattern, f64)>,
@@ -111,6 +124,7 @@ impl StreamState {
             config,
             total,
             match_sums,
+            pending,
             rng,
             reservoir,
             tracked,
@@ -123,7 +137,7 @@ impl StreamState {
     /// expected reservoir update, one match evaluation per tracked pattern.
     pub fn ingest(&mut self, seq: &[Symbol]) {
         let per_seq = self.scratch.sequence(seq, &self.matrix);
-        for (acc, &v) in self.match_sums.iter_mut().zip(per_seq) {
+        for (acc, &v) in self.pending.iter_mut().zip(per_seq) {
             *acc += v;
         }
         for (pattern, sum) in &mut self.tracked {
@@ -141,6 +155,14 @@ impl StreamState {
             }
         }
         self.total += 1;
+        // Block boundary: fold the completed block's partial into the grand
+        // sums, mirroring the batch scan's per-block reduction order.
+        if self.total.is_multiple_of(SCAN_BLOCK_SIZE as u64) {
+            for (acc, p) in self.match_sums.iter_mut().zip(&mut self.pending) {
+                *acc += *p;
+                *p = 0.0;
+            }
+        }
     }
 
     /// Ingests a batch of sequences in order.
@@ -185,7 +207,13 @@ impl StreamState {
             return self.match_sums.clone();
         }
         let n = self.total as f64;
-        self.match_sums.iter().map(|&s| s / n).collect()
+        // The tail block's partial joins the reduction last, exactly where
+        // the batch scan adds its final (short) block.
+        self.match_sums
+            .iter()
+            .zip(&self.pending)
+            .map(|(&s, &p)| (s + p) / n)
+            .collect()
     }
 
     /// The phase-1 view of the ingested prefix: normalized symbol matches

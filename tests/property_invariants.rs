@@ -8,7 +8,9 @@
 //! - total noise (all entries `1/m`) ⇒ all k-patterns have equal match;
 //! - the restricted spread bounds every pattern's match (Claim 4.2);
 //! - halfway patterns lie between their endpoints (Algorithm 4.4);
-//! - sequential sampling returns exactly `min(n, N)` distinct sequences.
+//! - sequential sampling returns exactly `min(n, N)` distinct sequences;
+//! - the parallel block scan is bit-identical to the serial one at every
+//!   thread count, and stream ingestion reproduces batch phase 1 exactly.
 
 mod common;
 
@@ -17,9 +19,12 @@ use noisemine::core::chernoff::restricted_spread;
 use noisemine::core::matching::{
     db_match, db_support, sequence_match, symbol_db_match, MemorySequences,
 };
-use noisemine::core::{CompatibilityMatrix, Pattern, Symbol};
+use noisemine::core::miner::{mine, phase1_threads, MinerConfig};
+use noisemine::core::{CompatibilityMatrix, Pattern, PatternSpace, Symbol};
 use noisemine::seqdb::{sequential_sample, MemoryDb};
-use rand::Rng;
+use noisemine::stream::StreamState;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 const M: usize = 6;
 const CASES: usize = 128;
@@ -151,6 +156,97 @@ fn sequential_sampling_quota() {
         );
         let sample = sequential_sample(&db, n, rng);
         assert_eq!(sample.len(), n.min(count));
+    });
+}
+
+/// The determinism contract of the parallel scan: phase 1 — symbol matches
+/// *and* the seeded sample — is bit-identical at every thread count, on
+/// random databases large enough to span several scan blocks.
+#[test]
+fn parallel_phase1_is_bit_identical_to_serial() {
+    run_cases(12, |rng| {
+        let matrix = random_matrix(rng, M, 0.01);
+        // 200..700 sequences straddles the 256-sequence block size, so both
+        // single-block and multi-block (tail-block) groupings are exercised.
+        let db = MemorySequences(random_sequences(rng, M, 12, 200, 700));
+        let sample_size = rng.gen_range(0..50usize);
+        let seed = rng.gen::<u64>();
+        let mut rng1 = StdRng::seed_from_u64(seed);
+        let serial = phase1_threads(&db, &matrix, sample_size, &mut rng1, 1);
+        for threads in [2usize, 3, 8] {
+            let mut rngt = StdRng::seed_from_u64(seed);
+            let parallel = phase1_threads(&db, &matrix, sample_size, &mut rngt, threads);
+            assert_eq!(
+                serial.symbol_match, parallel.symbol_match,
+                "symbol matches diverged at {threads} threads"
+            );
+            assert_eq!(
+                serial.sample, parallel.sample,
+                "sample diverged at {threads} threads"
+            );
+        }
+    });
+}
+
+/// Incremental stream ingestion accumulates per-symbol sums with the same
+/// block grouping as the batch scan, so its symbol matches equal batch
+/// phase 1 *bit for bit* — even though f64 addition is non-associative.
+#[test]
+fn stream_ingest_sums_equal_batch_phase1_bitwise() {
+    run_cases(12, |rng| {
+        let matrix = random_matrix(rng, M, 0.01);
+        let seqs = random_sequences(rng, M, 12, 200, 700);
+        let config = MinerConfig {
+            min_match: 0.2,
+            sample_size: 30,
+            space: PatternSpace::contiguous(6),
+            seed: rng.gen(),
+            ..MinerConfig::default()
+        };
+        let mut engine = StreamState::new(matrix.clone(), config.clone()).unwrap();
+        engine.ingest_all(seqs.iter().map(Vec::as_slice));
+
+        let db = MemorySequences(seqs);
+        let mut p1_rng = StdRng::seed_from_u64(config.seed);
+        let batch = phase1_threads(&db, &matrix, config.sample_size, &mut p1_rng, 1);
+        assert_eq!(engine.symbol_match(), batch.symbol_match);
+    });
+}
+
+/// The full miner — patterns, match estimates, and stats that derive from
+/// phase-1 output — is bit-identical at every thread count.
+#[test]
+fn mine_output_is_bit_identical_across_thread_counts() {
+    run_cases(6, |rng| {
+        let matrix = random_matrix(rng, M, 0.05);
+        let db = MemorySequences(random_sequences(rng, M, 10, 150, 400));
+        let mut config = MinerConfig {
+            min_match: 0.25,
+            delta: 0.05,
+            sample_size: 40,
+            counters_per_scan: 64,
+            space: PatternSpace::contiguous(5),
+            seed: rng.gen(),
+            threads: 1,
+            ..MinerConfig::default()
+        };
+        let serial = mine(&db, &matrix, &config).unwrap();
+        for threads in [2usize, 8] {
+            config.threads = threads;
+            let parallel = mine(&db, &matrix, &config).unwrap();
+            let s: Vec<_> = serial
+                .frequent
+                .iter()
+                .map(|f| (f.pattern.clone(), f.match_estimate.to_bits()))
+                .collect();
+            let p: Vec<_> = parallel
+                .frequent
+                .iter()
+                .map(|f| (f.pattern.clone(), f.match_estimate.to_bits()))
+                .collect();
+            assert_eq!(s, p, "mining output diverged at {threads} threads");
+            assert_eq!(serial.border.elements(), parallel.border.elements());
+        }
     });
 }
 
