@@ -51,6 +51,7 @@ fn main() {
     let repeat = args.usize("repeat", 3).max(1);
     let out = args.get("out", "BENCH_parallel.json").to_string();
 
+    noisemine_obs::enable();
     let cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
     let matrix = sparse_random_matrix(m, 0.2, 0.85, seed ^ 0x57);
     let seqs = scalability_db(m, n, len, seed ^ 0x59);
@@ -145,6 +146,11 @@ fn to_json(
     let _ = writeln!(s, "  \"seq_len\": {len},");
     let _ = writeln!(s, "  \"sample\": {sample},");
     let _ = writeln!(s, "  \"cpus\": {cpus},");
+    let _ = writeln!(
+        s,
+        "  \"metrics\": {},",
+        noisemine_bench::metrics_json_fragment(2)
+    );
     let _ = writeln!(s, "  \"rows\": [");
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 < rows.len() { "," } else { "" };

@@ -51,6 +51,7 @@ fn main() {
     let space = PatternSpace::contiguous(args.usize("max-len", 6));
     let out = args.get("out", "BENCH_stream.json").to_string();
 
+    noisemine_obs::enable();
     let matrix = sparse_random_matrix(m, 0.2, 0.85, seed ^ 0x57);
     let config = MinerConfig {
         min_match,
@@ -137,6 +138,11 @@ fn to_json(seed: u64, m: usize, reservoir: usize, min_match: f64, rows: &[Row]) 
     let _ = writeln!(s, "  \"symbols\": {m},");
     let _ = writeln!(s, "  \"reservoir\": {reservoir},");
     let _ = writeln!(s, "  \"min_match\": {min_match},");
+    let _ = writeln!(
+        s,
+        "  \"metrics\": {},",
+        noisemine_bench::metrics_json_fragment(2)
+    );
     let _ = writeln!(s, "  \"rows\": [");
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 < rows.len() { "," } else { "" };

@@ -53,3 +53,27 @@ pub fn sampling_protein_workload(seed: u64, num_sequences: usize) -> ProteinWork
 pub fn secs(d: std::time::Duration) -> String {
     format!("{:.3}", d.as_secs_f64())
 }
+
+/// Renders the process-wide metrics registry as a JSON fragment suitable
+/// for embedding as a value inside a larger hand-rolled document, indented
+/// by `indent` spaces (the first line is not indented — it follows a key).
+///
+/// Benches call [`noisemine_obs::enable`] up front and embed this under a
+/// `"metrics"` key so every `BENCH_*.json` carries the instrumentation
+/// counters (scans, bytes, stall counts, span histograms) alongside the
+/// wall-clock rows.
+pub fn metrics_json_fragment(indent: usize) -> String {
+    let doc = noisemine_obs::global().snapshot().to_json();
+    let pad = " ".repeat(indent);
+    let mut out = String::with_capacity(doc.len());
+    for (i, line) in doc.trim_end().lines().enumerate() {
+        if i > 0 {
+            out.push('\n');
+            if !line.is_empty() {
+                out.push_str(&pad);
+            }
+        }
+        out.push_str(line);
+    }
+    out
+}

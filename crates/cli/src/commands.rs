@@ -290,7 +290,9 @@ pub fn cmd_mine(opts: &Opts) -> CliResult<()> {
         "limit",
         "top",
         "format",
+        "metrics-out",
     ])?;
+    let sink = metrics_sink(opts);
     let (alphabet, sequences) = load_db(opts)?;
     let m = alphabet.len();
     let matrix = match opts.get("matrix") {
@@ -319,6 +321,7 @@ pub fn cmd_mine(opts: &Opts) -> CliResult<()> {
             "top-{k} patterns ({} evaluated, implied threshold {:.4}):",
             r.evaluated, r.implied_threshold
         );
+        write_metrics(sink.as_ref())?;
         return emit(&r.patterns, r.patterns.len(), &alphabet, format);
     }
 
@@ -413,6 +416,7 @@ pub fn cmd_mine(opts: &Opts) -> CliResult<()> {
         sorted.len(),
         limit.min(sorted.len())
     );
+    write_metrics(sink.as_ref())?;
     emit(&sorted, limit, &alphabet, format)
 }
 
@@ -443,7 +447,9 @@ pub fn cmd_stream(opts: &Opts) -> CliResult<()> {
         "threads",
         "limit",
         "format",
+        "metrics-out",
     ])?;
+    let sink = metrics_sink(opts);
     let (alphabet, sequences) = load_db_or_stdin(opts)?;
     let m = alphabet.len();
     let matrix = match opts.get("matrix") {
@@ -527,6 +533,9 @@ pub fn cmd_stream(opts: &Opts) -> CliResult<()> {
             );
             last_outcome = Some(outcome);
         }
+        // Periodic emission: refresh the snapshot after every chunk so a
+        // long-running ingest can be watched from outside.
+        write_metrics(sink.as_ref())?;
     }
 
     if let Some(path) = checkpoint_path {
@@ -535,6 +544,7 @@ pub fn cmd_stream(opts: &Opts) -> CliResult<()> {
             .map_err(|e| format!("{}: {e}", path.display()))?;
         eprintln!("checkpoint written to {}", path.display());
     }
+    write_metrics(sink.as_ref())?;
 
     match last_outcome {
         Some(outcome) => {
@@ -634,6 +644,25 @@ fn emit(
 }
 
 // -- helpers ---------------------------------------------------------------
+
+/// Turns `--metrics-out <path>` into a live metrics sink. Enabling the
+/// global registry is what arms the (otherwise dormant) instrumentation in
+/// core/seqdb/stream, so this must run before any mining starts.
+fn metrics_sink(opts: &Opts) -> Option<noisemine_obs::FileSink> {
+    opts.get("metrics-out").map(|path| {
+        noisemine_obs::enable();
+        noisemine_obs::FileSink::new(path)
+    })
+}
+
+/// Writes the current registry snapshot through the sink (no-op without
+/// `--metrics-out`). Format follows the sink path's extension: `.prom` /
+/// `.txt` get Prometheus text exposition, anything else JSON.
+fn write_metrics(sink: Option<&noisemine_obs::FileSink>) -> CliResult<()> {
+    let Some(sink) = sink else { return Ok(()) };
+    sink.write(&noisemine_obs::global().snapshot())
+        .map_err(|e| format!("{}: {e}", sink.path().display()).into())
+}
 
 /// Symmetric pairing partner (`i ^ 1`); the last symbol of an odd-sized
 /// alphabet pairs with its predecessor instead of falling off the end.

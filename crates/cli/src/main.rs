@@ -8,9 +8,10 @@
 //! noisemine mine    --db db.txt [--matrix m.txt] [--normalize] [--min-match 0.1]
 //!                   [--algorithm three-phase|levelwise|depth-first|max-miner] [--top k]
 //!                   [--max-gap 0] [--max-len 16] [--sample N] [--strategy border|levelwise]
-//!                   [--threads 0]
+//!                   [--threads 0] [--metrics-out m.json]
 //! noisemine stream  --db db.txt [--matrix m.txt] [--checkpoint state.ckpt]
 //!                   [--chunk 1000] [--min-match 0.1] [--sample 1000] [--threads 0]
+//!                   [--metrics-out m.json]
 //! noisemine convert --db db.txt --out db.nmdb
 //! ```
 
@@ -34,11 +35,13 @@ USAGE:
                     [--max-gap 0] [--max-len 16] [--sample N] [--delta 0.001]
                     [--counters 100000] [--strategy border|levelwise]
                     [--seed 2002] [--threads 0] [--limit 50] [--top k]
+                    [--metrics-out m.json]
   noisemine stream  --db db.txt|- [--matrix m.txt] [--normalize]
                     [--checkpoint state.ckpt] [--chunk 1000] [--min-match 0.1]
                     [--sample 1000] [--delta 0.001] [--counters 100000]
                     [--max-gap 0] [--max-len 16] [--strategy border|levelwise]
                     [--seed 2002] [--threads 0] [--limit 50]
+                    [--metrics-out m.json]
   noisemine learn   --truth clean.txt --observed noisy.txt --out m.txt [--lambda 0.1]
   noisemine convert --db db.txt --out db.nmdb
 
@@ -50,7 +53,10 @@ diagonal-normalized score matrix (match on the noise-free support scale).
 drift past the Chernoff bound, and persists engine state via --checkpoint so
 a later run over a grown file resumes from the tail. --threads sets the scan
 worker count for the three-phase miner (0 = auto); results are bit-identical
-at any thread count.";
+at any thread count. --metrics-out enables the observability layer and writes
+a metrics snapshot to the given path (JSON, or Prometheus text when the path
+ends in .prom/.txt); `stream` rewrites it after every chunk. Metrics never
+change mining output — see docs/OBSERVABILITY.md.";
 
 fn run() -> CliResult<()> {
     let opts = Opts::parse(std::env::args().skip(1))?;

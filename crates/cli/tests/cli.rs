@@ -318,6 +318,126 @@ fn learn_round_trip() {
 }
 
 #[test]
+fn metrics_out_is_observe_only_and_emits_documented_counters() {
+    let db = tmp("obs-db.txt");
+    let matrix = tmp("obs-m.txt");
+    let metrics = tmp("obs-metrics.json");
+    generate(&db, &matrix);
+
+    let mine_args = |extra: &[&str]| {
+        let mut args = vec![
+            "mine",
+            "--db",
+            db.to_str().unwrap(),
+            "--matrix",
+            matrix.to_str().unwrap(),
+            "--normalize",
+            "--min-match",
+            "0.15",
+            "--max-len",
+            "6",
+            "--format",
+            "json",
+        ];
+        args.extend_from_slice(extra);
+        noisemine(&args)
+    };
+
+    let plain = mine_args(&[]);
+    assert!(plain.status.success(), "{}", stderr(&plain));
+    let with_metrics = mine_args(&["--metrics-out", metrics.to_str().unwrap()]);
+    assert!(with_metrics.status.success(), "{}", stderr(&with_metrics));
+
+    // The mined output is byte-identical with and without instrumentation.
+    assert_eq!(
+        stdout(&plain),
+        stdout(&with_metrics),
+        "--metrics-out changed the mined pattern set"
+    );
+
+    // The snapshot is written, self-describing, and the collapse-scan
+    // counter (Algorithm 4.3's cost) is live on a planted workload.
+    let snap = std::fs::read_to_string(&metrics).expect("metrics file written");
+    assert!(
+        snap.contains("\"format\": \"noisemine-metrics/1\""),
+        "{snap}"
+    );
+    for metric in [
+        "core_collapse_db_scans",
+        "core_candidates_frequent_total",
+        "core_chernoff_epsilon_max",
+        "core_phase1_seconds",
+        "core_scan_sequences_total",
+    ] {
+        assert!(snap.contains(metric), "snapshot missing {metric}:\n{snap}");
+    }
+    let scans_field = snap
+        .split("\"core_collapse_db_scans\"")
+        .nth(1)
+        .and_then(|rest| rest.split("\"value\": ").nth(1))
+        .and_then(|rest| rest.split(['}', ','].as_ref()).next())
+        .expect("collapse scan value present");
+    let scans: u64 = scans_field.trim().parse().expect("integer scan count");
+    assert!(scans >= 1, "expected >= 1 collapse scan, got {scans}");
+
+    // A .prom path switches to Prometheus text exposition.
+    let prom = tmp("obs-metrics.prom");
+    let out = mine_args(&["--metrics-out", prom.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = std::fs::read_to_string(&prom).expect("prom file written");
+    assert!(
+        text.contains("# TYPE core_collapse_db_scans counter"),
+        "{text}"
+    );
+    assert!(text.contains("core_phase1_seconds_bucket{le="), "{text}");
+
+    std::fs::remove_file(&db).ok();
+    std::fs::remove_file(&matrix).ok();
+    std::fs::remove_file(&metrics).ok();
+    std::fs::remove_file(&prom).ok();
+}
+
+#[test]
+fn stream_metrics_out_tracks_ingest() {
+    let db = tmp("obs-stream-db.txt");
+    let matrix = tmp("obs-stream-m.txt");
+    let metrics = tmp("obs-stream-metrics.json");
+    generate(&db, &matrix);
+
+    let out = noisemine(&[
+        "stream",
+        "--db",
+        db.to_str().unwrap(),
+        "--matrix",
+        matrix.to_str().unwrap(),
+        "--normalize",
+        "--min-match",
+        "0.4",
+        "--delta",
+        "0.05",
+        "--max-len",
+        "6",
+        "--chunk",
+        "60",
+        "--metrics-out",
+        metrics.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let snap = std::fs::read_to_string(&metrics).expect("metrics file written");
+    assert!(
+        snap.contains("\"stream_sequences_ingested_total\""),
+        "{snap}"
+    );
+    // generate() plants 120 sequences; all of them must be counted.
+    assert!(snap.contains("\"value\": 120"), "{snap}");
+    assert!(snap.contains("\"stream_remines_total\""), "{snap}");
+
+    std::fs::remove_file(&db).ok();
+    std::fs::remove_file(&matrix).ok();
+    std::fs::remove_file(&metrics).ok();
+}
+
+#[test]
 fn help_prints_usage() {
     let out = noisemine(&["help"]);
     assert!(out.status.success());

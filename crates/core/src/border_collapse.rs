@@ -9,6 +9,16 @@
 //! patterns as possible without ever counting them. With a memory budget of
 //! `x` layers per scan the ambiguous space shrinks to `1/x` per scan, giving
 //! `O(log_x y)` scans where a level-wise search needs `y`.
+//!
+//! # Observability
+//!
+//! Each full-database probe scan increments `core_collapse_db_scans` (the
+//! quantity the `O(log_x y)` bound of Algorithm 4.3 controls), with
+//! `core_collapse_probes_total` patterns counted exactly across
+//! `core_collapse_layers_probed_total` distinct lattice layers;
+//! `core_collapse_propagated_total` patterns resolve by Apriori propagation
+//! alone and `core_collapse_known_applied_total` reuse pre-verified matches
+//! without any scan. See `docs/OBSERVABILITY.md`.
 
 use std::collections::HashMap;
 
@@ -142,10 +152,17 @@ pub fn collapse_with_known<S: SequenceScan + ?Sized>(
     while !space.is_empty() {
         let probes = select_probes(&space, counters_per_scan, strategy);
         debug_assert!(!probes.is_empty());
+        if noisemine_obs::enabled() {
+            let layers: std::collections::HashSet<usize> =
+                probes.iter().map(|p| p.non_eternal_count()).collect();
+            crate::obs::collapse_layers_probed().add(layers.len() as u64);
+        }
         let values = db_match_many_threads(&probes, db, matrix, threads);
         result.scans += 1;
         result.probes += probes.len();
         result.probes_per_scan.push(probes.len());
+        crate::obs::collapse_db_scans().inc();
+        crate::obs::collapse_probes().add(probes.len() as u64);
         apply_exact_values(
             &mut space,
             &mut result,
@@ -162,6 +179,8 @@ pub fn collapse_with_known<S: SequenceScan + ?Sized>(
         .chain(&result.infrequent)
         .filter(|r| r.resolution == Resolution::Propagated)
         .count();
+    crate::obs::collapse_propagated().add(result.propagated as u64);
+    crate::obs::collapse_known_applied().add(result.known_applied as u64);
     result
 }
 

@@ -10,6 +10,15 @@
 //! `R = 1` by `R = minᵢ match[dᵢ]` over the pattern's concrete symbols —
 //! valid because the Apriori property caps the match of a pattern by the
 //! match of each of its symbols — and shrinks `ε` proportionally.
+//!
+//! # Observability
+//!
+//! When metrics are enabled, the sample miner records the widest band this
+//! module computed in the `core_chernoff_epsilon_max` gauge and the
+//! smallest restricted spread in `core_restricted_spread_min`; the
+//! per-label classification tallies land in
+//! `core_candidates_{frequent,ambiguous,infrequent}_total`. See
+//! `docs/OBSERVABILITY.md`.
 
 use serde::{Deserialize, Serialize};
 

@@ -60,6 +60,7 @@ pub mod matching;
 pub mod matrix;
 pub mod matrix_io;
 pub mod miner;
+pub(crate) mod obs;
 pub mod parallel;
 pub mod pattern;
 pub mod sample_miner;

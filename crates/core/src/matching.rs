@@ -9,6 +9,15 @@
 //! both the straightforward `O(N·l̄·m)` form and the first-occurrence
 //! optimized `O(N·(l̄ + m²))` form (§4.1), and the exact-occurrence
 //! *support* metric used by the paper as the baseline model.
+//!
+//! # Observability
+//!
+//! Scans issued here route through [`crate::parallel::scan_map_reduce`],
+//! which (when the [`noisemine_obs`] registry is enabled) counts every
+//! streamed sequence in `core_scan_sequences_total` and every dispatched
+//! block in `parallel_scan_blocks_total` — covering both the phase-1 scan
+//! and the phase-3 probe scans of [`db_match_many_threads`]. See
+//! `docs/OBSERVABILITY.md` for the full metric reference.
 
 use crate::alphabet::Symbol;
 use crate::matrix::CompatibilityMatrix;

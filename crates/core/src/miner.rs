@@ -10,6 +10,16 @@
 //! 3. **Phase 3** (Algorithms 4.3/4.4): border collapsing resolves the
 //!    ambiguous patterns against the full database in a minimal number of
 //!    scans under a counter-memory budget.
+//!
+//! # Observability
+//!
+//! With the [`noisemine_obs`] registry enabled (`--metrics-out` in the
+//! CLI), each phase is timed into the
+//! `core_phase{1,2,3}_seconds` histograms. Instrumentation is
+//! observe-only: enabling it never changes sampling, classification, or
+//! the mined pattern set, and with no sink attached every record site
+//! reduces to one relaxed atomic load. `docs/OBSERVABILITY.md` maps each
+//! metric to the paper quantity it tracks.
 
 use std::time::{Duration, Instant};
 
@@ -350,9 +360,11 @@ pub fn mine<S: SequenceScan + ?Sized>(
     let mut rng = StdRng::seed_from_u64(config.seed);
 
     // Phase 1: symbol matches + sample, one scan.
+    let span = crate::obs::phase1_seconds().span();
     let t0 = Instant::now();
     let p1 = phase1_threads(db, matrix, config.sample_size, &mut rng, config.threads);
     let phase1_time = t0.elapsed();
+    span.finish();
 
     let mut outcome = mine_from_phase1(db, matrix, config, &p1)?;
     outcome.stats.db_scans += 1;
@@ -399,6 +411,7 @@ pub fn mine_from_phase1_with_known<S: SequenceScan + ?Sized>(
     };
 
     // Phase 2: classify candidates on the sample.
+    let phase2_span = crate::obs::phase2_seconds().span();
     let t1 = Instant::now();
     let p2 = mine_sample_budgeted(
         &p1.sample,
@@ -424,8 +437,10 @@ pub fn mine_from_phase1_with_known<S: SequenceScan + ?Sized>(
     stats.sample_frequent = p2.frequent.len();
     stats.ambiguous_after_sample = p2.ambiguous.len();
     stats.phase2_time = t1.elapsed();
+    phase2_span.finish();
 
     // Phase 3: resolve the ambiguous patterns against the full database.
+    let phase3_span = crate::obs::phase3_seconds().span();
     let t2 = Instant::now();
     let ambiguous = AmbiguousSpace::new(p2.ambiguous.iter().map(|(p, _)| p.clone()));
     let p3 = collapse_with_known(
@@ -443,6 +458,7 @@ pub fn mine_from_phase1_with_known<S: SequenceScan + ?Sized>(
     stats.propagated_patterns = p3.propagated;
     stats.probes_per_scan = p3.probes_per_scan.clone();
     stats.phase3_time = t2.elapsed();
+    phase3_span.finish();
 
     // Assemble: sample-confident frequents + phase-3 resolutions.
     let (frequent, border) = assemble_outcome(&p2, &p3);

@@ -1,0 +1,149 @@
+//! Metric handles for the core crate's instrumentation.
+//!
+//! Each function lazily registers one metric in the process-wide
+//! [`noisemine_obs::global`] registry and caches the `Arc`-backed handle in
+//! a `OnceLock`, so hot paths pay one relaxed atomic load per record call
+//! (plus nothing at all while recording is disabled — see
+//! [`noisemine_obs::enabled`]). Every metric defined here is documented in
+//! `docs/OBSERVABILITY.md` with the paper quantity it corresponds to.
+//!
+//! Instrumentation is strictly observational: nothing read from these
+//! metrics ever feeds back into a mining computation, which is what keeps
+//! an instrumented run bit-identical to an uninstrumented one.
+
+use noisemine_obs::{self as obs, Counter, Gauge, Histogram};
+use std::sync::OnceLock;
+
+macro_rules! counter {
+    ($fn_name:ident, $name:literal, $help:literal, $unit:literal) => {
+        pub(crate) fn $fn_name() -> &'static Counter {
+            static H: OnceLock<Counter> = OnceLock::new();
+            H.get_or_init(|| obs::counter($name, $help, $unit))
+        }
+    };
+}
+
+macro_rules! gauge {
+    ($fn_name:ident, $name:literal, $help:literal, $unit:literal) => {
+        pub(crate) fn $fn_name() -> &'static Gauge {
+            static H: OnceLock<Gauge> = OnceLock::new();
+            H.get_or_init(|| obs::gauge($name, $help, $unit))
+        }
+    };
+}
+
+macro_rules! duration_histogram {
+    ($fn_name:ident, $name:literal, $help:literal) => {
+        pub(crate) fn $fn_name() -> &'static Histogram {
+            static H: OnceLock<Histogram> = OnceLock::new();
+            H.get_or_init(|| obs::histogram($name, $help, "seconds", obs::duration_buckets()))
+        }
+    };
+}
+
+// Phase spans (Algorithms 4.1 / 4.2 / 4.3-4.4).
+duration_histogram!(
+    phase1_seconds,
+    "core_phase1_seconds",
+    "Wall-clock time of phase 1: the single symbol-match + sampling scan (Algorithm 4.1)"
+);
+duration_histogram!(
+    phase2_seconds,
+    "core_phase2_seconds",
+    "Wall-clock time of phase 2: Chernoff classification of the sample (Algorithm 4.2)"
+);
+duration_histogram!(
+    phase3_seconds,
+    "core_phase3_seconds",
+    "Wall-clock time of phase 3: border collapsing against the full database (Algorithms 4.3/4.4)"
+);
+
+// Phase-2 classification (Algorithm 4.2, Claims 4.1/4.2).
+counter!(
+    candidates_frequent,
+    "core_candidates_frequent_total",
+    "Sample candidates labeled frequent (sample match > min_match + eps)",
+    "patterns"
+);
+counter!(
+    candidates_ambiguous,
+    "core_candidates_ambiguous_total",
+    "Sample candidates labeled ambiguous (within +-eps of min_match), left for phase 3",
+    "patterns"
+);
+counter!(
+    candidates_infrequent,
+    "core_candidates_infrequent_total",
+    "Sample candidates labeled infrequent (sample match < min_match - eps) and pruned",
+    "patterns"
+);
+gauge!(
+    chernoff_epsilon_max,
+    "core_chernoff_epsilon_max",
+    "Widest Chernoff half-band eps = sqrt(R^2 ln(1/delta) / 2n) used in phase 2 (Claim 4.1)",
+    "match"
+);
+gauge!(
+    restricted_spread_min,
+    "core_restricted_spread_min",
+    "Smallest restricted spread R (minimum per-symbol match of a candidate, Claim 4.2)",
+    "match"
+);
+
+// Phase-3 border collapsing (Algorithm 4.3: O(log(len(FQT))) scans).
+counter!(
+    collapse_db_scans,
+    "core_collapse_db_scans",
+    "Full database scans performed by border collapsing (the O(log(len(FQT))) cost of Algorithm 4.3)",
+    "scans"
+);
+counter!(
+    collapse_probes,
+    "core_collapse_probes_total",
+    "Ambiguous patterns whose exact match was counted against the full database",
+    "patterns"
+);
+counter!(
+    collapse_layers_probed,
+    "core_collapse_layers_probed_total",
+    "Distinct lattice layers probed across all collapse scans (halfway, quarter-way, ...)",
+    "layers"
+);
+counter!(
+    collapse_propagated,
+    "core_collapse_propagated_total",
+    "Ambiguous patterns resolved by Apriori propagation alone, without counting",
+    "patterns"
+);
+counter!(
+    collapse_known_applied,
+    "core_collapse_known_applied_total",
+    "Pre-verified exact matches applied by collapse_with_known without any scan (incremental reuse)",
+    "patterns"
+);
+
+// Deterministic scan map-reduce (phases 1 and 3 share it).
+counter!(
+    scan_sequences,
+    "core_scan_sequences_total",
+    "Sequences streamed through the block-scan map-reduce (phase 1 + phase 3 scans)",
+    "sequences"
+);
+counter!(
+    parallel_scan_blocks,
+    "parallel_scan_blocks_total",
+    "Scan blocks dispatched to map-reduce workers (SCAN_BLOCK_SIZE sequences each)",
+    "blocks"
+);
+gauge!(
+    parallel_scan_workers,
+    "parallel_scan_workers",
+    "Worker threads used by the most recent parallel block scan",
+    "threads"
+);
+gauge!(
+    parallel_reduce_queue_peak,
+    "parallel_reduce_queue_peak",
+    "Peak number of in-flight blocks awaiting ordered reduction in one scan",
+    "blocks"
+);

@@ -76,11 +76,14 @@ where
     S: SequenceScan + ?Sized,
     T: Send,
 {
+    crate::obs::parallel_scan_workers().set(threads.max(1) as f64);
     if threads <= 1 {
         let mut results = Vec::new();
         let mut scratch = make_scratch();
         db.scan_blocks(block_size, &mut |block| {
             inspect(&block);
+            crate::obs::parallel_scan_blocks().inc();
+            crate::obs::scan_sequences().add(block.len() as u64);
             results.push(map(&mut scratch, &block));
             block
         });
@@ -116,9 +119,12 @@ where
         drop(done_tx);
 
         let mut next = 0usize;
+        let mut completed = 0usize;
         let mut spare: Vec<SequenceBlock> = Vec::new();
         db.scan_blocks(block_size, &mut |block| {
             inspect(&block);
+            crate::obs::parallel_scan_blocks().inc();
+            crate::obs::scan_sequences().add(block.len() as u64);
             work_tx
                 .send((next, block))
                 .expect("scan workers exited early");
@@ -127,8 +133,10 @@ where
             // blocks back into the scan.
             while let Ok((idx, value, recycled)) = done_rx.try_recv() {
                 store(&mut slots, idx, value);
+                completed += 1;
                 spare.push(recycled);
             }
+            crate::obs::parallel_reduce_queue_peak().set_max((next - completed) as f64);
             spare.pop().unwrap_or_default()
         });
         // Closing the work channel ends the worker loops; drain whatever is

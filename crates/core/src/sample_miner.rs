@@ -233,20 +233,26 @@ fn label_pattern(
 ) -> Label {
     let spread = spread_mode.spread(pattern, symbol_match);
     let eps = epsilon(spread, n, delta);
+    crate::obs::restricted_spread_min().set_min(spread);
+    crate::obs::chernoff_epsilon_max().set_max(eps);
     classify(sample_match, min_match, eps)
 }
 
 fn record(result: &mut SampleMineResult, pattern: Pattern, value: f64, label: Label) {
     match label {
         Label::Frequent => {
+            crate::obs::candidates_frequent().inc();
             result.fqt.insert(pattern.clone());
             result.frequent.push((pattern.clone(), value));
         }
         Label::Ambiguous => {
+            crate::obs::candidates_ambiguous().inc();
             result.infqt.insert(pattern.clone());
             result.ambiguous.push((pattern.clone(), value));
         }
-        Label::Infrequent => {}
+        Label::Infrequent => {
+            crate::obs::candidates_infrequent().inc();
+        }
     }
     result.labels.insert(pattern, (value, label));
 }

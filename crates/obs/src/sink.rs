@@ -1,0 +1,145 @@
+//! Snapshot sinks: where a rendered [`Snapshot`](crate::Snapshot) goes.
+//!
+//! The only sink shipped today is [`FileSink`], which writes atomically
+//! (temp file + rename) so a reader polling the path — e.g. a scrape agent
+//! tailing the periodic emission of `noisemine stream --metrics-out` —
+//! never observes a half-written document.
+
+use crate::snapshot::Snapshot;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Output format for a rendered snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SinkFormat {
+    /// `noisemine-metrics/1` JSON document.
+    Json,
+    /// Prometheus text exposition format (0.0.4).
+    Prometheus,
+}
+
+impl SinkFormat {
+    /// Chooses a format from a file extension: `.prom` / `.txt` mean
+    /// Prometheus text, everything else (including no extension) JSON.
+    pub fn from_path(path: &Path) -> SinkFormat {
+        match path.extension().and_then(|e| e.to_str()) {
+            Some("prom") | Some("txt") => SinkFormat::Prometheus,
+            _ => SinkFormat::Json,
+        }
+    }
+
+    /// Renders a snapshot in this format.
+    pub fn render(self, snapshot: &Snapshot) -> String {
+        match self {
+            SinkFormat::Json => snapshot.to_json(),
+            SinkFormat::Prometheus => snapshot.to_prometheus(),
+        }
+    }
+}
+
+/// Writes snapshots to a file, atomically, in a format inferred from the
+/// path (see [`SinkFormat::from_path`]).
+#[derive(Debug, Clone)]
+pub struct FileSink {
+    path: PathBuf,
+    format: SinkFormat,
+}
+
+impl FileSink {
+    /// A sink writing to `path` in the format its extension implies.
+    pub fn new(path: impl Into<PathBuf>) -> FileSink {
+        let path = path.into();
+        let format = SinkFormat::from_path(&path);
+        FileSink { path, format }
+    }
+
+    /// The destination path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The format this sink renders.
+    pub fn format(&self) -> SinkFormat {
+        self.format
+    }
+
+    /// Renders `snapshot` and replaces the file contents atomically: the
+    /// rendering is written to `<path>.tmp` and renamed over `path`, so a
+    /// concurrent reader sees either the old document or the new one.
+    pub fn write(&self, snapshot: &Snapshot) -> io::Result<()> {
+        let rendered = self.format.render(snapshot);
+        let tmp = self.path.with_extension("tmp");
+        std::fs::write(&tmp, rendered)?;
+        std::fs::rename(&tmp, &self.path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::{MetricSnapshot, MetricValue};
+
+    fn snap() -> Snapshot {
+        Snapshot {
+            metrics: vec![MetricSnapshot {
+                name: "sink_test_total".into(),
+                help: "test".into(),
+                unit: "ops".into(),
+                value: MetricValue::Counter(7),
+            }],
+        }
+    }
+
+    #[test]
+    fn format_follows_extension() {
+        assert_eq!(SinkFormat::from_path(Path::new("m.json")), SinkFormat::Json);
+        assert_eq!(
+            SinkFormat::from_path(Path::new("m.prom")),
+            SinkFormat::Prometheus
+        );
+        assert_eq!(
+            SinkFormat::from_path(Path::new("metrics.txt")),
+            SinkFormat::Prometheus
+        );
+        assert_eq!(
+            SinkFormat::from_path(Path::new("metrics")),
+            SinkFormat::Json
+        );
+    }
+
+    #[test]
+    fn file_sink_writes_and_replaces() {
+        let dir = std::env::temp_dir().join("noisemine_obs_sink_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.json");
+        let sink = FileSink::new(&path);
+        assert_eq!(sink.format(), SinkFormat::Json);
+
+        sink.write(&snap()).unwrap();
+        let first = std::fs::read_to_string(&path).unwrap();
+        assert!(first.contains("sink_test_total"));
+        assert!(first.contains("\"value\": 7"));
+
+        // Second write replaces, not appends.
+        sink.write(&snap()).unwrap();
+        let second = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(first, second);
+        // The temp file does not linger.
+        assert!(!dir.join("m.tmp").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn prometheus_sink_renders_exposition() {
+        let dir = std::env::temp_dir().join("noisemine_obs_sink_prom_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.prom");
+        let sink = FileSink::new(&path);
+        assert_eq!(sink.format(), SinkFormat::Prometheus);
+        sink.write(&snap()).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("# TYPE sink_test_total counter"));
+        assert!(text.contains("sink_test_total 7"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

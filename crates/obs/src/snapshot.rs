@@ -1,0 +1,312 @@
+//! Point-in-time snapshots of a [`crate::Registry`] and their two text
+//! renderings: a JSON document (for `--metrics-out`, bench artifacts, and
+//! programmatic consumption) and Prometheus text exposition format (for
+//! scraping).
+//!
+//! Rendering is deterministic: metrics are sorted by name and every number
+//! is formatted with a fixed rule, so two snapshots of identical state
+//! produce byte-identical text. The vendored serde shim does not serialize,
+//! so JSON is emitted by hand — as everywhere else in the workspace.
+
+use std::fmt::Write as _;
+
+/// The value of one metric at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotonic count.
+    Counter(u64),
+    /// Last-set floating-point value.
+    Gauge(f64),
+    /// Bucketed distribution.
+    Histogram {
+        /// Finite bucket upper bounds (strictly increasing).
+        bounds: Vec<f64>,
+        /// Per-bucket observation counts; one entry per bound plus the
+        /// trailing `+Inf` bucket (non-cumulative).
+        counts: Vec<u64>,
+        /// Total observations.
+        count: u64,
+        /// Sum of all observed values.
+        sum: f64,
+    },
+}
+
+/// One metric in a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSnapshot {
+    /// The metric name (e.g. `core_collapse_db_scans`).
+    pub name: String,
+    /// Human-readable description.
+    pub help: String,
+    /// Unit of the value (`seconds`, `sequences`, `bytes`, …).
+    pub unit: String,
+    /// The value.
+    pub value: MetricValue,
+}
+
+/// A point-in-time view of every metric in a registry, sorted by name.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// The metrics, sorted by name.
+    pub metrics: Vec<MetricSnapshot>,
+}
+
+/// Formats an `f64` as a JSON-safe number: non-finite values (which no
+/// metric should produce, but a gauge could be fed one) become `0`.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // `Display` for f64 never emits exponents, so the output is always
+        // a valid JSON number; integers just lack a fraction part.
+        s
+    } else {
+        "0".to_string()
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Snapshot {
+    /// Looks up a metric by name.
+    pub fn get(&self, name: &str) -> Option<&MetricSnapshot> {
+        self.metrics.iter().find(|m| m.name == name)
+    }
+
+    /// The value of a counter metric, if present.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        match self.get(name)?.value {
+            MetricValue::Counter(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value of a gauge metric, if present.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        match self.get(name)?.value {
+            MetricValue::Gauge(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The `(count, sum)` of a histogram metric, if present.
+    pub fn histogram_totals(&self, name: &str) -> Option<(u64, f64)> {
+        match &self.get(name)?.value {
+            MetricValue::Histogram { count, sum, .. } => Some((*count, *sum)),
+            _ => None,
+        }
+    }
+
+    /// Renders the snapshot as a JSON object:
+    ///
+    /// ```json
+    /// {
+    ///   "format": "noisemine-metrics/1",
+    ///   "metrics": {
+    ///     "core_collapse_db_scans": {"type": "counter", "unit": "scans",
+    ///                                "help": "...", "value": 2},
+    ///     "core_phase1_seconds": {"type": "histogram", "unit": "seconds",
+    ///                             "help": "...", "count": 1, "sum": 0.0123,
+    ///                             "buckets": [{"le": 1e-06, "count": 0}, ...]}
+    ///   }
+    /// }
+    /// ```
+    ///
+    /// Keys are sorted; output is deterministic for identical state.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n  \"format\": \"noisemine-metrics/1\",\n  \"metrics\": {\n");
+        for (i, m) in self.metrics.iter().enumerate() {
+            let comma = if i + 1 < self.metrics.len() { "," } else { "" };
+            let _ = write!(
+                s,
+                "    \"{}\": {{\"type\": \"{}\", \"unit\": \"{}\", \"help\": \"{}\", ",
+                json_escape(&m.name),
+                match m.value {
+                    MetricValue::Counter(_) => "counter",
+                    MetricValue::Gauge(_) => "gauge",
+                    MetricValue::Histogram { .. } => "histogram",
+                },
+                json_escape(&m.unit),
+                json_escape(&m.help),
+            );
+            match &m.value {
+                MetricValue::Counter(v) => {
+                    let _ = write!(s, "\"value\": {v}}}");
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = write!(s, "\"value\": {}}}", json_f64(*v));
+                }
+                MetricValue::Histogram {
+                    bounds,
+                    counts,
+                    count,
+                    sum,
+                } => {
+                    let _ = write!(
+                        s,
+                        "\"count\": {count}, \"sum\": {}, \"buckets\": [",
+                        json_f64(*sum)
+                    );
+                    for (j, c) in counts.iter().enumerate() {
+                        let le = bounds
+                            .get(j)
+                            .map(|b| json_f64(*b))
+                            .unwrap_or_else(|| "\"+Inf\"".to_string());
+                        let comma = if j + 1 < counts.len() { ", " } else { "" };
+                        let _ = write!(s, "{{\"le\": {le}, \"count\": {c}}}{comma}");
+                    }
+                    s.push_str("]}");
+                }
+            }
+            s.push_str(comma);
+            s.push('\n');
+        }
+        s.push_str("  }\n}\n");
+        s
+    }
+
+    /// Renders the snapshot in Prometheus text exposition format (version
+    /// 0.0.4): `# HELP` / `# TYPE` headers, cumulative `_bucket{le=...}`
+    /// series for histograms, `_count` / `_sum` companions.
+    pub fn to_prometheus(&self) -> String {
+        let mut s = String::new();
+        for m in &self.metrics {
+            let help = m.help.replace('\\', "\\\\").replace('\n', "\\n");
+            match &m.value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(s, "# HELP {} {help}", m.name);
+                    let _ = writeln!(s, "# TYPE {} counter", m.name);
+                    let _ = writeln!(s, "{} {v}", m.name);
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(s, "# HELP {} {help}", m.name);
+                    let _ = writeln!(s, "# TYPE {} gauge", m.name);
+                    let _ = writeln!(s, "{} {v}", m.name);
+                }
+                MetricValue::Histogram {
+                    bounds,
+                    counts,
+                    count,
+                    sum,
+                } => {
+                    let _ = writeln!(s, "# HELP {} {help}", m.name);
+                    let _ = writeln!(s, "# TYPE {} histogram", m.name);
+                    let mut cumulative = 0u64;
+                    for (j, c) in counts.iter().enumerate() {
+                        cumulative += c;
+                        let le = bounds
+                            .get(j)
+                            .map(|b| format!("{b}"))
+                            .unwrap_or_else(|| "+Inf".to_string());
+                        let _ = writeln!(s, "{}_bucket{{le=\"{le}\"}} {cumulative}", m.name);
+                    }
+                    let _ = writeln!(s, "{}_sum {sum}", m.name);
+                    let _ = writeln!(s, "{}_count {count}", m.name);
+                }
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            metrics: vec![
+                MetricSnapshot {
+                    name: "a_counter".into(),
+                    help: "counts \"things\"".into(),
+                    unit: "things".into(),
+                    value: MetricValue::Counter(3),
+                },
+                MetricSnapshot {
+                    name: "b_gauge".into(),
+                    help: "level".into(),
+                    unit: "ratio".into(),
+                    value: MetricValue::Gauge(0.5),
+                },
+                MetricSnapshot {
+                    name: "c_hist".into(),
+                    help: "latency".into(),
+                    unit: "seconds".into(),
+                    value: MetricValue::Histogram {
+                        bounds: vec![0.1, 1.0],
+                        counts: vec![2, 1, 1],
+                        count: 4,
+                        sum: 2.75,
+                    },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_escapes_and_structures() {
+        let json = sample().to_json();
+        assert!(json.contains("\"format\": \"noisemine-metrics/1\""));
+        assert!(json.contains("counts \\\"things\\\""));
+        assert!(json.contains("\"value\": 3"));
+        assert!(json.contains("\"value\": 0.5"));
+        assert!(json.contains("\"count\": 4, \"sum\": 2.75"));
+        assert!(json.contains("{\"le\": \"+Inf\", \"count\": 1}"));
+        // Balanced braces and brackets — a cheap structural check.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn prometheus_buckets_are_cumulative() {
+        let prom = sample().to_prometheus();
+        assert!(prom.contains("# TYPE a_counter counter"));
+        assert!(prom.contains("# TYPE b_gauge gauge"));
+        assert!(prom.contains("# TYPE c_hist histogram"));
+        assert!(prom.contains("c_hist_bucket{le=\"0.1\"} 2"));
+        assert!(prom.contains("c_hist_bucket{le=\"1\"} 3"));
+        assert!(prom.contains("c_hist_bucket{le=\"+Inf\"} 4"));
+        assert!(prom.contains("c_hist_sum 2.75"));
+        assert!(prom.contains("c_hist_count 4"));
+    }
+
+    #[test]
+    fn accessors_find_values() {
+        let snap = sample();
+        assert_eq!(snap.counter_value("a_counter"), Some(3));
+        assert_eq!(snap.gauge_value("b_gauge"), Some(0.5));
+        assert_eq!(snap.histogram_totals("c_hist"), Some((4, 2.75)));
+        assert_eq!(snap.counter_value("missing"), None);
+        assert_eq!(snap.counter_value("b_gauge"), None, "kind mismatch is None");
+    }
+
+    #[test]
+    fn non_finite_gauges_render_as_zero() {
+        let snap = Snapshot {
+            metrics: vec![MetricSnapshot {
+                name: "nan".into(),
+                help: String::new(),
+                unit: String::new(),
+                value: MetricValue::Gauge(f64::NAN),
+            }],
+        };
+        assert!(snap.to_json().contains("\"value\": 0"));
+    }
+}

@@ -238,6 +238,7 @@ impl DiskDb {
         let mut record_head = [0u8; 12];
         let mut symbols: Vec<Symbol> = Vec::new();
         let mut raw: Vec<u8> = Vec::new();
+        let mut bytes_read = header.len() as u64;
         for i in 0..self.count {
             reader
                 .read_exact(&mut record_head)
@@ -253,8 +254,10 @@ impl DiskDb {
                 raw.chunks_exact(2)
                     .map(|c| Symbol(u16::from_le_bytes([c[0], c[1]]))),
             );
+            bytes_read += (record_head.len() + raw.len()) as u64;
             visit(id, &symbols);
         }
+        crate::obs::disk_bytes_read().add(bytes_read);
         Ok(())
     }
 }
@@ -266,6 +269,7 @@ impl SequenceScan for DiskDb {
 
     fn scan(&self, visit: &mut dyn FnMut(u64, &[Symbol])) {
         self.scans.fetch_add(1, Ordering::Relaxed);
+        crate::obs::disk_scans().inc();
         // The SequenceScan trait is infallible by design (the mining layer
         // treats the database as a reliable substrate); surface I/O errors
         // loudly rather than silently returning partial data.
@@ -275,6 +279,7 @@ impl SequenceScan for DiskDb {
 
     fn scan_blocks(&self, block_size: usize, sink: &mut dyn FnMut(SequenceBlock) -> SequenceBlock) {
         self.scans.fetch_add(1, Ordering::Relaxed);
+        crate::obs::disk_scans().inc();
         // Read-ahead double buffering: a dedicated thread streams and
         // decodes the file into blocks while the calling thread consumes
         // them, so disk I/O overlaps with compute.

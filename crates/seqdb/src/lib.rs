@@ -8,6 +8,7 @@
 
 pub mod disk;
 pub mod memory;
+pub(crate) mod obs;
 mod pipeline;
 pub mod sampling;
 pub mod text;

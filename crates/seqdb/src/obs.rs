@@ -1,0 +1,69 @@
+//! Metric handles for the seqdb crate's instrumentation: disk-scan
+//! accounting (the paper's cost model counts full scans of a disk-resident
+//! database) and the read-ahead block pipeline's fill/drain/stall timings.
+//!
+//! Handles are lazily registered in the process-wide
+//! [`noisemine_obs::global`] registry and cached in `OnceLock`s; recording
+//! is gated on [`noisemine_obs::enabled`] and never affects scan contents.
+//! Every metric is documented in `docs/OBSERVABILITY.md`.
+
+use noisemine_obs::{self as obs, Counter, Histogram};
+use std::sync::OnceLock;
+
+macro_rules! counter {
+    ($fn_name:ident, $name:literal, $help:literal, $unit:literal) => {
+        pub(crate) fn $fn_name() -> &'static Counter {
+            static H: OnceLock<Counter> = OnceLock::new();
+            H.get_or_init(|| obs::counter($name, $help, $unit))
+        }
+    };
+}
+
+macro_rules! duration_histogram {
+    ($fn_name:ident, $name:literal, $help:literal) => {
+        pub(crate) fn $fn_name() -> &'static Histogram {
+            static H: OnceLock<Histogram> = OnceLock::new();
+            H.get_or_init(|| obs::histogram($name, $help, "seconds", obs::duration_buckets()))
+        }
+    };
+}
+
+counter!(
+    disk_scans,
+    "seqdb_disk_scans_total",
+    "Full scans of a disk-resident database (the unit of cost in the paper's model)",
+    "scans"
+);
+counter!(
+    disk_bytes_read,
+    "seqdb_disk_bytes_read_total",
+    "Bytes decoded from disk-resident databases across all scans",
+    "bytes"
+);
+counter!(
+    pipeline_blocks,
+    "seqdb_pipeline_blocks_total",
+    "Blocks streamed through the read-ahead pipeline",
+    "blocks"
+);
+counter!(
+    pipeline_producer_stalls,
+    "seqdb_pipeline_producer_stalls_total",
+    "Blocks whose hand-off blocked because the read-ahead channel was full (consumer slower than I/O)",
+    "blocks"
+);
+duration_histogram!(
+    pipeline_fill_seconds,
+    "seqdb_pipeline_fill_seconds",
+    "Producer time to fill one block (decode I/O), first push to ship"
+);
+duration_histogram!(
+    pipeline_drain_seconds,
+    "seqdb_pipeline_drain_seconds",
+    "Consumer time spent processing one block before returning it for recycling"
+);
+duration_histogram!(
+    pipeline_wait_seconds,
+    "seqdb_pipeline_wait_seconds",
+    "Consumer time spent waiting for the next block (read-ahead stall when large)"
+);

@@ -28,11 +28,17 @@ pub(crate) struct BlockEmitter {
     recycle: mpsc::Receiver<SequenceBlock>,
     block_size: usize,
     block: SequenceBlock,
+    /// Times the fill of the in-progress block (first push → ship); `None`
+    /// while the block is empty. Records nothing when observability is off.
+    fill_span: Option<noisemine_obs::Span>,
 }
 
 impl BlockEmitter {
     /// Appends one sequence, shipping the block once it reaches capacity.
     pub(crate) fn push(&mut self, id: u64, seq: &[Symbol]) {
+        if self.block.is_empty() {
+            self.fill_span = Some(crate::obs::pipeline_fill_seconds().span());
+        }
         self.block.push(id, seq);
         if self.block.len() >= self.block_size {
             self.ship();
@@ -40,13 +46,24 @@ impl BlockEmitter {
     }
 
     fn ship(&mut self) {
+        if let Some(span) = self.fill_span.take() {
+            span.finish();
+        }
         let mut next = self.recycle.try_recv().unwrap_or_default();
         next.clear();
         let full = std::mem::replace(&mut self.block, next);
-        // A closed channel means the consumer is gone (it panicked and is
-        // unwinding); go quiet and let the consumer side surface the
-        // failure.
-        let _ = self.filled.send(full);
+        // Hand off without blocking when there is room; a full channel means
+        // the consumer is behind — count the stall, then block. A closed
+        // channel means the consumer is gone (it panicked and is unwinding);
+        // go quiet and let the consumer side surface the failure.
+        match self.filled.try_send(full) {
+            Ok(()) => {}
+            Err(mpsc::TrySendError::Full(full)) => {
+                crate::obs::pipeline_producer_stalls().inc();
+                let _ = self.filled.send(full);
+            }
+            Err(mpsc::TrySendError::Disconnected(_)) => {}
+        }
     }
 }
 
@@ -75,6 +92,7 @@ where
                 recycle: recycle_rx,
                 block_size,
                 block: SequenceBlock::new(),
+                fill_span: None,
             };
             let result = produce(&mut emitter);
             if result.is_ok() && !emitter.block.is_empty() {
@@ -84,8 +102,19 @@ where
             // consumer loop below.
             result
         });
-        for block in filled_rx.iter() {
+        loop {
+            // The wait for the next block is the read-ahead stall: near zero
+            // while the producer keeps up, the full fill time when it can't.
+            let wait = crate::obs::pipeline_wait_seconds().span();
+            let Ok(block) = filled_rx.recv() else {
+                wait.cancel();
+                break;
+            };
+            wait.finish();
+            crate::obs::pipeline_blocks().inc();
+            let drain = crate::obs::pipeline_drain_seconds().span();
             let returned = sink(block);
+            drain.finish();
             // The producer may already have finished; it just means nobody
             // needs the recycled buffer anymore.
             let _ = recycle_tx.send(returned);

@@ -159,6 +159,7 @@ impl StreamState {
     /// Serializes the full engine state to `path`, atomically (temp file +
     /// rename).
     pub fn checkpoint(&self, path: &Path) -> Result<()> {
+        let span = crate::obs::checkpoint_write_seconds().span();
         let mut out = Vec::new();
         out.extend_from_slice(MAGIC);
         put_u32(&mut out, VERSION);
@@ -233,6 +234,7 @@ impl StreamState {
         let tmp = path.with_extension("tmp");
         fs::write(&tmp, &out)?;
         fs::rename(&tmp, path)?;
+        span.finish();
         Ok(())
     }
 

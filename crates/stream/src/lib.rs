@@ -23,6 +23,7 @@
 
 mod checkpoint;
 mod error;
+pub(crate) mod obs;
 mod state;
 
 pub use error::{Error, Result};

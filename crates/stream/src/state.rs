@@ -155,6 +155,7 @@ impl StreamState {
             }
         }
         self.total += 1;
+        crate::obs::sequences_ingested().inc();
         // Block boundary: fold the completed block's partial into the grand
         // sums, mirroring the batch scan's per-block reduction order.
         if self.total.is_multiple_of(SCAN_BLOCK_SIZE as u64) {
@@ -256,6 +257,14 @@ impl StreamState {
     /// 1-pattern; `n` = the current prefix length). Until the first mine,
     /// any non-empty prefix counts as drifted.
     pub fn drift_exceeded(&self) -> bool {
+        let fired = self.drift_exceeded_inner();
+        if fired {
+            crate::obs::drift_fires().inc();
+        }
+        fired
+    }
+
+    fn drift_exceeded_inner(&self) -> bool {
         let Some(snap) = &self.last_mine else {
             return self.total > 0;
         };
@@ -289,7 +298,10 @@ impl StreamState {
         let known = self.known_matches();
         let (outcome, p3) =
             mine_from_phase1_with_known(db, &self.matrix, &self.config, &p1, &known)?;
+        crate::obs::remines().inc();
+        crate::obs::border_reuse_hits().add(p3.known_applied as u64);
         self.adopt_borders(&p3);
+        crate::obs::tracked_patterns().set(self.tracked.len() as f64);
         self.last_mine = Some(MineSnapshot {
             total: self.total,
             symbol_match: p1.symbol_match,
