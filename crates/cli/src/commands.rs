@@ -14,7 +14,7 @@ use noisemine_datagen::noise::{channel_to_compatibility, partner_channel};
 use noisemine_datagen::{
     apply_channel, apply_uniform_noise, blosum, generate, Background, GeneratorConfig, PlantedMotif,
 };
-use noisemine_seqdb::{text, DiskDb, MemoryDb};
+use noisemine_seqdb::{text, DiskDb, FaultPolicy, MemoryDb};
 use noisemine_stream::StreamState;
 
 use crate::opts::{CliResult, Opts};
@@ -251,16 +251,22 @@ pub fn cmd_match(opts: &Opts) -> CliResult<()> {
 
 /// `noisemine convert` — text ↔ binary sequence database conversion.
 pub fn cmd_convert(opts: &Opts) -> CliResult<()> {
-    opts.deny_unknown(&["db", "out"])?;
+    opts.deny_unknown(&["db", "out", "matrix"])?;
     let input = opts.required("db")?;
     let out = opts.required("out")?;
     let to_binary = out.ends_with(".nmdb");
     if to_binary {
-        let alphabet = infer(input)?;
+        // Binary files store symbol ids, so the encoding alphabet must
+        // match whatever matrix is used at mining time — pass --matrix to
+        // pin it; inference orders symbols by first occurrence.
+        let (alphabet, how) = match opts.get("matrix") {
+            Some(matrix_path) => (load_matrix_alphabet(matrix_path)?, "from --matrix"),
+            None => (infer(input)?, "inferred"),
+        };
         let sequences = text::read_sequences_file(input, &alphabet).map_err(|e| e.to_string())?;
         DiskDb::create_from(out, sequences.iter().map(Vec::as_slice)).map_err(|e| e.to_string())?;
         println!(
-            "wrote {} sequences to binary database {out} (alphabet inferred: {} symbols; \
+            "wrote {} sequences to binary database {out} (alphabet {how}: {} symbols; \
              note: binary files store ids, keep the alphabet alongside)",
             sequences.len(),
             alphabet.len(),
@@ -271,7 +277,9 @@ pub fn cmd_convert(opts: &Opts) -> CliResult<()> {
     Ok(())
 }
 
-/// `noisemine mine` — run a miner over a text database.
+/// `noisemine mine` — run a miner over a text database, or a binary
+/// `.nmdb` database (scans stream from disk under the `--on-fault`
+/// policy).
 pub fn cmd_mine(opts: &Opts) -> CliResult<()> {
     opts.deny_unknown(&[
         "db",
@@ -291,8 +299,17 @@ pub fn cmd_mine(opts: &Opts) -> CliResult<()> {
         "top",
         "format",
         "metrics-out",
+        "on-fault",
     ])?;
     let sink = metrics_sink(opts);
+    if opts.required("db")?.ends_with(".nmdb") {
+        return mine_binary(opts, sink.as_ref());
+    }
+    if opts.get("on-fault").is_some() {
+        return Err(
+            "--on-fault applies to binary .nmdb databases (text files are read whole)".into(),
+        );
+    }
     let (alphabet, sequences) = load_db(opts)?;
     let m = alphabet.len();
     let matrix = match opts.get("matrix") {
@@ -418,6 +435,125 @@ pub fn cmd_mine(opts: &Opts) -> CliResult<()> {
     );
     write_metrics(sink.as_ref())?;
     emit(&sorted, limit, &alphabet, format)
+}
+
+/// Mines a binary `.nmdb` database with the three-phase miner, scanning
+/// directly from disk: every pass streams through the fallible scan path
+/// under the policy picked by `--on-fault` (see docs/ROBUSTNESS.md).
+fn mine_binary(opts: &Opts, sink: Option<&noisemine_obs::FileSink>) -> CliResult<()> {
+    let path = opts.required("db")?;
+    let policy = parse_on_fault(opts)?;
+    let db = DiskDb::open_with_policy(path, policy).map_err(|e| format!("{path}: {e}"))?;
+    if !db.quarantined().is_empty() {
+        eprintln!(
+            "quarantined {} corrupt record(s); mining the {} surviving sequence(s)",
+            db.quarantined().len(),
+            db.num_sequences(),
+        );
+    }
+    let algorithm = opts.get_or("algorithm", "three-phase");
+    if algorithm != "three-phase" {
+        return Err(format!(
+            "binary databases mine with --algorithm three-phase (got {algorithm:?}); \
+             the baseline miners need a text database"
+        )
+        .into());
+    }
+    if opts.get("top").is_some() {
+        return Err("--top needs a text database".into());
+    }
+    let format = opts.get_or("format", "table");
+    if !["table", "csv", "json"].contains(&format) {
+        return Err(format!("unknown --format {format:?}; use table, csv, or json").into());
+    }
+
+    // Binary files store symbol ids only. Names come from --matrix; without
+    // one, a sizing scan (itself under the fault policy) picks a synthetic
+    // alphabet large enough for every surviving symbol.
+    let (alphabet, matrix) = match opts.get("matrix") {
+        Some(matrix_path) => {
+            let alphabet = load_matrix_alphabet(matrix_path)?;
+            let matrix = load_matrix(matrix_path, &alphabet)?.1;
+            (alphabet, matrix)
+        }
+        None => {
+            let mut max = 0usize;
+            db.try_scan(&mut |_, seq| {
+                for s in seq {
+                    max = max.max(s.index());
+                }
+            })
+            .map_err(|e| format!("{path}: {e}"))?;
+            let alphabet = Alphabet::synthetic((max + 1).max(2));
+            let m = alphabet.len();
+            (alphabet, CompatibilityMatrix::identity(m))
+        }
+    };
+    let matrix = maybe_normalize(matrix, opts)?;
+    let min_match = opts.num("min-match", 0.1f64)?;
+    let config = MinerConfig {
+        min_match,
+        delta: opts.num("delta", 0.001f64)?,
+        sample_size: opts.num("sample", db.num_sequences() as usize)?,
+        counters_per_scan: opts.num("counters", 100_000usize)?,
+        space: PatternSpace::new(opts.num("max-gap", 0usize)?, opts.num("max-len", 16usize)?)
+            .map_err(|e| e.to_string())?,
+        probe_strategy: match opts.get_or("strategy", "border") {
+            "border" => ProbeStrategy::BorderCollapsing,
+            "levelwise" => ProbeStrategy::LevelWise,
+            other => return Err(format!("unknown strategy {other:?}").into()),
+        },
+        seed: opts.num("seed", 2002u64)?,
+        threads: opts.num("threads", 0usize)?,
+        ..MinerConfig::default()
+    };
+    let outcome = mine(&db, &matrix, &config).map_err(|e| format!("{path}: {e}"))?;
+    eprintln!(
+        "three-phase miner: {} db scans, {} sample-confident, {} verified, {} implied",
+        outcome.stats.db_scans,
+        outcome.stats.sample_frequent,
+        outcome.stats.verified_patterns,
+        outcome.stats.propagated_patterns,
+    );
+    let mut sorted: Vec<(Pattern, f64)> = outcome
+        .frequent
+        .into_iter()
+        .map(|f| (f.pattern, f.match_estimate))
+        .collect();
+    sorted.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    let limit = opts.num("limit", 50usize)?;
+    eprintln!(
+        "{} frequent patterns (match >= {min_match}); top {}:",
+        sorted.len(),
+        limit.min(sorted.len())
+    );
+    write_metrics(sink)?;
+    emit(&sorted, limit, &alphabet, format)
+}
+
+/// Parses `--on-fault strict|retry[:N]|quarantine` into a [`FaultPolicy`]
+/// (default: strict — fail on the first damaged byte).
+fn parse_on_fault(opts: &Opts) -> CliResult<FaultPolicy> {
+    let spec = opts.get_or("on-fault", "strict");
+    if spec == "strict" {
+        return Ok(FaultPolicy::Strict);
+    }
+    if spec == "quarantine" {
+        return Ok(FaultPolicy::Quarantine);
+    }
+    if spec == "retry" || spec.starts_with("retry:") {
+        let attempts = match spec.strip_prefix("retry:") {
+            None => 3,
+            Some(n) => n
+                .parse::<u32>()
+                .map_err(|_| format!("--on-fault retry:{n}: attempts must be an integer"))?,
+        };
+        return Ok(FaultPolicy::Retry {
+            attempts,
+            backoff: std::time::Duration::from_millis(20),
+        });
+    }
+    Err(format!("unknown --on-fault {spec:?}; use strict, retry[:N], or quarantine").into())
 }
 
 /// `noisemine stream` — incremental ingestion + drift-triggered re-mining.
@@ -781,6 +917,34 @@ mod tests {
         assert_eq!(i_xor_1_clamped(3, 5), 2);
         // Last symbol of an odd alphabet pairs backwards.
         assert_eq!(i_xor_1_clamped(4, 5), 3);
+    }
+
+    #[test]
+    fn parse_on_fault_variants() {
+        let policy = |args: &[&str]| {
+            let mut v = vec!["mine", "--db", "x.nmdb"];
+            v.extend_from_slice(args);
+            parse_on_fault(&Opts::parse(v).unwrap())
+        };
+        assert_eq!(policy(&[]).unwrap(), FaultPolicy::Strict);
+        assert_eq!(
+            policy(&["--on-fault", "strict"]).unwrap(),
+            FaultPolicy::Strict
+        );
+        assert_eq!(
+            policy(&["--on-fault", "quarantine"]).unwrap(),
+            FaultPolicy::Quarantine
+        );
+        assert!(matches!(
+            policy(&["--on-fault", "retry"]).unwrap(),
+            FaultPolicy::Retry { attempts: 3, .. }
+        ));
+        assert!(matches!(
+            policy(&["--on-fault", "retry:7"]).unwrap(),
+            FaultPolicy::Retry { attempts: 7, .. }
+        ));
+        assert!(policy(&["--on-fault", "retry:x"]).is_err());
+        assert!(policy(&["--on-fault", "panic"]).is_err());
     }
 
     #[test]

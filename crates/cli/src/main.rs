@@ -5,14 +5,15 @@
 //!                   [--motifs "AMTKY:0.4,QVC"] [--noise uniform:0.2|partner:0.3|blosum:0.2]
 //! noisemine stats   --db db.txt [--matrix m.txt]
 //! noisemine match   --db db.txt --pattern "A*TKY" [--matrix m.txt] [--normalize]
-//! noisemine mine    --db db.txt [--matrix m.txt] [--normalize] [--min-match 0.1]
+//! noisemine mine    --db db.txt|db.nmdb [--matrix m.txt] [--normalize] [--min-match 0.1]
 //!                   [--algorithm three-phase|levelwise|depth-first|max-miner] [--top k]
 //!                   [--max-gap 0] [--max-len 16] [--sample N] [--strategy border|levelwise]
 //!                   [--threads 0] [--metrics-out m.json]
+//!                   [--on-fault strict|retry[:N]|quarantine]   (.nmdb inputs)
 //! noisemine stream  --db db.txt [--matrix m.txt] [--checkpoint state.ckpt]
 //!                   [--chunk 1000] [--min-match 0.1] [--sample 1000] [--threads 0]
 //!                   [--metrics-out m.json]
-//! noisemine convert --db db.txt --out db.nmdb
+//! noisemine convert --db db.txt --out db.nmdb [--matrix m.txt]
 //! ```
 
 mod commands;
@@ -30,12 +31,13 @@ USAGE:
                     [--noise uniform:0.2|partner:0.3|blosum:0.2] [--seed 2002]
   noisemine stats   --db db.txt [--matrix m.txt]
   noisemine match   --db db.txt --pattern \"A*TKY\" [--matrix m.txt] [--normalize]
-  noisemine mine    --db db.txt [--matrix m.txt] [--normalize] [--min-match 0.1]
+  noisemine mine    --db db.txt|db.nmdb [--matrix m.txt] [--normalize] [--min-match 0.1]
                     [--algorithm three-phase|levelwise|depth-first|max-miner]
                     [--max-gap 0] [--max-len 16] [--sample N] [--delta 0.001]
                     [--counters 100000] [--strategy border|levelwise]
                     [--seed 2002] [--threads 0] [--limit 50] [--top k]
                     [--metrics-out m.json]
+                    [--on-fault strict|retry[:N]|quarantine]
   noisemine stream  --db db.txt|- [--matrix m.txt] [--normalize]
                     [--checkpoint state.ckpt] [--chunk 1000] [--min-match 0.1]
                     [--sample 1000] [--delta 0.001] [--counters 100000]
@@ -43,7 +45,7 @@ USAGE:
                     [--seed 2002] [--threads 0] [--limit 50]
                     [--metrics-out m.json]
   noisemine learn   --truth clean.txt --observed noisy.txt --out m.txt [--lambda 0.1]
-  noisemine convert --db db.txt --out db.nmdb
+  noisemine convert --db db.txt --out db.nmdb [--matrix m.txt]
 
 Databases are plain text (one sequence per line, single letters or
 whitespace-separated tokens; `#`, `>` and blank lines skipped). Matrices use
@@ -56,7 +58,11 @@ worker count for the three-phase miner (0 = auto); results are bit-identical
 at any thread count. --metrics-out enables the observability layer and writes
 a metrics snapshot to the given path (JSON, or Prometheus text when the path
 ends in .prom/.txt); `stream` rewrites it after every chunk. Metrics never
-change mining output — see docs/OBSERVABILITY.md.";
+change mining output — see docs/OBSERVABILITY.md. `mine` also accepts a
+binary .nmdb database (three-phase only): scans then stream from disk under
+the --on-fault policy — strict fails on the first damaged byte, retry[:N]
+rides out transient I/O faults, quarantine skips corrupt records and mines
+the surviving subset — see docs/ROBUSTNESS.md.";
 
 fn run() -> CliResult<()> {
     let opts = Opts::parse(std::env::args().skip(1))?;

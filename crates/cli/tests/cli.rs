@@ -437,6 +437,120 @@ fn stream_metrics_out_tracks_ingest() {
     std::fs::remove_file(&metrics).ok();
 }
 
+/// Generates a text database, converts it to `.nmdb`, and returns the
+/// paths (text, matrix, binary).
+fn generate_binary(stem: &str) -> (PathBuf, PathBuf, PathBuf) {
+    let db = tmp(&format!("{stem}-db.txt"));
+    let matrix = tmp(&format!("{stem}-m.txt"));
+    let bin = tmp(&format!("{stem}.nmdb"));
+    generate(&db, &matrix);
+    let out = noisemine(&[
+        "convert",
+        "--db",
+        db.to_str().unwrap(),
+        "--out",
+        bin.to_str().unwrap(),
+        "--matrix",
+        matrix.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    (db, matrix, bin)
+}
+
+#[test]
+fn mine_binary_database_matches_text_mining() {
+    let (db, matrix, bin) = generate_binary("binmine");
+    let run = |input: &Path| {
+        let out = noisemine(&[
+            "mine",
+            "--db",
+            input.to_str().unwrap(),
+            "--matrix",
+            matrix.to_str().unwrap(),
+            "--normalize",
+            "--min-match",
+            "0.15",
+            "--max-len",
+            "6",
+            "--format",
+            "json",
+        ]);
+        assert!(out.status.success(), "{}", stderr(&out));
+        stdout(&out)
+    };
+    // Mining the binary file from disk gives byte-identical output to
+    // mining the text original in memory.
+    assert_eq!(run(&bin), run(&db));
+    std::fs::remove_file(&db).ok();
+    std::fs::remove_file(&matrix).ok();
+    std::fs::remove_file(&bin).ok();
+}
+
+#[test]
+fn corrupt_binary_database_fails_strict_and_survives_quarantine() {
+    let (db, matrix, bin) = generate_binary("corrupt");
+
+    // Flip one byte inside the first record's data.
+    let mut bytes = std::fs::read(&bin).unwrap();
+    bytes[20 + 16 + 3] ^= 0x40;
+    std::fs::write(&bin, &bytes).unwrap();
+
+    // Strict (the default): non-zero exit, human-readable diagnosis.
+    let out = noisemine(&[
+        "mine",
+        "--db",
+        bin.to_str().unwrap(),
+        "--matrix",
+        matrix.to_str().unwrap(),
+        "--on-fault",
+        "strict",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "strict must fail on corruption");
+    let err = stderr(&out);
+    assert!(err.contains("corrupt"), "not a readable diagnosis: {err}");
+    assert!(err.contains("record"), "no record pointer: {err}");
+
+    // Quarantine: mines the surviving subset and says what it skipped.
+    let out = noisemine(&[
+        "mine",
+        "--db",
+        bin.to_str().unwrap(),
+        "--matrix",
+        matrix.to_str().unwrap(),
+        "--normalize",
+        "--min-match",
+        "0.15",
+        "--max-len",
+        "6",
+        "--on-fault",
+        "quarantine",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let status = stderr(&out);
+    assert!(status.contains("quarantined 1 corrupt record"), "{status}");
+    assert!(status.contains("119 surviving"), "{status}");
+
+    // An invalid policy is rejected up front.
+    let out = noisemine(&["mine", "--db", bin.to_str().unwrap(), "--on-fault", "panic"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown --on-fault"));
+
+    // --on-fault is meaningless for text databases.
+    let out = noisemine(&[
+        "mine",
+        "--db",
+        db.to_str().unwrap(),
+        "--on-fault",
+        "quarantine",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains(".nmdb"));
+
+    std::fs::remove_file(&db).ok();
+    std::fs::remove_file(&matrix).ok();
+    std::fs::remove_file(&bin).ok();
+}
+
 #[test]
 fn help_prints_usage() {
     let out = noisemine(&["help"]);

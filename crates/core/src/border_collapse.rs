@@ -24,8 +24,9 @@ use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
+use crate::error::ScanError;
 use crate::lattice::AmbiguousSpace;
-use crate::matching::{db_match_many_threads, SequenceScan};
+use crate::matching::{try_db_match_many_threads, SequenceScan};
 use crate::matrix::CompatibilityMatrix;
 use crate::pattern::Pattern;
 
@@ -118,10 +119,10 @@ pub fn collapse<S: SequenceScan + ?Sized>(
 /// database scan; only what remains is probed. Known patterns outside the
 /// ambiguous space are ignored. `threads` is the worker-thread count for
 /// each verification scan (`0` = all available cores); it never changes the
-/// verdicts (see [`db_match_many_threads`]).
+/// verdicts (see [`db_match_many_threads`](crate::matching::db_match_many_threads)).
 #[allow(clippy::too_many_arguments)]
 pub fn collapse_with_known<S: SequenceScan + ?Sized>(
-    mut space: AmbiguousSpace,
+    space: AmbiguousSpace,
     known: &[(Pattern, f64)],
     db: &S,
     matrix: &CompatibilityMatrix,
@@ -130,6 +131,36 @@ pub fn collapse_with_known<S: SequenceScan + ?Sized>(
     strategy: ProbeStrategy,
     threads: usize,
 ) -> CollapseResult {
+    match try_collapse_with_known(
+        space,
+        known,
+        db,
+        matrix,
+        min_match,
+        counters_per_scan,
+        strategy,
+        threads,
+    ) {
+        Ok(result) => result,
+        Err(e) => panic!("database scan failed: {e}"),
+    }
+}
+
+/// Fallible variant of [`collapse_with_known`]: a failed verification scan
+/// surfaces as `Err` instead of panicking. No partial phase-3 result
+/// escapes — verdicts applied before the failing scan are discarded with
+/// the rest, so a caller that retries starts from a clean collapse.
+#[allow(clippy::too_many_arguments)]
+pub fn try_collapse_with_known<S: SequenceScan + ?Sized>(
+    mut space: AmbiguousSpace,
+    known: &[(Pattern, f64)],
+    db: &S,
+    matrix: &CompatibilityMatrix,
+    min_match: f64,
+    counters_per_scan: usize,
+    strategy: ProbeStrategy,
+    threads: usize,
+) -> Result<CollapseResult, ScanError> {
     assert!(counters_per_scan >= 1, "need room for at least one counter");
     let mut result = CollapseResult::default();
     let mut index = ResultIndex::default();
@@ -157,7 +188,7 @@ pub fn collapse_with_known<S: SequenceScan + ?Sized>(
                 probes.iter().map(|p| p.non_eternal_count()).collect();
             crate::obs::collapse_layers_probed().add(layers.len() as u64);
         }
-        let values = db_match_many_threads(&probes, db, matrix, threads);
+        let values = try_db_match_many_threads(&probes, db, matrix, threads)?;
         result.scans += 1;
         result.probes += probes.len();
         result.probes_per_scan.push(probes.len());
@@ -181,7 +212,7 @@ pub fn collapse_with_known<S: SequenceScan + ?Sized>(
         .count();
     crate::obs::collapse_propagated().add(result.propagated as u64);
     crate::obs::collapse_known_applied().add(result.known_applied as u64);
-    result
+    Ok(result)
 }
 
 /// Applies a batch of exact match values to the ambiguous space, bottom-up

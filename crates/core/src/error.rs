@@ -23,6 +23,10 @@ pub enum Error {
     InvalidConfig(String),
     /// A parse error while reading a pattern from text.
     PatternParse(String),
+    /// A database scan failed partway through (I/O error, corrupt record,
+    /// truncated store). Carries the structured [`ScanError`] so callers can
+    /// distinguish transient faults from permanent corruption.
+    Scan(ScanError),
 }
 
 impl fmt::Display for Error {
@@ -40,11 +44,127 @@ impl fmt::Display for Error {
             Error::InvalidPattern(msg) => write!(f, "invalid pattern: {msg}"),
             Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             Error::PatternParse(msg) => write!(f, "pattern parse error: {msg}"),
+            Error::Scan(e) => write!(f, "database scan failed: {e}"),
         }
     }
 }
 
 impl std::error::Error for Error {}
 
+impl From<ScanError> for Error {
+    fn from(e: ScanError) -> Self {
+        Error::Scan(e)
+    }
+}
+
 /// Convenience alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, Error>;
+
+/// Broad classification of a scan failure, used by fault policies to decide
+/// whether an operation is worth retrying.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanErrorKind {
+    /// A transient I/O fault (timeout, interrupted read) that may succeed on
+    /// retry against the same store.
+    Transient,
+    /// The store's content failed an integrity check (bad checksum, invalid
+    /// framing). Retrying the same bytes cannot help.
+    Corrupt,
+    /// The store ended before the data it promised (torn write, truncated
+    /// file).
+    Truncated,
+    /// Any other I/O error (permission denied, device failure, ...).
+    Io,
+}
+
+impl ScanErrorKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            ScanErrorKind::Transient => "transient I/O fault",
+            ScanErrorKind::Corrupt => "corrupt data",
+            ScanErrorKind::Truncated => "truncated store",
+            ScanErrorKind::Io => "I/O error",
+        }
+    }
+}
+
+/// A failure raised by [`crate::matching::SequenceScan::try_scan`] (or any
+/// of the fallible mining paths built on it).
+///
+/// Besides the human-readable message, a `ScanError` carries the byte
+/// `offset` into the store and the `record` index at which the scan failed,
+/// when the implementation knows them — a fail-fast policy reports exactly
+/// where the first fault sits so operators can inspect or repair the file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanError {
+    kind: ScanErrorKind,
+    offset: Option<u64>,
+    record: Option<u64>,
+    message: String,
+}
+
+impl ScanError {
+    /// Creates a scan error of `kind` with a free-form message.
+    pub fn new(kind: ScanErrorKind, message: impl Into<String>) -> Self {
+        Self {
+            kind,
+            offset: None,
+            record: None,
+            message: message.into(),
+        }
+    }
+
+    /// Attaches the byte offset into the store at which the fault occurred.
+    pub fn at_offset(mut self, offset: u64) -> Self {
+        self.offset = Some(offset);
+        self
+    }
+
+    /// Attaches the index of the record being decoded when the fault
+    /// occurred.
+    pub fn at_record(mut self, record: u64) -> Self {
+        self.record = Some(record);
+        self
+    }
+
+    /// The failure classification.
+    pub fn kind(&self) -> ScanErrorKind {
+        self.kind
+    }
+
+    /// Byte offset into the store at which the fault occurred, if known.
+    pub fn offset(&self) -> Option<u64> {
+        self.offset
+    }
+
+    /// Index of the record being decoded when the fault occurred, if known.
+    pub fn record(&self) -> Option<u64> {
+        self.record
+    }
+
+    /// The implementation-provided detail message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// `true` when the fault is transient and a retry against the same
+    /// store may succeed.
+    pub fn is_transient(&self) -> bool {
+        self.kind == ScanErrorKind::Transient
+    }
+}
+
+impl fmt::Display for ScanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.kind.as_str())?;
+        if let Some(record) = self.record {
+            write!(f, " in record {record}")?;
+        }
+        if let Some(offset) = self.offset {
+            write!(f, " at byte offset {offset}")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+impl std::error::Error for ScanError {}

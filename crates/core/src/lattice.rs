@@ -176,7 +176,7 @@ impl AmbiguousSpace {
     /// subpatterns are frequent too, so every unresolved subpattern is
     /// resolved (frequent) and removed. Returns the resolved patterns.
     pub fn resolve_frequent(&mut self, pattern: &Pattern) -> Vec<Pattern> {
-        let resolved: Vec<Pattern> = self
+        let mut resolved: Vec<Pattern> = self
             .patterns
             .iter()
             .filter(|p| p.is_subpattern_of(pattern))
@@ -185,6 +185,10 @@ impl AmbiguousSpace {
         for p in &resolved {
             self.patterns.remove(p);
         }
+        // Hash order varies between processes; downstream consumers record
+        // resolutions in arrival order (and checkpoint them), so sort to
+        // keep results byte-identical across separate runs.
+        resolved.sort();
         resolved
     }
 
@@ -192,7 +196,7 @@ impl AmbiguousSpace {
     /// so every unresolved superpattern is resolved (infrequent) and
     /// removed. Returns the resolved patterns.
     pub fn resolve_infrequent(&mut self, pattern: &Pattern) -> Vec<Pattern> {
-        let resolved: Vec<Pattern> = self
+        let mut resolved: Vec<Pattern> = self
             .patterns
             .iter()
             .filter(|p| pattern.is_subpattern_of(p))
@@ -201,6 +205,8 @@ impl AmbiguousSpace {
         for p in &resolved {
             self.patterns.remove(p);
         }
+        // Same ordering contract as `resolve_frequent`.
+        resolved.sort();
         resolved
     }
 }

@@ -69,7 +69,7 @@ pub use alphabet::{Alphabet, Symbol};
 pub use border_collapse::{CollapseResult, ProbeStrategy};
 pub use candidates::PatternSpace;
 pub use chernoff::{Label, SpreadMode};
-pub use error::{Error, Result};
+pub use error::{Error, Result, ScanError, ScanErrorKind};
 pub use lattice::Border;
 pub use matching::{MatchMetric, PatternMetric, SequenceScan, SupportMetric};
 pub use matrix::CompatibilityMatrix;

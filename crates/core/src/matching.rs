@@ -20,6 +20,7 @@
 //! `docs/OBSERVABILITY.md` for the full metric reference.
 
 use crate::alphabet::Symbol;
+use crate::error::ScanError;
 use crate::matrix::CompatibilityMatrix;
 use crate::pattern::{Pattern, PatternElem};
 
@@ -138,6 +139,52 @@ pub trait SequenceScan {
             sink(block);
         }
     }
+
+    /// Fallible variant of [`SequenceScan::scan`]: visits every sequence in
+    /// order and returns `Err` if the underlying store fails partway through
+    /// (I/O error, corrupt record, truncation) instead of panicking.
+    ///
+    /// The default implementation delegates to the infallible [`scan`]
+    /// (in-memory stores cannot fail) and returns `Ok(())`. Stores with a
+    /// real failure mode — disk-resident databases, network-backed stores —
+    /// should override this and implement `scan` on top of it.
+    ///
+    /// Sequences visited before the failure have already been handed to
+    /// `visit`; callers that aggregate must discard partial state on `Err`.
+    ///
+    /// [`scan`]: SequenceScan::scan
+    fn try_scan(&self, visit: &mut dyn FnMut(u64, &[Symbol])) -> Result<(), ScanError> {
+        self.scan(visit);
+        Ok(())
+    }
+
+    /// Fallible variant of [`SequenceScan::scan_blocks`], with the same
+    /// block-recycling contract. The default implementation batches on top
+    /// of [`SequenceScan::try_scan`], so a store that overrides only
+    /// `try_scan` gets fallible block scans for free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size` is zero.
+    fn try_scan_blocks(
+        &self,
+        block_size: usize,
+        sink: &mut dyn FnMut(SequenceBlock) -> SequenceBlock,
+    ) -> Result<(), ScanError> {
+        assert!(block_size >= 1, "block_size must be at least 1");
+        let mut block = SequenceBlock::new();
+        self.try_scan(&mut |id, seq| {
+            block.push(id, seq);
+            if block.len() >= block_size {
+                block = sink(std::mem::take(&mut block));
+                block.clear();
+            }
+        })?;
+        if !block.is_empty() {
+            sink(block);
+        }
+        Ok(())
+    }
 }
 
 impl<T: SequenceScan + ?Sized> SequenceScan for &T {
@@ -149,6 +196,16 @@ impl<T: SequenceScan + ?Sized> SequenceScan for &T {
     }
     fn scan_blocks(&self, block_size: usize, sink: &mut dyn FnMut(SequenceBlock) -> SequenceBlock) {
         (**self).scan_blocks(block_size, sink)
+    }
+    fn try_scan(&self, visit: &mut dyn FnMut(u64, &[Symbol])) -> Result<(), ScanError> {
+        (**self).try_scan(visit)
+    }
+    fn try_scan_blocks(
+        &self,
+        block_size: usize,
+        sink: &mut dyn FnMut(SequenceBlock) -> SequenceBlock,
+    ) -> Result<(), ScanError> {
+        (**self).try_scan_blocks(block_size, sink)
     }
 }
 
@@ -252,17 +309,30 @@ pub fn db_match<S: SequenceScan + ?Sized>(
     db: &S,
     matrix: &CompatibilityMatrix,
 ) -> f64 {
+    match try_db_match(pattern, db, matrix) {
+        Ok(v) => v,
+        Err(e) => panic!("database scan failed: {e}"),
+    }
+}
+
+/// Fallible variant of [`db_match`]: surfaces scan failures from the store
+/// instead of panicking.
+pub fn try_db_match<S: SequenceScan + ?Sized>(
+    pattern: &Pattern,
+    db: &S,
+    matrix: &CompatibilityMatrix,
+) -> Result<f64, ScanError> {
     let mut total = 0.0;
     let mut visited = 0usize;
-    db.scan(&mut |_, seq| {
+    db.try_scan(&mut |_, seq| {
         total += sequence_match(pattern, seq, matrix);
         visited += 1;
-    });
-    if visited == 0 {
+    })?;
+    Ok(if visited == 0 {
         0.0
     } else {
         total / visited as f64
-    }
+    })
 }
 
 /// Computes the match of many patterns in one scan of the database — the
@@ -275,6 +345,16 @@ pub fn db_match_many<S: SequenceScan + ?Sized>(
     matrix: &CompatibilityMatrix,
 ) -> Vec<f64> {
     db_match_many_threads(patterns, db, matrix, 0)
+}
+
+/// Fallible variant of [`db_match_many`]: surfaces scan failures from the
+/// store instead of panicking.
+pub fn try_db_match_many<S: SequenceScan + ?Sized>(
+    patterns: &[Pattern],
+    db: &S,
+    matrix: &CompatibilityMatrix,
+) -> Result<Vec<f64>, ScanError> {
+    try_db_match_many_threads(patterns, db, matrix, 0)
 }
 
 /// [`db_match_many`] with an explicit worker-thread count (`0` = all
@@ -295,12 +375,29 @@ pub fn db_match_many_threads<S: SequenceScan + ?Sized>(
     matrix: &CompatibilityMatrix,
     threads: usize,
 ) -> Vec<f64> {
-    use crate::parallel::{resolve_threads, scan_map_reduce, PARALLEL_THRESHOLD, SCAN_BLOCK_SIZE};
+    match try_db_match_many_threads(patterns, db, matrix, threads) {
+        Ok(v) => v,
+        Err(e) => panic!("database scan failed: {e}"),
+    }
+}
+
+/// Fallible variant of [`db_match_many_threads`]: surfaces scan failures
+/// from the store instead of panicking. On `Err`, no partial results are
+/// returned — the probe batch must be rerun after the fault is handled.
+pub fn try_db_match_many_threads<S: SequenceScan + ?Sized>(
+    patterns: &[Pattern],
+    db: &S,
+    matrix: &CompatibilityMatrix,
+    threads: usize,
+) -> Result<Vec<f64>, ScanError> {
+    use crate::parallel::{
+        resolve_threads, try_scan_map_reduce, PARALLEL_THRESHOLD, SCAN_BLOCK_SIZE,
+    };
 
     let p = patterns.len();
     let mut totals = vec![0.0f64; p];
     if p == 0 {
-        return totals;
+        return Ok(totals);
     }
     // With `threads = 0` (auto), skip spawning when the reported work is too
     // small to pay for it; an explicit thread count is honored as given. The
@@ -312,7 +409,7 @@ pub fn db_match_many_threads<S: SequenceScan + ?Sized>(
         resolve_threads(threads)
     };
     let mut visited = 0usize;
-    let partials = scan_map_reduce(
+    let partials = try_scan_map_reduce(
         db,
         SCAN_BLOCK_SIZE,
         threads,
@@ -327,7 +424,7 @@ pub fn db_match_many_threads<S: SequenceScan + ?Sized>(
             }
             partial
         },
-    );
+    )?;
     for partial in &partials {
         for (t, &v) in totals.iter_mut().zip(partial) {
             *t += v;
@@ -338,7 +435,7 @@ pub fn db_match_many_threads<S: SequenceScan + ?Sized>(
             *t /= visited as f64;
         }
     }
-    totals
+    Ok(totals)
 }
 
 /// Exact-occurrence support of a pattern in a sequence: 1 if some window
@@ -366,17 +463,29 @@ pub fn sequence_support(pattern: &Pattern, sequence: &[Symbol]) -> f64 {
 /// an exact occurrence. Averaged over the sequences actually visited, like
 /// [`db_match`].
 pub fn db_support<S: SequenceScan + ?Sized>(pattern: &Pattern, db: &S) -> f64 {
+    match try_db_support(pattern, db) {
+        Ok(v) => v,
+        Err(e) => panic!("database scan failed: {e}"),
+    }
+}
+
+/// Fallible variant of [`db_support`]: surfaces scan failures from the
+/// store instead of panicking.
+pub fn try_db_support<S: SequenceScan + ?Sized>(
+    pattern: &Pattern,
+    db: &S,
+) -> Result<f64, ScanError> {
     let mut total = 0.0;
     let mut visited = 0usize;
-    db.scan(&mut |_, seq| {
+    db.try_scan(&mut |_, seq| {
         total += sequence_support(pattern, seq);
         visited += 1;
-    });
-    if visited == 0 {
+    })?;
+    Ok(if visited == 0 {
         0.0
     } else {
         total / visited as f64
-    }
+    })
 }
 
 /// A significance metric on `(pattern, sequence)` pairs, averaged over the
@@ -571,23 +680,35 @@ impl SymbolMatchScratch {
 /// of Algorithm 4.1 (sampling is layered on top by the miner). One scan,
 /// averaged over the sequences actually visited, like [`db_match`].
 pub fn symbol_db_match<S: SequenceScan + ?Sized>(db: &S, matrix: &CompatibilityMatrix) -> Vec<f64> {
+    match try_symbol_db_match(db, matrix) {
+        Ok(v) => v,
+        Err(e) => panic!("database scan failed: {e}"),
+    }
+}
+
+/// Fallible variant of [`symbol_db_match`]: surfaces scan failures from the
+/// store instead of panicking.
+pub fn try_symbol_db_match<S: SequenceScan + ?Sized>(
+    db: &S,
+    matrix: &CompatibilityMatrix,
+) -> Result<Vec<f64>, ScanError> {
     let m = matrix.len();
     let mut match_acc = vec![0.0f64; m];
     let mut scratch = SymbolMatchScratch::new(m);
     let mut visited = 0usize;
-    db.scan(&mut |_, seq| {
+    db.try_scan(&mut |_, seq| {
         let per_seq = scratch.sequence(seq, matrix);
         for (acc, &v) in match_acc.iter_mut().zip(per_seq) {
             *acc += v;
         }
         visited += 1;
-    });
+    })?;
     if visited > 0 {
         for v in &mut match_acc {
             *v /= visited as f64;
         }
     }
-    match_acc
+    Ok(match_acc)
 }
 
 #[cfg(test)]

@@ -28,14 +28,14 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use crate::alphabet::Symbol;
-use crate::border_collapse::{collapse_with_known, CollapseResult, ProbeStrategy, Resolution};
+use crate::border_collapse::{try_collapse_with_known, CollapseResult, ProbeStrategy, Resolution};
 use crate::candidates::{LevelTrace, PatternSpace};
 use crate::chernoff::SpreadMode;
-use crate::error::{Error, Result};
+use crate::error::{Error, Result, ScanError};
 use crate::lattice::{AmbiguousSpace, Border};
 use crate::matching::{SequenceBlock, SequenceScan, SymbolMatchScratch};
 use crate::matrix::CompatibilityMatrix;
-use crate::parallel::{resolve_threads, scan_map_reduce, SCAN_BLOCK_SIZE};
+use crate::parallel::{resolve_threads, try_scan_map_reduce, SCAN_BLOCK_SIZE};
 use crate::pattern::Pattern;
 use crate::sample_miner::{mine_sample_budgeted, DEFAULT_MAX_SAMPLE_PATTERNS};
 
@@ -293,7 +293,8 @@ pub fn phase1<S: SequenceScan + ?Sized>(
 /// cores).
 ///
 /// The scan streams blocks of [`SCAN_BLOCK_SIZE`] sequences through
-/// [`scan_map_reduce`]: per-symbol matches accumulate on worker threads
+/// [`scan_map_reduce`](crate::parallel::scan_map_reduce): per-symbol
+/// matches accumulate on worker threads
 /// (one [`SymbolMatchScratch`] per worker) into per-block partial sums that
 /// are reduced in block order, while sequential sampling runs on the
 /// in-order block stream *before* the fan-out — so both the symbol matches
@@ -309,10 +310,27 @@ pub fn phase1_threads<S: SequenceScan + ?Sized>(
     rng: &mut impl Rng,
     threads: usize,
 ) -> Phase1Output {
+    match try_phase1_threads(db, matrix, sample_size, rng, threads) {
+        Ok(out) => out,
+        Err(e) => panic!("database scan failed: {e}"),
+    }
+}
+
+/// Fallible variant of [`phase1_threads`]: surfaces scan failures from the
+/// store instead of panicking. On `Err` no partial phase-1 output escapes —
+/// both the sample and the symbol matches are discarded, since a partial
+/// scan would bias them.
+pub fn try_phase1_threads<S: SequenceScan + ?Sized>(
+    db: &S,
+    matrix: &CompatibilityMatrix,
+    sample_size: usize,
+    rng: &mut impl Rng,
+    threads: usize,
+) -> std::result::Result<Phase1Output, ScanError> {
     let m = matrix.len();
     let threads = resolve_threads(threads);
     let mut sampler = SequentialSampler::new(sample_size, db.num_sequences());
-    let partials = scan_map_reduce(
+    let partials = try_scan_map_reduce(
         db,
         SCAN_BLOCK_SIZE,
         threads,
@@ -331,7 +349,7 @@ pub fn phase1_threads<S: SequenceScan + ?Sized>(
             }
             partial
         },
-    );
+    )?;
     let mut match_acc = vec![0.0f64; m];
     for partial in &partials {
         for (acc, &v) in match_acc.iter_mut().zip(partial) {
@@ -344,10 +362,10 @@ pub fn phase1_threads<S: SequenceScan + ?Sized>(
             *v /= visited as f64;
         }
     }
-    Phase1Output {
+    Ok(Phase1Output {
         symbol_match: match_acc,
         sample,
-    }
+    })
 }
 
 /// Runs the full three-phase miner.
@@ -359,10 +377,11 @@ pub fn mine<S: SequenceScan + ?Sized>(
     config.validate()?;
     let mut rng = StdRng::seed_from_u64(config.seed);
 
-    // Phase 1: symbol matches + sample, one scan.
+    // Phase 1: symbol matches + sample, one scan. A scan failure surfaces
+    // as `Error::Scan` instead of killing the run with a panic.
     let span = crate::obs::phase1_seconds().span();
     let t0 = Instant::now();
-    let p1 = phase1_threads(db, matrix, config.sample_size, &mut rng, config.threads);
+    let p1 = try_phase1_threads(db, matrix, config.sample_size, &mut rng, config.threads)?;
     let phase1_time = t0.elapsed();
     span.finish();
 
@@ -392,7 +411,8 @@ pub fn mine_from_phase1<S: SequenceScan + ?Sized>(
 ///
 /// `known` pairs patterns with their *exact database match*, maintained
 /// online by the caller; phase 3 applies them through
-/// [`collapse_with_known`] so previously verified patterns collapse their
+/// [`collapse_with_known`](crate::border_collapse::collapse_with_known) so
+/// previously verified patterns collapse their
 /// region of the ambiguous space with zero scans. Also returns the raw
 /// phase-3 [`CollapseResult`] so an incremental caller can adopt the
 /// probed FQT/INFQT border patterns (with their exact matches) as its next
@@ -443,7 +463,7 @@ pub fn mine_from_phase1_with_known<S: SequenceScan + ?Sized>(
     let phase3_span = crate::obs::phase3_seconds().span();
     let t2 = Instant::now();
     let ambiguous = AmbiguousSpace::new(p2.ambiguous.iter().map(|(p, _)| p.clone()));
-    let p3 = collapse_with_known(
+    let p3 = try_collapse_with_known(
         ambiguous,
         known,
         db,
@@ -452,7 +472,7 @@ pub fn mine_from_phase1_with_known<S: SequenceScan + ?Sized>(
         config.counters_per_scan,
         config.probe_strategy,
         config.threads,
-    );
+    )?;
     stats.db_scans += p3.scans;
     stats.verified_patterns = p3.probes;
     stats.propagated_patterns = p3.propagated;

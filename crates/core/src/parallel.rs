@@ -21,6 +21,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex};
 
+use crate::error::ScanError;
 use crate::matching::{sequence_match, SequenceBlock, SequenceScan};
 use crate::matrix::CompatibilityMatrix;
 use crate::pattern::Pattern;
@@ -76,18 +77,41 @@ where
     S: SequenceScan + ?Sized,
     T: Send,
 {
+    match try_scan_map_reduce(db, block_size, threads, inspect, make_scratch, map) {
+        Ok(results) => results,
+        Err(e) => panic!("database scan failed: {e}"),
+    }
+}
+
+/// Fallible variant of [`scan_map_reduce`]: if the underlying scan fails
+/// ([`SequenceScan::try_scan_blocks`] returns `Err`), in-flight worker
+/// results are drained and discarded and the scan error is returned. No
+/// partial per-block results escape — a failed scan yields `Err`, never a
+/// shortened result vector.
+pub fn try_scan_map_reduce<S, W, T>(
+    db: &S,
+    block_size: usize,
+    threads: usize,
+    inspect: &mut dyn FnMut(&SequenceBlock),
+    make_scratch: &(dyn Fn() -> W + Sync),
+    map: &(dyn Fn(&mut W, &SequenceBlock) -> T + Sync),
+) -> Result<Vec<T>, ScanError>
+where
+    S: SequenceScan + ?Sized,
+    T: Send,
+{
     crate::obs::parallel_scan_workers().set(threads.max(1) as f64);
     if threads <= 1 {
         let mut results = Vec::new();
         let mut scratch = make_scratch();
-        db.scan_blocks(block_size, &mut |block| {
+        db.try_scan_blocks(block_size, &mut |block| {
             inspect(&block);
             crate::obs::parallel_scan_blocks().inc();
             crate::obs::scan_sequences().add(block.len() as u64);
             results.push(map(&mut scratch, &block));
             block
-        });
-        return results;
+        })?;
+        return Ok(results);
     }
 
     // Everything the scoped threads borrow must be declared before the
@@ -96,6 +120,7 @@ where
     let work_rx = Mutex::new(work_rx);
     let (done_tx, done_rx) = mpsc::channel::<(usize, T, SequenceBlock)>();
     let mut slots: Vec<Option<T>> = Vec::new();
+    let mut scanned: Result<(), ScanError> = Ok(());
     std::thread::scope(|scope| {
         for _ in 0..threads {
             let done_tx = done_tx.clone();
@@ -121,7 +146,7 @@ where
         let mut next = 0usize;
         let mut completed = 0usize;
         let mut spare: Vec<SequenceBlock> = Vec::new();
-        db.scan_blocks(block_size, &mut |block| {
+        scanned = db.try_scan_blocks(block_size, &mut |block| {
             inspect(&block);
             crate::obs::parallel_scan_blocks().inc();
             crate::obs::scan_sequences().add(block.len() as u64);
@@ -140,16 +165,18 @@ where
             spare.pop().unwrap_or_default()
         });
         // Closing the work channel ends the worker loops; drain whatever is
-        // still in flight.
+        // still in flight (even after a failed scan, so workers shut down
+        // cleanly before the scope's implicit join).
         drop(work_tx);
         for (idx, value, _) in done_rx.iter() {
             store(&mut slots, idx, value);
         }
     });
-    slots
+    scanned?;
+    Ok(slots
         .into_iter()
         .map(|slot| slot.expect("scan worker produced no result for a block"))
-        .collect()
+        .collect())
 }
 
 fn store<T>(slots: &mut Vec<Option<T>>, idx: usize, value: T) {

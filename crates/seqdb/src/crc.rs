@@ -1,0 +1,117 @@
+//! CRC32C (Castagnoli) — the checksum of NMSEQDB format v2.
+//!
+//! A plain table-driven software implementation (reflected polynomial
+//! `0x82F63B38`, the iSCSI/ext4 variant). The disk format checksums are
+//! small relative to the I/O they protect, so one-byte-at-a-time table
+//! lookup is fast enough; what matters here is having *no* dependency and a
+//! stable, well-known polynomial with good burst/bit-flip detection
+//! (CRC32C detects all single-bit and all 2-bit errors within its span, and
+//! any burst up to 32 bits).
+
+/// Reflected CRC32C polynomial (Castagnoli, normal form `0x1EDC6F41`).
+const POLY: u32 = 0x82F6_3B78;
+
+/// The 256-entry lookup table, built at compile time.
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Incremental CRC32C state.
+///
+/// ```
+/// use noisemine_seqdb::crc::Crc32c;
+/// let mut crc = Crc32c::new();
+/// crc.update(b"123456789");
+/// assert_eq!(crc.finish(), 0xE306_9283); // the CRC32C check value
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Crc32c(u32);
+
+impl Default for Crc32c {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32c {
+    /// Fresh state (initial value `0xFFFF_FFFF`).
+    pub fn new() -> Self {
+        Self(u32::MAX)
+    }
+
+    /// Folds `bytes` into the running checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut crc = self.0;
+        for &b in bytes {
+            crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+        }
+        self.0 = crc;
+    }
+
+    /// The final checksum (with output reflection/inversion applied).
+    pub fn finish(self) -> u32 {
+        !self.0
+    }
+}
+
+/// One-shot CRC32C of a byte slice.
+pub fn crc32c(bytes: &[u8]) -> u32 {
+    let mut crc = Crc32c::new();
+    crc.update(bytes);
+    crc.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_value() {
+        // The standard CRC32C check value for "123456789".
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(crc32c(b""), 0);
+    }
+
+    #[test]
+    fn incremental_equals_one_shot() {
+        let data: Vec<u8> = (0u8..=255).cycle().take(1000).collect();
+        let mut crc = Crc32c::new();
+        for chunk in data.chunks(7) {
+            crc.update(chunk);
+        }
+        assert_eq!(crc.finish(), crc32c(&data));
+    }
+
+    #[test]
+    fn detects_every_single_bit_flip() {
+        let data = b"noisemine sequence database".to_vec();
+        let clean = crc32c(&data);
+        for bit in 0..data.len() * 8 {
+            let mut corrupt = data.clone();
+            corrupt[bit / 8] ^= 1 << (bit % 8);
+            assert_ne!(crc32c(&corrupt), clean, "bit {bit} undetected");
+        }
+    }
+}

@@ -2,35 +2,81 @@
 //!
 //! The paper assumes a database "far beyond the memory capacity" (§2.2), so
 //! algorithm cost is dominated by full scans of the data. This module
-//! provides a simple, robust binary format and a reader whose
-//! [`SequenceScan::scan`] implementation streams the file with a buffered
+//! provides a checksummed binary format and a reader whose
+//! [`SequenceScan`] implementation streams the file with a buffered
 //! reader, never materializing more than one sequence at a time, and counts
-//! each scan.
+//! each scan. Scans are *fallible* ([`SequenceScan::try_scan`]) and run
+//! under a [`FaultPolicy`]: fail fast, retry transient I/O, or quarantine
+//! corrupt records and mine the surviving subset.
 //!
-//! ## Format
+//! ## Format v2 (current)
 //!
 //! ```text
-//! magic   : 8 bytes  b"NMSEQDB\0"
-//! version : u32 LE   (currently 1)
-//! count   : u64 LE   number of sequences
+//! header:
+//!   magic   : 8 bytes  b"NMSEQDB\0"
+//!   version : u32 LE   (2)
+//!   count   : u64 LE   number of sequences
 //! per sequence:
-//!   id    : u64 LE
-//!   len   : u32 LE   number of symbols
-//!   data  : len × u16 LE symbol ids
+//!   id      : u64 LE
+//!   len     : u32 LE   number of symbols
+//!   crc     : u32 LE   CRC32C over id bytes ‖ len bytes ‖ data bytes
+//!   data    : len × u16 LE symbol ids
+//! footer:
+//!   magic   : 8 bytes  b"NMSEQFT\0"
+//!   count   : u64 LE   must equal the header count
+//!   fcrc    : u32 LE   CRC32C over every preceding byte of the file
 //! ```
+//!
+//! The per-record CRC localizes corruption to one sequence (so
+//! [`FaultPolicy::Quarantine`] can skip it and resynchronize), while the
+//! footer pins the record count and whole-file integrity — a single bit
+//! flip anywhere in a finished v2 file, including one that zeroes the
+//! header count, is detected by a strict scan. The flip side: a v2 file
+//! whose writer died before [`DiskDbWriter::finish`] has no footer and
+//! fails strict scans; reopen it with [`DiskDbWriter::append`] (which
+//! truncates the unfinished tail) or scan it under `Quarantine`.
+//!
+//! ## Format v1 (read compatibility)
+//!
+//! Identical header with `version = 1`; records are `id ‖ len ‖ data` with
+//! no checksum, and there is no footer. v1 files written by earlier
+//! releases load and scan bit-identically through this reader. Bytes past
+//! the counted records are tolerated on v1 (a crashed append's tail), as
+//! before.
 
 use std::fs::{File, OpenOptions};
 use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
 
 use noisemine_core::matching::{SequenceBlock, SequenceScan};
-use noisemine_core::Symbol;
+use noisemine_core::{ScanError, ScanErrorKind, Symbol};
+
+use crate::crc::Crc32c;
+use crate::fault::{FaultPlan, FaultPolicy, FaultyRead, QuarantinedRecord};
 
 /// File magic for the sequence-database format.
 pub const MAGIC: &[u8; 8] = b"NMSEQDB\0";
-/// Current format version.
-pub const VERSION: u32 = 1;
+/// Current format version (checksummed records + footer).
+pub const VERSION: u32 = 2;
+/// Legacy format version (no checksums), still readable.
+pub const VERSION_V1: u32 = 1;
+/// Footer magic of format v2.
+pub const FOOTER_MAGIC: &[u8; 8] = b"NMSEQFT\0";
+
+/// Header length (shared by v1 and v2).
+const HEADER_LEN: u64 = 20;
+/// Footer length (v2 only).
+const FOOTER_LEN: u64 = 20;
+/// Record head length in v1: id + len.
+const V1_HEAD_LEN: u64 = 12;
+/// Record head length in v2: id + len + crc.
+const V2_HEAD_LEN: u64 = 16;
+/// Transient-fault retries granted per read under `Quarantine` — skipping
+/// records is for *corruption*; a flaky device still deserves a few tries
+/// before the scan gives up.
+const QUARANTINE_TRANSIENT_ATTEMPTS: u32 = 3;
 
 /// Errors from the disk layer.
 #[derive(Debug)]
@@ -65,63 +111,320 @@ impl From<io::Error> for DiskError {
     }
 }
 
+impl From<ScanError> for DiskError {
+    fn from(e: ScanError) -> Self {
+        match e.kind() {
+            ScanErrorKind::Corrupt | ScanErrorKind::Truncated => DiskError::Format(e.to_string()),
+            ScanErrorKind::Transient | ScanErrorKind::Io => {
+                DiskError::Io(io::Error::other(e.to_string()))
+            }
+        }
+    }
+}
+
 /// Result alias for the disk layer.
 pub type DiskResult<T> = Result<T, DiskError>;
+
+/// Classifies an I/O error for the retry machinery: timeouts and
+/// would-blocks are worth retrying, a short read means truncation,
+/// everything else is a hard I/O fault.
+fn classify_io(e: &io::Error) -> ScanErrorKind {
+    match e.kind() {
+        io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock | io::ErrorKind::Interrupted => {
+            ScanErrorKind::Transient
+        }
+        io::ErrorKind::UnexpectedEof => ScanErrorKind::Truncated,
+        _ => ScanErrorKind::Io,
+    }
+}
+
+fn io_scan_error(e: &io::Error, pos: u64) -> ScanError {
+    ScanError::new(classify_io(e), e.to_string()).at_offset(pos)
+}
+
+fn le_u32(b: &[u8]) -> u32 {
+    u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+}
+
+fn le_u64(b: &[u8]) -> u64 {
+    u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
+}
+
+/// The byte source a scan reads from: the plain file, or the file behind a
+/// fault-injection wrapper.
+enum ScanSource {
+    Plain(File),
+    Faulty(FaultyRead<File>),
+}
+
+impl Read for ScanSource {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            ScanSource::Plain(f) => f.read(buf),
+            ScanSource::Faulty(f) => f.read(buf),
+        }
+    }
+}
+
+impl Seek for ScanSource {
+    fn seek(&mut self, pos: SeekFrom) -> io::Result<u64> {
+        match self {
+            ScanSource::Plain(f) => f.seek(pos),
+            ScanSource::Faulty(f) => f.seek(pos),
+        }
+    }
+}
+
+/// A buffered reader that tracks its absolute position, retries transient
+/// faults per the active policy, and restores its position on failed reads
+/// so callers can resynchronize.
+struct RetryReader {
+    inner: BufReader<ScanSource>,
+    /// Absolute offset of the next byte a successful read returns. Kept
+    /// valid across failed reads by rewinding in the error path.
+    pos: u64,
+    bytes_read: u64,
+    attempts: u32,
+    backoff: Duration,
+}
+
+impl RetryReader {
+    fn pos(&self) -> u64 {
+        self.pos
+    }
+
+    fn bytes_read(&self) -> u64 {
+        self.bytes_read
+    }
+
+    /// Reads exactly `buf.len()` bytes, retrying transient faults up to the
+    /// policy's budget. On any error the stream is rewound to the tracked
+    /// position (`read_exact` leaves it unspecified on failure), so the
+    /// reader stays consistent whether the caller retries, resynchronizes,
+    /// or gives up.
+    fn read_exact(&mut self, buf: &mut [u8]) -> Result<(), ScanError> {
+        let mut tries = 0u32;
+        loop {
+            match self.inner.read_exact(buf) {
+                Ok(()) => {
+                    self.pos += buf.len() as u64;
+                    self.bytes_read += buf.len() as u64;
+                    return Ok(());
+                }
+                Err(e) => {
+                    // Absolute seek: also discards the BufReader buffer,
+                    // which a partial failed read may have invalidated.
+                    self.inner
+                        .seek(SeekFrom::Start(self.pos))
+                        .map_err(|se| io_scan_error(&se, self.pos))?;
+                    if classify_io(&e) == ScanErrorKind::Transient && tries < self.attempts {
+                        tries += 1;
+                        crate::obs::fault_retries().inc();
+                        if !self.backoff.is_zero() {
+                            std::thread::sleep(self.backoff);
+                        }
+                        continue;
+                    }
+                    return Err(io_scan_error(&e, self.pos));
+                }
+            }
+        }
+    }
+
+    /// Repositions to absolute offset `pos`. Relative seeks keep the
+    /// buffer warm when the target is nearby (the resync sweep moves one
+    /// byte at a time).
+    fn seek_to(&mut self, pos: u64) -> Result<(), ScanError> {
+        if pos != self.pos {
+            let delta = pos as i64 - self.pos as i64;
+            self.inner
+                .seek_relative(delta)
+                .map_err(|e| io_scan_error(&e, self.pos))?;
+            self.pos = pos;
+        }
+        Ok(())
+    }
+}
+
+/// Decodes one v2 record at the reader's current position. On success the
+/// symbols are in `symbols`, the raw data bytes in `raw`, and the record's
+/// bytes have been folded into `file_crc` (when given). Errors carry the
+/// record's start offset and `index`.
+fn read_record_v2(
+    reader: &mut RetryReader,
+    index: u64,
+    file_len: u64,
+    symbols: &mut Vec<Symbol>,
+    raw: &mut Vec<u8>,
+    file_crc: Option<&mut Crc32c>,
+) -> Result<u64, ScanError> {
+    let start = reader.pos();
+    let mut head = [0u8; V2_HEAD_LEN as usize];
+    reader
+        .read_exact(&mut head)
+        .map_err(|e| e.at_record(index))?;
+    let id = le_u64(&head[..8]);
+    let len = le_u32(&head[8..12]) as u64;
+    let stored = le_u32(&head[12..16]);
+    // Bound the length before allocating: a corrupt length field must not
+    // trigger a huge allocation or a long bogus read.
+    if start + V2_HEAD_LEN + len * 2 > file_len {
+        return Err(ScanError::new(
+            ScanErrorKind::Corrupt,
+            format!("record length {len} overruns the file"),
+        )
+        .at_offset(start)
+        .at_record(index));
+    }
+    raw.resize((len * 2) as usize, 0);
+    reader.read_exact(raw).map_err(|e| e.at_record(index))?;
+    let mut crc = Crc32c::new();
+    crc.update(&head[..12]);
+    crc.update(raw);
+    let computed = crc.finish();
+    if computed != stored {
+        crate::obs::fault_crc_failures().inc();
+        return Err(ScanError::new(
+            ScanErrorKind::Corrupt,
+            format!("record checksum mismatch (stored {stored:#010x}, computed {computed:#010x})"),
+        )
+        .at_offset(start)
+        .at_record(index));
+    }
+    if let Some(fc) = file_crc {
+        fc.update(&head);
+        fc.update(raw);
+    }
+    symbols.clear();
+    symbols.extend(
+        raw.chunks_exact(2)
+            .map(|c| Symbol(u16::from_le_bytes([c[0], c[1]]))),
+    );
+    Ok(id)
+}
+
+/// Decodes one v1 record (no checksum) at the reader's current position.
+fn read_record_v1(
+    reader: &mut RetryReader,
+    index: u64,
+    file_len: u64,
+    symbols: &mut Vec<Symbol>,
+    raw: &mut Vec<u8>,
+) -> Result<u64, ScanError> {
+    let start = reader.pos();
+    let mut head = [0u8; V1_HEAD_LEN as usize];
+    reader
+        .read_exact(&mut head)
+        .map_err(|e| e.at_record(index))?;
+    let id = le_u64(&head[..8]);
+    let len = le_u32(&head[8..12]) as u64;
+    if start + V1_HEAD_LEN + len * 2 > file_len {
+        return Err(ScanError::new(
+            ScanErrorKind::Corrupt,
+            format!("record length {len} overruns the file"),
+        )
+        .at_offset(start)
+        .at_record(index));
+    }
+    raw.resize((len * 2) as usize, 0);
+    reader.read_exact(raw).map_err(|e| e.at_record(index))?;
+    symbols.clear();
+    symbols.extend(
+        raw.chunks_exact(2)
+            .map(|c| Symbol(u16::from_le_bytes([c[0], c[1]]))),
+    );
+    Ok(id)
+}
+
+/// The result of the quarantine census: which byte ranges to skip, where
+/// the records end, and how many sequences survive.
+#[derive(Debug)]
+struct Census {
+    survivors: u64,
+    /// Offset one past the last record byte (start of the footer on an
+    /// intact v2 file).
+    records_end: u64,
+    /// Half-open `(start, end)` byte ranges to skip, in file order.
+    bad_ranges: Vec<(u64, u64)>,
+    quarantined: Vec<QuarantinedRecord>,
+}
 
 /// Streaming writer for the on-disk format.
 pub struct DiskDbWriter {
     out: BufWriter<File>,
     count: u64,
     path: PathBuf,
+    version: u32,
 }
 
 impl DiskDbWriter {
-    /// Creates (truncating) a database file at `path`.
+    /// Creates (truncating) a v2 database file at `path`.
     ///
-    /// The header's sequence count is patched in by [`DiskDbWriter::finish`];
-    /// a writer that is dropped without `finish` leaves a file whose header
-    /// count is zero, which readers treat as empty.
+    /// The header count and the footer are written by
+    /// [`DiskDbWriter::finish`]; a writer that is dropped without `finish`
+    /// leaves a footer-less file that strict scans reject (reopen it with
+    /// [`DiskDbWriter::append`] to repair).
     pub fn create(path: impl AsRef<Path>) -> DiskResult<Self> {
+        Self::create_with_version(path, VERSION)
+    }
+
+    /// Creates (truncating) a *v1* database file — bit-identical to what
+    /// earlier releases wrote. Exists for compatibility tooling and tests;
+    /// new data should use [`DiskDbWriter::create`].
+    pub fn create_v1(path: impl AsRef<Path>) -> DiskResult<Self> {
+        Self::create_with_version(path, VERSION_V1)
+    }
+
+    fn create_with_version(path: impl AsRef<Path>, version: u32) -> DiskResult<Self> {
         let path = path.as_ref().to_path_buf();
         let file = File::create(&path)?;
         let mut out = BufWriter::new(file);
-        let mut header = Vec::with_capacity(20);
+        let mut header = Vec::with_capacity(HEADER_LEN as usize);
         header.extend_from_slice(MAGIC);
-        header.extend_from_slice(&VERSION.to_le_bytes());
+        header.extend_from_slice(&version.to_le_bytes());
         header.extend_from_slice(&0u64.to_le_bytes()); // count placeholder
         out.write_all(&header)?;
         Ok(Self {
             out,
             count: 0,
             path,
+            version,
         })
     }
 
     /// Reopens an existing database file for appending: validates the
-    /// header, seeks past the last record, and continues the sequence
-    /// count, so `append(p)` followed by writes and [`DiskDbWriter::finish`]
-    /// extends the database in place. This is the substrate of the
-    /// streaming ingestion engine's append-only log.
+    /// header, seeks past the last counted record, truncates anything after
+    /// it (a v2 footer, or the tail of a crashed append), and continues the
+    /// sequence count, so `append(p)` followed by writes and
+    /// [`DiskDbWriter::finish`] extends the database in place. The file's
+    /// format version is preserved. This is the substrate of the streaming
+    /// ingestion engine's append-only log.
     pub fn append(path: impl AsRef<Path>) -> DiskResult<Self> {
         let path = path.as_ref().to_path_buf();
         // Validate header + count via the reader path.
         let existing = DiskDb::open(&path)?;
         let count = existing.count;
+        let version = existing.version;
+        let head_len = if version == VERSION_V1 {
+            V1_HEAD_LEN
+        } else {
+            V2_HEAD_LEN
+        } as usize;
         let mut file = OpenOptions::new().read(true).write(true).open(&path)?;
-        // Seek to the end of the last record (scan the record headers; the
-        // file may be longer than the counted records if a previous append
-        // crashed before patching the header — truncate those).
-        let mut pos: u64 = 20;
+        // Walk the record heads to find the end of the last counted record;
+        // everything after it (footer, torn tail) is discarded and will be
+        // rewritten by `finish`.
+        let mut pos: u64 = HEADER_LEN;
         {
             let mut reader = BufReader::new(&mut file);
             reader.seek(SeekFrom::Start(pos))?;
-            let mut head = [0u8; 12];
+            let mut head = [0u8; V2_HEAD_LEN as usize];
             for i in 0..count {
                 reader
-                    .read_exact(&mut head)
+                    .read_exact(&mut head[..head_len])
                     .map_err(|e| DiskError::Format(format!("truncated record {i}: {e}")))?;
-                let len = u32::from_le_bytes([head[8], head[9], head[10], head[11]]) as u64;
-                pos += 12 + len * 2;
+                let len = le_u32(&head[8..12]) as u64;
+                pos += head_len as u64 + len * 2;
                 reader.seek(SeekFrom::Start(pos))?;
             }
         }
@@ -131,6 +434,7 @@ impl DiskDbWriter {
             out: BufWriter::new(file),
             count,
             path,
+            version,
         })
     }
 
@@ -140,26 +444,58 @@ impl DiskDbWriter {
         self.count
     }
 
-    /// Appends one sequence.
+    /// Appends one sequence (checksummed under v2).
     pub fn write_sequence(&mut self, id: u64, symbols: &[Symbol]) -> DiskResult<()> {
-        let mut buf = Vec::with_capacity(12 + symbols.len() * 2);
+        let mut data = Vec::with_capacity(symbols.len() * 2);
+        for s in symbols {
+            data.extend_from_slice(&s.0.to_le_bytes());
+        }
+        let mut buf = Vec::with_capacity(V2_HEAD_LEN as usize + data.len());
         buf.extend_from_slice(&id.to_le_bytes());
         buf.extend_from_slice(&(symbols.len() as u32).to_le_bytes());
-        for s in symbols {
-            buf.extend_from_slice(&s.0.to_le_bytes());
+        if self.version != VERSION_V1 {
+            let mut crc = Crc32c::new();
+            crc.update(&buf);
+            crc.update(&data);
+            buf.extend_from_slice(&crc.finish().to_le_bytes());
         }
+        buf.extend_from_slice(&data);
         self.out.write_all(&buf)?;
         self.count += 1;
         Ok(())
     }
 
-    /// Flushes, patches the header count, and returns a reader for the file.
+    /// Flushes, patches the header count, writes the v2 footer, and returns
+    /// a reader for the file.
     pub fn finish(mut self) -> DiskResult<DiskDb> {
         self.out.flush()?;
         let file = self.out.into_inner().map_err(|e| e.into_error())?;
-        // Patch the count field (offset 12).
         use std::os::unix::fs::FileExt;
+        // Patch the count field (offset 12).
         file.write_all_at(&self.count.to_le_bytes(), 12)?;
+        if self.version != VERSION_V1 {
+            // Whole-file checksum: re-read the file (count already patched)
+            // through a fresh read handle — the create handle is
+            // write-only — and append the footer via `write_all_at`.
+            let end = file.metadata()?.len();
+            let mut crc = Crc32c::new();
+            let mut reader = BufReader::with_capacity(1 << 20, File::open(&self.path)?);
+            reader.seek(SeekFrom::Start(0))?;
+            let mut chunk = [0u8; 8192];
+            loop {
+                let n = reader.read(&mut chunk)?;
+                if n == 0 {
+                    break;
+                }
+                crc.update(&chunk[..n]);
+            }
+            let mut footer = Vec::with_capacity(FOOTER_LEN as usize);
+            footer.extend_from_slice(FOOTER_MAGIC);
+            footer.extend_from_slice(&self.count.to_le_bytes());
+            crc.update(&footer);
+            footer.extend_from_slice(&crc.finish().to_le_bytes());
+            file.write_all_at(&footer, end)?;
+        }
         file.sync_all()?;
         drop(file);
         DiskDb::open(&self.path)
@@ -168,41 +504,79 @@ impl DiskDbWriter {
 
 /// A read-only disk-resident sequence database.
 ///
-/// Each [`SequenceScan::scan`] reopens and streams the file — deliberately,
-/// to model the paper's disk-resident cost model — and increments the scan
-/// counter.
+/// Each scan reopens and streams the file — deliberately, to model the
+/// paper's disk-resident cost model — and increments the scan counter.
+/// Fault handling is governed by the [`FaultPolicy`] chosen at open time;
+/// the infallible [`SequenceScan::scan`] panics where
+/// [`SequenceScan::try_scan`] would return an error.
 #[derive(Debug)]
 pub struct DiskDb {
     path: PathBuf,
+    /// Header count — or, under `Quarantine`, the census's survivor count.
     count: u64,
+    version: u32,
+    policy: FaultPolicy,
+    plan: Option<FaultPlan>,
+    census: Option<Census>,
     scans: AtomicUsize,
 }
 
 impl DiskDb {
-    /// Opens an existing database file and validates the header.
+    /// Opens an existing database file under [`FaultPolicy::Strict`].
     pub fn open(path: impl AsRef<Path>) -> DiskResult<Self> {
+        Self::open_opts(path, FaultPolicy::Strict, None)
+    }
+
+    /// Opens an existing database file under `policy`. Under
+    /// [`FaultPolicy::Quarantine`] this walks the file once up front (the
+    /// *census*) to locate corrupt regions, so
+    /// [`SequenceScan::num_sequences`] and every subsequent scan agree on
+    /// the surviving subset.
+    pub fn open_with_policy(path: impl AsRef<Path>, policy: FaultPolicy) -> DiskResult<Self> {
+        Self::open_opts(path, policy, None)
+    }
+
+    /// Full-control constructor: `plan` (used by
+    /// [`crate::fault::FaultyStore`]) injects deterministic faults into
+    /// every read this database performs, including this open.
+    pub(crate) fn open_opts(
+        path: impl AsRef<Path>,
+        policy: FaultPolicy,
+        plan: Option<FaultPlan>,
+    ) -> DiskResult<Self> {
         let path = path.as_ref().to_path_buf();
-        let mut reader = BufReader::new(File::open(&path)?);
-        let mut header = [0u8; 20];
-        reader.read_exact(&mut header)?;
+        let mut db = Self {
+            path,
+            count: 0,
+            version: 0,
+            policy,
+            plan,
+            census: None,
+            scans: AtomicUsize::new(0),
+        };
+        let mut reader = db.retry_reader().map_err(DiskError::from)?;
+        let mut header = [0u8; HEADER_LEN as usize];
+        reader.read_exact(&mut header).map_err(DiskError::from)?;
         if &header[..8] != MAGIC {
             return Err(DiskError::Format("bad magic; not a noisemine seqdb".into()));
         }
-        let version = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
-        if version != VERSION {
+        let version = le_u32(&header[8..12]);
+        if version != VERSION && version != VERSION_V1 {
             return Err(DiskError::Format(format!(
-                "unsupported version {version}, expected {VERSION}"
+                "unsupported version {version}, expected {VERSION_V1} or {VERSION}"
             )));
         }
-        let count = u64::from_le_bytes(header[12..20].try_into().expect("8 bytes"));
-        Ok(Self {
-            path,
-            count,
-            scans: AtomicUsize::new(0),
-        })
+        db.version = version;
+        db.count = le_u64(&header[12..20]);
+        if matches!(db.policy, FaultPolicy::Quarantine) {
+            let census = db.run_census()?;
+            db.count = census.survivors;
+            db.census = Some(census);
+        }
+        Ok(db)
     }
 
-    /// Writes `sequences` to `path` and opens the result.
+    /// Writes `sequences` to `path` (format v2) and opens the result.
     pub fn create_from<'a, I>(path: impl AsRef<Path>, sequences: I) -> DiskResult<Self>
     where
         I: IntoIterator<Item = &'a [Symbol]>,
@@ -229,37 +603,364 @@ impl DiskDb {
         &self.path
     }
 
-    /// Streams the file, calling `visit` per sequence; propagates I/O and
-    /// format errors instead of panicking.
-    fn try_scan(&self, visit: &mut dyn FnMut(u64, &[Symbol])) -> DiskResult<()> {
-        let mut reader = BufReader::with_capacity(1 << 20, File::open(&self.path)?);
-        let mut header = [0u8; 20];
+    /// The file's format version ([`VERSION`] or [`VERSION_V1`]).
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// The fault policy this database was opened under.
+    pub fn policy(&self) -> FaultPolicy {
+        self.policy
+    }
+
+    /// Regions skipped by the quarantine census (empty unless opened under
+    /// [`FaultPolicy::Quarantine`]).
+    pub fn quarantined(&self) -> &[QuarantinedRecord] {
+        self.census
+            .as_ref()
+            .map(|c| c.quarantined.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// The file length a scan should believe, honoring an injected
+    /// truncation. Re-statted per scan so legitimate appends between scans
+    /// are observed.
+    fn effective_len(&self) -> Result<u64, ScanError> {
+        let len = std::fs::metadata(&self.path)
+            .map_err(|e| io_scan_error(&e, 0))?
+            .len();
+        Ok(match self.plan.as_ref().and_then(|p| p.truncate_at()) {
+            Some(t) => len.min(t),
+            None => len,
+        })
+    }
+
+    /// Opens a fresh reader for one scan pass, wired through the fault
+    /// plan (if any) and granted the policy's transient-retry budget.
+    fn retry_reader(&self) -> Result<RetryReader, ScanError> {
+        let file = File::open(&self.path).map_err(|e| io_scan_error(&e, 0))?;
+        let source = match &self.plan {
+            Some(plan) => ScanSource::Faulty(plan.wrap(file)),
+            None => ScanSource::Plain(file),
+        };
+        let (attempts, backoff) = match self.policy {
+            FaultPolicy::Strict => (0, Duration::ZERO),
+            FaultPolicy::Retry { attempts, backoff } => (attempts, backoff),
+            FaultPolicy::Quarantine => (QUARANTINE_TRANSIENT_ATTEMPTS, Duration::ZERO),
+        };
+        Ok(RetryReader {
+            inner: BufReader::with_capacity(1 << 20, source),
+            pos: 0,
+            bytes_read: 0,
+            attempts,
+            backoff,
+        })
+    }
+
+    /// Strict/retry scan of a v2 file: every record CRC, the footer, and
+    /// the whole-file checksum are verified; the first failure aborts.
+    fn scan_v2(&self, visit: &mut dyn FnMut(u64, &[Symbol])) -> Result<(), ScanError> {
+        let file_len = self.effective_len()?;
+        let mut reader = self.retry_reader()?;
+        let mut header = [0u8; HEADER_LEN as usize];
         reader.read_exact(&mut header)?;
-        let mut record_head = [0u8; 12];
+        if &header[..8] != MAGIC {
+            return Err(
+                ScanError::new(ScanErrorKind::Corrupt, "bad magic; not a noisemine seqdb")
+                    .at_offset(0),
+            );
+        }
+        if le_u32(&header[8..12]) != VERSION {
+            return Err(ScanError::new(
+                ScanErrorKind::Corrupt,
+                format!("header version is not {VERSION}"),
+            )
+            .at_offset(8));
+        }
+        // Count as the header reads *now* — the open-time count may lag a
+        // legitimate append (see `SequenceScan::num_sequences`).
+        let count = le_u64(&header[12..20]);
+        let mut crc = Crc32c::new();
+        crc.update(&header);
         let mut symbols: Vec<Symbol> = Vec::new();
         let mut raw: Vec<u8> = Vec::new();
-        let mut bytes_read = header.len() as u64;
-        for i in 0..self.count {
-            reader
-                .read_exact(&mut record_head)
-                .map_err(|e| DiskError::Format(format!("truncated record {i}: {e}")))?;
-            let id = u64::from_le_bytes(record_head[..8].try_into().expect("8 bytes"));
-            let len = u32::from_le_bytes(record_head[8..12].try_into().expect("4 bytes")) as usize;
-            raw.resize(len * 2, 0);
-            reader
-                .read_exact(&mut raw)
-                .map_err(|e| DiskError::Format(format!("truncated sequence {id}: {e}")))?;
-            symbols.clear();
-            symbols.extend(
-                raw.chunks_exact(2)
-                    .map(|c| Symbol(u16::from_le_bytes([c[0], c[1]]))),
-            );
-            bytes_read += (record_head.len() + raw.len()) as u64;
+        for i in 0..count {
+            let id = read_record_v2(
+                &mut reader,
+                i,
+                file_len,
+                &mut symbols,
+                &mut raw,
+                Some(&mut crc),
+            )?;
             visit(id, &symbols);
         }
-        crate::obs::disk_bytes_read().add(bytes_read);
+        // The footer check is unconditional — even a count of zero must be
+        // pinned, since a single bit flip can turn a real count into zero.
+        let foot_pos = reader.pos();
+        let mut footer = [0u8; FOOTER_LEN as usize];
+        reader.read_exact(&mut footer).map_err(|e| {
+            if e.kind() == ScanErrorKind::Truncated {
+                ScanError::new(
+                    ScanErrorKind::Corrupt,
+                    "missing footer (file truncated, or writer never finished)",
+                )
+                .at_offset(foot_pos)
+            } else {
+                e
+            }
+        })?;
+        if &footer[..8] != FOOTER_MAGIC {
+            return Err(
+                ScanError::new(ScanErrorKind::Corrupt, "missing or corrupt footer")
+                    .at_offset(foot_pos),
+            );
+        }
+        let foot_count = le_u64(&footer[8..16]);
+        if foot_count != count {
+            return Err(ScanError::new(
+                ScanErrorKind::Corrupt,
+                format!("footer count {foot_count} does not match header count {count}"),
+            )
+            .at_offset(foot_pos + 8));
+        }
+        crc.update(&footer[..16]);
+        let stored = le_u32(&footer[16..20]);
+        let computed = crc.finish();
+        if computed != stored {
+            crate::obs::fault_crc_failures().inc();
+            return Err(ScanError::new(
+                ScanErrorKind::Corrupt,
+                format!(
+                    "file checksum mismatch (stored {stored:#010x}, computed {computed:#010x})"
+                ),
+            )
+            .at_offset(foot_pos + 16));
+        }
+        if reader.pos() != file_len {
+            return Err(ScanError::new(
+                ScanErrorKind::Corrupt,
+                format!("{} trailing bytes after footer", file_len - reader.pos()),
+            )
+            .at_offset(reader.pos()));
+        }
+        crate::obs::disk_bytes_read().add(reader.bytes_read());
         Ok(())
     }
+
+    /// Strict/retry scan of a v1 file: structural walk of the counted
+    /// records; no checksums exist to verify. Bytes past the counted
+    /// records are tolerated (legacy semantics).
+    fn scan_v1(&self, visit: &mut dyn FnMut(u64, &[Symbol])) -> Result<(), ScanError> {
+        let file_len = self.effective_len()?;
+        let mut reader = self.retry_reader()?;
+        let mut header = [0u8; HEADER_LEN as usize];
+        reader.read_exact(&mut header)?;
+        if &header[..8] != MAGIC {
+            return Err(
+                ScanError::new(ScanErrorKind::Corrupt, "bad magic; not a noisemine seqdb")
+                    .at_offset(0),
+            );
+        }
+        let count = le_u64(&header[12..20]);
+        let mut symbols: Vec<Symbol> = Vec::new();
+        let mut raw: Vec<u8> = Vec::new();
+        for i in 0..count {
+            let id = read_record_v1(&mut reader, i, file_len, &mut symbols, &mut raw)?;
+            visit(id, &symbols);
+        }
+        crate::obs::disk_bytes_read().add(reader.bytes_read());
+        Ok(())
+    }
+
+    /// The quarantine census: one validation walk that classifies every
+    /// byte of the file as record, footer, or quarantined. Scans under
+    /// `Quarantine` then skip the bad ranges, so the visit stream is
+    /// identical to a clean database holding only the survivors.
+    fn run_census(&self) -> DiskResult<Census> {
+        let file_len = self.effective_len().map_err(DiskError::from)?;
+        let mut reader = self.retry_reader().map_err(DiskError::from)?;
+        let mut header = [0u8; HEADER_LEN as usize];
+        reader.read_exact(&mut header).map_err(DiskError::from)?;
+        let mut symbols: Vec<Symbol> = Vec::new();
+        let mut raw: Vec<u8> = Vec::new();
+        let mut survivors = 0u64;
+        let mut bad_ranges: Vec<(u64, u64)> = Vec::new();
+        let mut quarantined: Vec<QuarantinedRecord> = Vec::new();
+        let mut index = 0u64;
+        let records_end;
+        if self.version == VERSION_V1 {
+            // v1 has no checksums to resynchronize on: walk the counted
+            // records structurally and quarantine everything from the
+            // first undecodable record onward.
+            let count = le_u64(&header[12..20]);
+            let mut end = HEADER_LEN;
+            for i in 0..count {
+                match read_record_v1(&mut reader, i, file_len, &mut symbols, &mut raw) {
+                    Ok(_) => {
+                        survivors += 1;
+                        end = reader.pos();
+                    }
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            ScanErrorKind::Corrupt | ScanErrorKind::Truncated
+                        ) =>
+                    {
+                        crate::obs::fault_quarantined().inc();
+                        quarantined.push(QuarantinedRecord {
+                            index: i,
+                            offset: end,
+                            skipped: file_len - end,
+                        });
+                        break;
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            }
+            records_end = end;
+        } else {
+            // v2: ignore the (unprotected-by-itself) header count and walk
+            // the checksummed records until the footer or EOF, sweeping
+            // forward past anything that fails validation.
+            let mut pos = HEADER_LEN;
+            records_end = loop {
+                if pos >= file_len {
+                    break pos.min(file_len);
+                }
+                if file_len - pos == FOOTER_LEN {
+                    // Footer-first: a genuine footer would otherwise be
+                    // misread as a corrupt record (its bytes carry no
+                    // record CRC).
+                    reader.seek_to(pos).map_err(DiskError::from)?;
+                    let mut magic = [0u8; 8];
+                    reader.read_exact(&mut magic).map_err(DiskError::from)?;
+                    if &magic == FOOTER_MAGIC {
+                        break pos;
+                    }
+                }
+                reader.seek_to(pos).map_err(DiskError::from)?;
+                match read_record_v2(&mut reader, index, file_len, &mut symbols, &mut raw, None) {
+                    Ok(_) => {
+                        survivors += 1;
+                        index += 1;
+                        pos = reader.pos();
+                    }
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            ScanErrorKind::Corrupt | ScanErrorKind::Truncated
+                        ) =>
+                    {
+                        crate::obs::fault_resyncs().inc();
+                        let next = resync(&mut reader, pos, file_len).map_err(DiskError::from)?;
+                        let end = next.unwrap_or(file_len);
+                        crate::obs::fault_quarantined().inc();
+                        quarantined.push(QuarantinedRecord {
+                            index,
+                            offset: pos,
+                            skipped: end - pos,
+                        });
+                        bad_ranges.push((pos, end));
+                        index += 1;
+                        pos = end;
+                    }
+                    // Persistent transient / hard I/O: quarantine handles
+                    // *corruption*; an unreadable device stays fatal.
+                    Err(e) => return Err(e.into()),
+                }
+            };
+        }
+        Ok(Census {
+            survivors,
+            records_end,
+            bad_ranges,
+            quarantined,
+        })
+    }
+
+    /// Scan under `Quarantine`: replays the census's classification,
+    /// skipping the quarantined ranges. A record that fails to decode here
+    /// means the file changed since the census — surfaced as corruption
+    /// rather than silently diverging from the reported survivor count.
+    fn scan_quarantined(&self, visit: &mut dyn FnMut(u64, &[Symbol])) -> Result<(), ScanError> {
+        let census = match &self.census {
+            Some(c) => c,
+            None => {
+                return Err(ScanError::new(
+                    ScanErrorKind::Io,
+                    "quarantine scan without a census",
+                ))
+            }
+        };
+        let file_len = self.effective_len()?;
+        let mut reader = self.retry_reader()?;
+        let mut header = [0u8; HEADER_LEN as usize];
+        reader.read_exact(&mut header)?;
+        let mut symbols: Vec<Symbol> = Vec::new();
+        let mut raw: Vec<u8> = Vec::new();
+        let mut bad = census.bad_ranges.iter().peekable();
+        let mut index = 0u64;
+        while reader.pos() < census.records_end {
+            if let Some(&&(start, end)) = bad.peek() {
+                if start == reader.pos() {
+                    reader.seek_to(end)?;
+                    bad.next();
+                    index += 1;
+                    continue;
+                }
+            }
+            let id = if self.version == VERSION_V1 {
+                read_record_v1(&mut reader, index, file_len, &mut symbols, &mut raw)?
+            } else {
+                read_record_v2(&mut reader, index, file_len, &mut symbols, &mut raw, None)?
+            };
+            index += 1;
+            visit(id, &symbols);
+        }
+        crate::obs::disk_bytes_read().add(reader.bytes_read());
+        Ok(())
+    }
+
+    /// One scan pass under the active policy.
+    fn scan_records(&self, visit: &mut dyn FnMut(u64, &[Symbol])) -> Result<(), ScanError> {
+        if matches!(self.policy, FaultPolicy::Quarantine) {
+            self.scan_quarantined(visit)
+        } else if self.version == VERSION_V1 {
+            self.scan_v1(visit)
+        } else {
+            self.scan_v2(visit)
+        }
+    }
+}
+
+/// Sweeps forward from a failed record at `from`, looking for the next
+/// position that decodes as a valid record — or the footer, when exactly
+/// [`FOOTER_LEN`] bytes remain. Returns `None` if nothing downstream
+/// validates (the rest of the file is quarantined).
+fn resync(reader: &mut RetryReader, from: u64, file_len: u64) -> Result<Option<u64>, ScanError> {
+    let mut symbols: Vec<Symbol> = Vec::new();
+    let mut raw: Vec<u8> = Vec::new();
+    let mut candidate = from + 1;
+    while candidate + V2_HEAD_LEN <= file_len {
+        if file_len - candidate == FOOTER_LEN {
+            reader.seek_to(candidate)?;
+            let mut magic = [0u8; 8];
+            reader.read_exact(&mut magic)?;
+            if &magic == FOOTER_MAGIC {
+                return Ok(Some(candidate));
+            }
+        }
+        reader.seek_to(candidate)?;
+        match read_record_v2(reader, 0, file_len, &mut symbols, &mut raw, None) {
+            Ok(_) => return Ok(Some(candidate)),
+            Err(e) if matches!(e.kind(), ScanErrorKind::Corrupt | ScanErrorKind::Truncated) => {
+                candidate += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(None)
 }
 
 impl SequenceScan for DiskDb {
@@ -268,27 +969,53 @@ impl SequenceScan for DiskDb {
     }
 
     fn scan(&self, visit: &mut dyn FnMut(u64, &[Symbol])) {
-        self.scans.fetch_add(1, Ordering::Relaxed);
-        crate::obs::disk_scans().inc();
-        // The SequenceScan trait is infallible by design (the mining layer
-        // treats the database as a reliable substrate); surface I/O errors
-        // loudly rather than silently returning partial data.
-        self.try_scan(visit)
-            .unwrap_or_else(|e| panic!("scan of {} failed: {e}", self.path.display()));
+        // The infallible API is for callers that treat the database as a
+        // reliable substrate; surface errors loudly rather than silently
+        // returning partial data.
+        match self.try_scan(visit) {
+            Ok(()) => {}
+            Err(e) => panic!("scan of {} failed: {e}", self.path.display()),
+        }
     }
 
     fn scan_blocks(&self, block_size: usize, sink: &mut dyn FnMut(SequenceBlock) -> SequenceBlock) {
+        match self.try_scan_blocks(block_size, sink) {
+            Ok(()) => {}
+            Err(e) => panic!("scan of {} failed: {e}", self.path.display()),
+        }
+    }
+
+    fn try_scan(&self, visit: &mut dyn FnMut(u64, &[Symbol])) -> Result<(), ScanError> {
+        self.scans.fetch_add(1, Ordering::Relaxed);
+        crate::obs::disk_scans().inc();
+        match self.scan_records(visit) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                crate::obs::fault_scan_failures().inc();
+                Err(e)
+            }
+        }
+    }
+
+    fn try_scan_blocks(
+        &self,
+        block_size: usize,
+        sink: &mut dyn FnMut(SequenceBlock) -> SequenceBlock,
+    ) -> Result<(), ScanError> {
         self.scans.fetch_add(1, Ordering::Relaxed);
         crate::obs::disk_scans().inc();
         // Read-ahead double buffering: a dedicated thread streams and
         // decodes the file into blocks while the calling thread consumes
         // them, so disk I/O overlaps with compute.
-        crate::pipeline::double_buffered(
+        let result = crate::pipeline::double_buffered(
             block_size,
-            |emitter| self.try_scan(&mut |id, seq| emitter.push(id, seq)),
+            |emitter| self.scan_records(&mut |id, seq| emitter.push(id, seq)),
             sink,
-        )
-        .unwrap_or_else(|e| panic!("scan of {} failed: {e}", self.path.display()));
+        );
+        if result.is_err() {
+            crate::obs::fault_scan_failures().inc();
+        }
+        result
     }
 }
 
@@ -312,6 +1039,7 @@ mod tests {
         let data = [syms(&[0, 1, 2]), syms(&[]), syms(&[65535, 7])];
         let db = DiskDb::create_from(&path, data.iter().map(Vec::as_slice)).unwrap();
         assert_eq!(db.num_sequences(), 3);
+        assert_eq!(db.version(), VERSION);
         let mut seen = Vec::new();
         db.scan(&mut |id, s| seen.push((id, s.to_vec())));
         assert_eq!(
@@ -361,12 +1089,70 @@ mod tests {
         let data = [syms(&[1, 2, 3, 4])];
         let db = DiskDb::create_from(&path, data.iter().map(Vec::as_slice)).unwrap();
         drop(db);
-        // Chop off the last two bytes.
+        // Chop off the last two bytes (into the footer).
         let bytes = std::fs::read(&path).unwrap();
         std::fs::write(&path, &bytes[..bytes.len() - 2]).unwrap();
         let db = DiskDb::open(&path).unwrap();
-        let err = db.try_scan(&mut |_, _| {});
-        assert!(matches!(err, Err(DiskError::Format(_))));
+        let err = db.try_scan(&mut |_, _| {}).unwrap_err();
+        assert_eq!(err.kind(), ScanErrorKind::Corrupt);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn detects_missing_footer() {
+        // A writer that never called finish leaves no footer; strict scans
+        // must reject the file rather than trust the (zero) header count.
+        let path = tmp("nofooter.db");
+        let mut w = DiskDbWriter::create(&path).unwrap();
+        w.write_sequence(0, &syms(&[1, 2])).unwrap();
+        drop(w); // BufWriter flushes on drop; no count patch, no footer.
+        let db = DiskDb::open(&path).unwrap();
+        let err = db.try_scan(&mut |_, _| {}).unwrap_err();
+        assert_eq!(err.kind(), ScanErrorKind::Corrupt);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn v1_reads_through_v2_reader() {
+        let path = tmp("v1compat.db");
+        let data = [syms(&[5, 6, 7]), syms(&[]), syms(&[9])];
+        let mut w = DiskDbWriter::create_v1(&path).unwrap();
+        for (i, s) in data.iter().enumerate() {
+            w.write_sequence(i as u64, s).unwrap();
+        }
+        let db = w.finish().unwrap();
+        assert_eq!(db.version(), VERSION_V1);
+        assert_eq!(db.num_sequences(), 3);
+        let mut seen = Vec::new();
+        db.scan(&mut |id, s| seen.push((id, s.to_vec())));
+        assert_eq!(
+            seen,
+            vec![
+                (0, data[0].clone()),
+                (1, data[1].clone()),
+                (2, data[2].clone())
+            ]
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn v1_layout_is_bit_identical_to_legacy() {
+        // The v1 writer must produce exactly the bytes the original format
+        // specified: 20-byte header (version 1) + id/len/data records.
+        let path = tmp("v1layout.db");
+        let mut w = DiskDbWriter::create_v1(&path).unwrap();
+        w.write_sequence(7, &syms(&[0x0102, 0x0304])).unwrap();
+        w.finish().unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let mut expected = Vec::new();
+        expected.extend_from_slice(MAGIC);
+        expected.extend_from_slice(&1u32.to_le_bytes());
+        expected.extend_from_slice(&1u64.to_le_bytes());
+        expected.extend_from_slice(&7u64.to_le_bytes());
+        expected.extend_from_slice(&2u32.to_le_bytes());
+        expected.extend_from_slice(&[0x02, 0x01, 0x04, 0x03]);
+        assert_eq!(bytes, expected);
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -395,6 +1181,23 @@ mod tests {
                 (3, syms(&[])),
             ]
         );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn append_preserves_v1_format() {
+        let path = tmp("append-v1.db");
+        let mut w = DiskDbWriter::create_v1(&path).unwrap();
+        w.write_sequence(0, &syms(&[1])).unwrap();
+        w.finish().unwrap();
+
+        let mut w = DiskDbWriter::append(&path).unwrap();
+        w.write_sequence(1, &syms(&[2, 3])).unwrap();
+        let db = w.finish().unwrap();
+        assert_eq!(db.version(), VERSION_V1);
+        let mut seen = Vec::new();
+        db.scan(&mut |id, s| seen.push((id, s.to_vec())));
+        assert_eq!(seen, vec![(0, syms(&[1])), (1, syms(&[2, 3]))]);
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -463,6 +1266,47 @@ mod tests {
         assert_eq!(db.scans_performed(), 3);
         db.reset_scans();
         assert_eq!(db.scans_performed(), 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn detects_record_bit_flip() {
+        let path = tmp("bitflip.db");
+        let data = [syms(&[10, 20, 30]), syms(&[40, 50])];
+        let db = DiskDb::create_from(&path, data.iter().map(Vec::as_slice)).unwrap();
+        drop(db);
+        // Flip one bit in the first record's data.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[(HEADER_LEN + V2_HEAD_LEN) as usize] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let db = DiskDb::open(&path).unwrap();
+        let err = db.try_scan(&mut |_, _| {}).unwrap_err();
+        assert_eq!(err.kind(), ScanErrorKind::Corrupt);
+        assert_eq!(err.record(), Some(0));
+        assert_eq!(err.offset(), Some(HEADER_LEN));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn quarantine_skips_corrupt_record_and_renormalizes() {
+        let path = tmp("quarantine.db");
+        let data = [syms(&[10, 20]), syms(&[30, 40]), syms(&[50, 60])];
+        let db = DiskDb::create_from(&path, data.iter().map(Vec::as_slice)).unwrap();
+        drop(db);
+        // Corrupt the middle record's data.
+        let rec = (V2_HEAD_LEN + 4) as usize; // each record: head + 2 symbols
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[HEADER_LEN as usize + rec + V2_HEAD_LEN as usize] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let db = DiskDb::open_with_policy(&path, FaultPolicy::Quarantine).unwrap();
+        assert_eq!(db.num_sequences(), 2);
+        assert_eq!(db.quarantined().len(), 1);
+        assert_eq!(db.quarantined()[0].offset, HEADER_LEN + rec as u64);
+        let mut seen = Vec::new();
+        db.try_scan(&mut |id, s| seen.push((id, s.to_vec())))
+            .unwrap();
+        assert_eq!(seen, vec![(0, data[0].clone()), (2, data[2].clone())]);
         std::fs::remove_file(&path).unwrap();
     }
 }

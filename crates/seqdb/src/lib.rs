@@ -5,8 +5,16 @@
 //! [`noisemine_core::matching::SequenceScan`] contract, with **scan
 //! accounting** — the paper's principal cost metric for disk-resident data —
 //! and the uniform samplers of Algorithm 4.1.
+//!
+//! The disk store is fault-tolerant: scans are fallible, records are
+//! checksummed (NMSEQDB format v2), and a [`FaultPolicy`] chooses between
+//! failing fast, retrying transient I/O, and quarantining corrupt records.
+//! See `docs/ROBUSTNESS.md` for the fault model and [`fault`] for the
+//! deterministic fault-injection harness used by the chaos tests.
 
+pub mod crc;
 pub mod disk;
+pub mod fault;
 pub mod memory;
 pub(crate) mod obs;
 mod pipeline;
@@ -14,6 +22,7 @@ pub mod sampling;
 pub mod text;
 
 pub use disk::{DiskDb, DiskDbWriter, DiskError, DiskResult};
+pub use fault::{FaultPlan, FaultPolicy, FaultyStore, QuarantinedRecord};
 pub use memory::MemoryDb;
 pub use sampling::{reservoir_sample, sequential_sample};
 pub use text::{

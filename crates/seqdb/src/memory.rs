@@ -93,7 +93,7 @@ impl SequenceScan for MemoryDb {
         // Double buffering matters less here than for the disk store, but a
         // producer thread still overlaps block assembly with the consumer's
         // compute, and keeps the two stores behaviorally identical.
-        let result: Result<(), std::convert::Infallible> = crate::pipeline::double_buffered(
+        let result = crate::pipeline::double_buffered(
             block_size,
             |emitter| {
                 for (id, seq) in &self.sequences {
@@ -103,8 +103,10 @@ impl SequenceScan for MemoryDb {
             },
             sink,
         );
-        match result {
-            Ok(()) => {}
+        // An in-memory producer has no I/O to fail; the only conceivable
+        // error is a captured panic, which deserves to stay a panic.
+        if let Err(e) = result {
+            panic!("in-memory block scan failed: {e}");
         }
     }
 }

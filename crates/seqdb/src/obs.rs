@@ -67,3 +67,33 @@ duration_histogram!(
     "seqdb_pipeline_wait_seconds",
     "Consumer time spent waiting for the next block (read-ahead stall when large)"
 );
+counter!(
+    fault_retries,
+    "seqdb_fault_retries_total",
+    "Reads retried after a transient I/O fault (Retry/Quarantine policies)",
+    "retries"
+);
+counter!(
+    fault_crc_failures,
+    "seqdb_fault_crc_failures_total",
+    "Checksum mismatches detected while scanning (per-record or whole-file)",
+    "failures"
+);
+counter!(
+    fault_resyncs,
+    "seqdb_fault_resyncs_total",
+    "Record-resynchronization sweeps started by the quarantine census",
+    "sweeps"
+);
+counter!(
+    fault_quarantined,
+    "seqdb_fault_quarantined_total",
+    "Corrupt regions skipped by the Quarantine fault policy",
+    "records"
+);
+counter!(
+    fault_scan_failures,
+    "seqdb_fault_scan_failures_total",
+    "Scans that surfaced an error to the caller",
+    "scans"
+);

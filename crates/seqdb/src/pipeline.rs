@@ -14,7 +14,7 @@
 use std::sync::mpsc;
 
 use noisemine_core::matching::SequenceBlock;
-use noisemine_core::Symbol;
+use noisemine_core::{ScanError, ScanErrorKind, Symbol};
 
 /// Filled blocks in flight between producer and consumer. Two means the
 /// producer can fill one block while the consumer processes another, with
@@ -67,20 +67,33 @@ impl BlockEmitter {
     }
 }
 
+/// Best-effort extraction of a panic payload's message (panics carry
+/// `&str` or `String` in practice).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&'static str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("non-string panic payload")
+}
+
 /// Runs `produce` on a dedicated thread, streaming its blocks through
 /// `sink` on the calling thread in production order; `sink` returns each
 /// block for recycling. Returns `produce`'s result once the stream is
 /// fully drained. On `Err` the blocks shipped before the failure have
 /// already been consumed — mirroring how a plain streaming scan visits
 /// records up to the point of failure.
-pub(crate) fn double_buffered<E, P>(
+///
+/// A panic on the producer thread is captured and surfaced as a
+/// [`ScanError`] rather than re-panicking the consumer: the caller decides
+/// (per its fault policy) whether a failed scan aborts the process.
+pub(crate) fn double_buffered<P>(
     block_size: usize,
     produce: P,
     sink: &mut dyn FnMut(SequenceBlock) -> SequenceBlock,
-) -> Result<(), E>
+) -> Result<(), ScanError>
 where
-    E: Send,
-    P: FnOnce(&mut BlockEmitter) -> Result<(), E> + Send,
+    P: FnOnce(&mut BlockEmitter) -> Result<(), ScanError> + Send,
 {
     assert!(block_size >= 1, "block_size must be at least 1");
     let (filled_tx, filled_rx) = mpsc::sync_channel::<SequenceBlock>(READ_AHEAD);
@@ -94,7 +107,15 @@ where
                 block: SequenceBlock::new(),
                 fill_span: None,
             };
-            let result = produce(&mut emitter);
+            let result =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| produce(&mut emitter)));
+            let result = match result {
+                Ok(r) => r,
+                Err(payload) => Err(ScanError::new(
+                    ScanErrorKind::Io,
+                    format!("block producer panicked: {}", panic_message(&*payload)),
+                )),
+            };
             if result.is_ok() && !emitter.block.is_empty() {
                 emitter.ship();
             }
@@ -119,7 +140,16 @@ where
             // needs the recycled buffer anymore.
             let _ = recycle_tx.send(returned);
         }
-        producer.join().expect("block producer thread panicked")
+        // `catch_unwind` above means a panicking `produce` still joins
+        // cleanly; a join error can only come from a panic in the shipping
+        // machinery itself, and is reported — not re-thrown.
+        match producer.join() {
+            Ok(result) => result,
+            Err(_) => Err(ScanError::new(
+                ScanErrorKind::Io,
+                "block producer thread panicked",
+            )),
+        }
     })
 }
 
@@ -129,7 +159,7 @@ mod tests {
 
     #[test]
     fn streams_blocks_in_order_with_tail() {
-        let out: Result<(), std::convert::Infallible> = double_buffered(
+        let out = double_buffered(
             4,
             |emitter| {
                 for i in 0..10u64 {
@@ -155,28 +185,49 @@ mod tests {
     #[test]
     fn propagates_producer_errors_after_draining() {
         let mut seen = 0usize;
-        let out: Result<(), &'static str> = double_buffered(
+        let out = double_buffered(
             2,
             |emitter| {
                 for i in 0..4u64 {
                     emitter.push(i, &[]);
                 }
-                Err("disk on fire")
+                Err(ScanError::new(ScanErrorKind::Io, "disk on fire"))
             },
             &mut |block| {
                 seen += block.len();
                 block
             },
         );
-        assert_eq!(out.unwrap_err(), "disk on fire");
+        let err = out.unwrap_err();
+        assert_eq!(err.kind(), ScanErrorKind::Io);
+        assert_eq!(err.message(), "disk on fire");
         // The two full blocks shipped before the error were consumed.
         assert_eq!(seen, 4);
     }
 
     #[test]
+    fn captures_producer_panics_as_errors() {
+        let mut seen = 0usize;
+        let out = double_buffered(
+            1,
+            |emitter| {
+                emitter.push(0, &[Symbol(1)]);
+                panic!("producer exploded");
+            },
+            &mut |block| {
+                seen += block.len();
+                block
+            },
+        );
+        let err = out.unwrap_err();
+        assert_eq!(err.kind(), ScanErrorKind::Io);
+        assert!(err.message().contains("producer exploded"), "{err}");
+        assert_eq!(seen, 1);
+    }
+
+    #[test]
     fn empty_producer_yields_no_blocks() {
-        let out: Result<(), std::convert::Infallible> =
-            double_buffered(8, |_| Ok(()), &mut |_| panic!("no blocks expected"));
+        let out = double_buffered(8, |_| Ok(()), &mut |_| panic!("no blocks expected"));
         out.unwrap();
     }
 }

@@ -20,16 +20,28 @@ use noisemine_core::{Alphabet, Symbol};
 
 use crate::disk::{DiskError, DiskResult};
 
+/// Classifies a failed line read: malformed data (non-UTF-8 bytes) becomes
+/// a [`DiskError::Format`] carrying the 1-based line number, anything else
+/// stays a hard [`DiskError::Io`].
+fn line_read_error(lineno: usize, e: std::io::Error) -> DiskError {
+    if e.kind() == std::io::ErrorKind::InvalidData {
+        DiskError::Format(format!("line {}: {e}", lineno + 1))
+    } else {
+        DiskError::Io(e)
+    }
+}
+
 /// Reads sequences from a text reader using the given alphabet.
 ///
 /// Each non-comment line is decoded with [`Alphabet::encode`] (contiguous
-/// single letters or whitespace-separated tokens). Unknown symbols produce
-/// a [`DiskError::Format`] naming the line.
+/// single letters or whitespace-separated tokens). Unknown symbols and
+/// malformed (non-UTF-8) lines produce a [`DiskError::Format`] naming the
+/// line; hard I/O failures stay [`DiskError::Io`].
 pub fn read_sequences<R: Read>(reader: R, alphabet: &Alphabet) -> DiskResult<Vec<Vec<Symbol>>> {
     let reader = BufReader::new(reader);
     let mut out = Vec::new();
     for (lineno, line) in reader.lines().enumerate() {
-        let line = line?;
+        let line = line.map_err(|e| line_read_error(lineno, e))?;
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('>') {
             continue;
@@ -88,8 +100,8 @@ pub fn infer_alphabet<R: Read>(reader: R) -> DiskResult<Alphabet> {
     let reader = BufReader::new(reader);
     let mut names: Vec<String> = Vec::new();
     let mut seen = std::collections::HashSet::new();
-    for line in reader.lines() {
-        let line = line?;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| line_read_error(lineno, e))?;
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('>') {
             continue;
@@ -150,6 +162,15 @@ mod tests {
         let err = read_sequences("AMT\nAMZ9\n".as_bytes(), &alphabet).unwrap_err();
         let msg = err.to_string();
         assert!(msg.contains("line 2"), "{msg}");
+    }
+
+    #[test]
+    fn invalid_utf8_names_line() {
+        let alphabet = Alphabet::amino_acids();
+        let bytes: &[u8] = b"AMT\n\xFF\xFE\n";
+        let err = read_sequences(bytes, &alphabet).unwrap_err();
+        assert!(matches!(err, DiskError::Format(_)), "{err}");
+        assert!(err.to_string().contains("line 2"), "{err}");
     }
 
     #[test]

@@ -231,8 +231,17 @@ impl StreamState {
             }
         }
 
+        // Durability against torn writes: the payload is synced to the
+        // temporary file *before* the rename, so after a crash the
+        // destination holds either the previous checkpoint or this one in
+        // full — never a partial payload.
         let tmp = path.with_extension("tmp");
-        fs::write(&tmp, &out)?;
+        {
+            use std::io::Write as _;
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&out)?;
+            f.sync_all()?;
+        }
         fs::rename(&tmp, path)?;
         span.finish();
         Ok(())

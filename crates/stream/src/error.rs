@@ -2,12 +2,17 @@
 
 use std::fmt;
 
+use noisemine_core::ScanError;
+
 /// Errors produced by the streaming engine.
 #[derive(Debug)]
 pub enum Error {
     /// An error bubbled up from the core miner (bad config, truncated
     /// phase 2, …).
     Core(noisemine_core::error::Error),
+    /// The backing sequence store failed mid-scan (I/O fault, corrupt or
+    /// truncated record) during ingestion or a re-mine.
+    Scan(ScanError),
     /// An I/O error while writing or reading a checkpoint.
     Io(std::io::Error),
     /// A checkpoint file failed structural validation (bad magic, version,
@@ -27,6 +32,7 @@ impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::Core(e) => write!(f, "{e}"),
+            Error::Scan(e) => write!(f, "database scan failed: {e}"),
             Error::Io(e) => write!(f, "checkpoint i/o error: {e}"),
             Error::Corrupt(msg) => write!(f, "corrupt checkpoint: {msg}"),
             Error::MatrixMismatch { expected, got } => write!(
@@ -42,6 +48,7 @@ impl std::error::Error for Error {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Error::Core(e) => Some(e),
+            Error::Scan(e) => Some(e),
             Error::Io(e) => Some(e),
             _ => None,
         }
@@ -50,7 +57,18 @@ impl std::error::Error for Error {
 
 impl From<noisemine_core::error::Error> for Error {
     fn from(e: noisemine_core::error::Error) -> Self {
-        Error::Core(e)
+        // Unwrap scan failures so callers can match on the scan fault
+        // directly instead of digging through the core error.
+        match e {
+            noisemine_core::error::Error::Scan(s) => Error::Scan(s),
+            other => Error::Core(other),
+        }
+    }
+}
+
+impl From<ScanError> for Error {
+    fn from(e: ScanError) -> Self {
+        Error::Scan(e)
     }
 }
 

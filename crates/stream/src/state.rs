@@ -177,6 +177,28 @@ impl StreamState {
         }
     }
 
+    /// Ingests from a sequence store through its *fallible* scan path,
+    /// skipping the first `skip` sequences (those already ingested).
+    /// Returns the number of sequences ingested.
+    ///
+    /// On `Err` the sequences visited before the fault have already been
+    /// ingested; `total_seen() − skip` tells how far the scan got, and the
+    /// caller can resume with a fresh `ingest_from(db, state.total_seen())`
+    /// once the store recovers.
+    pub fn ingest_from<S: SequenceScan + ?Sized>(&mut self, db: &S, skip: u64) -> Result<u64> {
+        let mut seen = 0u64;
+        let mut ingested = 0u64;
+        let state = &mut *self;
+        db.try_scan(&mut |_id, seq| {
+            if seen >= skip {
+                state.ingest(seq);
+                ingested += 1;
+            }
+            seen += 1;
+        })?;
+        Ok(ingested)
+    }
+
     /// Number of sequences ingested so far.
     pub fn total_seen(&self) -> u64 {
         self.total

@@ -1,0 +1,109 @@
+//! Stream ingestion through the fallible scan path: `ingest_from` must
+//! surface store faults as typed errors, ingest exactly the visited prefix,
+//! and compose with the seqdb fault policies.
+
+use noisemine_core::miner::MinerConfig;
+use noisemine_core::{CompatibilityMatrix, PatternSpace, Symbol};
+use noisemine_seqdb::{DiskDb, FaultPlan, FaultPolicy, FaultyStore};
+use noisemine_stream::{Error, StreamState};
+
+fn tmp_path(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "noisemine-stream-fault-{}-{name}",
+        std::process::id()
+    ))
+}
+
+fn config() -> MinerConfig {
+    MinerConfig {
+        min_match: 0.2,
+        delta: 0.05,
+        sample_size: 8,
+        counters_per_scan: 10,
+        space: PatternSpace::contiguous(3),
+        seed: 42,
+        ..MinerConfig::default()
+    }
+}
+
+fn sequences(n: u16) -> Vec<Vec<Symbol>> {
+    (0..n)
+        .map(|i| (0..5).map(|j| Symbol((i + j) % 5)).collect())
+        .collect()
+}
+
+#[test]
+fn ingest_from_disk_matches_direct_ingestion() {
+    let seqs = sequences(30);
+    let path = tmp_path("clean.nmdb");
+    let db = DiskDb::create_from(&path, seqs.iter().map(Vec::as_slice)).unwrap();
+
+    let matrix = CompatibilityMatrix::paper_figure2();
+    let mut from_disk = StreamState::new(matrix.clone(), config()).unwrap();
+    let ingested = from_disk.ingest_from(&db, 0).unwrap();
+    assert_eq!(ingested, 30);
+
+    let mut direct = StreamState::new(matrix, config()).unwrap();
+    direct.ingest_all(&seqs);
+
+    assert_eq!(from_disk.total_seen(), direct.total_seen());
+    assert_eq!(from_disk.symbol_match(), direct.symbol_match());
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn ingest_from_skip_resumes_where_it_left_off() {
+    let seqs = sequences(25);
+    let path = tmp_path("resume.nmdb");
+    let db = DiskDb::create_from(&path, seqs.iter().map(Vec::as_slice)).unwrap();
+
+    let matrix = CompatibilityMatrix::paper_figure2();
+    let mut split = StreamState::new(matrix.clone(), config()).unwrap();
+    split.ingest_all(&seqs[..10]);
+    let ingested = split.ingest_from(&db, split.total_seen()).unwrap();
+    assert_eq!(ingested, 15);
+
+    let mut whole = StreamState::new(matrix, config()).unwrap();
+    whole.ingest_all(&seqs);
+    assert_eq!(split.symbol_match(), whole.symbol_match());
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn strict_store_fault_surfaces_as_scan_error() {
+    let seqs = sequences(20);
+    let path = tmp_path("strict.nmdb");
+    let db = DiskDb::create_from(&path, seqs.iter().map(Vec::as_slice)).unwrap();
+    drop(db);
+    // One persistent bit flip somewhere in the records.
+    let plan = FaultPlan::new().flip_bit((20 + 16 + 3) as u64 * 8);
+    let store = FaultyStore::open(&path, plan, FaultPolicy::Strict).unwrap();
+
+    let mut engine = StreamState::new(CompatibilityMatrix::paper_figure2(), config()).unwrap();
+    let err = engine.ingest_from(&store, 0).unwrap_err();
+    assert!(matches!(err, Error::Scan(_)), "{err}");
+    // The fault hit record 0, so nothing was ingested before it.
+    assert_eq!(engine.total_seen(), 0);
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn quarantined_store_ingests_the_surviving_subset() {
+    let seqs = sequences(20);
+    let path = tmp_path("quarantine.nmdb");
+    let db = DiskDb::create_from(&path, seqs.iter().map(Vec::as_slice)).unwrap();
+    drop(db);
+    let plan = FaultPlan::new().flip_bit((20 + 16 + 3) as u64 * 8);
+    let store = FaultyStore::open(&path, plan, FaultPolicy::Quarantine).unwrap();
+    assert_eq!(store.db().quarantined().len(), 1);
+
+    let mut engine = StreamState::new(CompatibilityMatrix::paper_figure2(), config()).unwrap();
+    let ingested = engine.ingest_from(&store, 0).unwrap();
+    assert_eq!(ingested, 19);
+
+    // Bit-identical to ingesting the clean surviving subset directly.
+    let mut clean = StreamState::new(CompatibilityMatrix::paper_figure2(), config()).unwrap();
+    clean.ingest_all(&seqs[1..]);
+    assert_eq!(engine.symbol_match(), clean.symbol_match());
+    std::fs::remove_file(&path).unwrap();
+}
