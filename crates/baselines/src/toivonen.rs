@@ -122,6 +122,7 @@ pub fn toivonen_config(
         seed,
         max_sample_patterns: noisemine_core::sample_miner::DEFAULT_MAX_SAMPLE_PATTERNS,
         threads: 0,
+        match_kernel: noisemine_core::MatchKernel::default(),
     }
 }
 

@@ -1,0 +1,190 @@
+//! Batched candidate-trie match kernel vs the naive per-pattern oracle.
+//!
+//! Times [`db_match_many_kernel`] under both [`MatchKernel`]s over a grid of
+//! candidate-batch sizes × pattern lengths × alphabet sizes, on the same
+//! synthetic database. Candidate batches mimic an Apriori level: the first
+//! `candidates` length-`len` contiguous patterns over a small symbol subset
+//! in lexicographic order, which share long prefixes exactly the way a
+//! level-wise frontier does — that prefix sharing is what the trie kernel
+//! exploits (one window walk per batch instead of one per pattern).
+//!
+//! Before timing anything it verifies the bit-identity contract: both
+//! kernels must return the exact same `Vec<f64>` for every grid point.
+//! Results are printed as a table and recorded as JSON (default
+//! `BENCH_kernel.json`); the CI bench gate compares that file against the
+//! committed baseline.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use noisemine_bench::args::Args;
+use noisemine_bench::table::Table;
+use noisemine_core::matching::db_match_many_kernel;
+use noisemine_core::pattern::Pattern;
+use noisemine_core::{CompatibilityMatrix, MatchKernel, Symbol};
+use noisemine_datagen::{scalability_db, sparse_random_matrix};
+use noisemine_seqdb::MemoryDb;
+
+/// Symbols the candidate generator draws from — small on purpose, so
+/// lexicographic neighbors share long prefixes (an Apriori level over a
+/// frequent subset, not the whole alphabet).
+const CANDIDATE_BASE: usize = 4;
+
+struct Row {
+    symbols: usize,
+    len: usize,
+    candidates: usize,
+    kernel: &'static str,
+    secs: f64,
+    evals_per_sec: f64,
+    speedup: f64,
+}
+
+fn main() {
+    let args = Args::parse();
+    args.deny_unknown(&[
+        "seed",
+        "symbols",
+        "sequences",
+        "length",
+        "candidates",
+        "pattern-lens",
+        "repeat",
+        "out",
+    ]);
+    let seed = args.u64("seed", 2002);
+    let symbol_counts = args.usize_list("symbols", &[8, 20]);
+    let n = args.usize("sequences", 500);
+    let seq_len = args.usize("length", 40);
+    let candidate_counts = args.usize_list("candidates", &[16, 64, 256]);
+    let pattern_lens = args.usize_list("pattern-lens", &[4, 8, 12]);
+    let repeat = args.usize("repeat", 3).max(1);
+    let out = args.get("out", "BENCH_kernel.json").to_string();
+
+    noisemine_obs::enable();
+    let cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
+
+    let mut t = Table::new(
+        &format!("Batched match kernel (n = {n}, seq_len = {seq_len}, {cpus} cpu(s))"),
+        ["m", "len", "cands", "kernel", "secs", "evals/s", "speedup"],
+    );
+    let mut rows = Vec::new();
+    for &m in &symbol_counts {
+        let matrix = sparse_random_matrix(m, 0.2, 0.85, seed ^ 0x57 ^ m as u64);
+        let db = MemoryDb::from_sequences(scalability_db(m, n, seq_len, seed ^ 0x59 ^ m as u64));
+        for &len in &pattern_lens {
+            for &candidates in &candidate_counts {
+                let patterns = apriori_level(m, len, candidates);
+                // Bit-identity first: the trie kernel is only a valid
+                // optimization if it never changes a single bit.
+                let naive_out =
+                    db_match_many_kernel(&patterns, &db, &matrix, 1, MatchKernel::Naive);
+                let trie_out = db_match_many_kernel(&patterns, &db, &matrix, 1, MatchKernel::Trie);
+                assert!(
+                    naive_out == trie_out,
+                    "kernels diverged at m = {m}, len = {len}, candidates = {candidates} \
+                     — bit-identity contract broken"
+                );
+
+                let naive_secs = run(&patterns, &db, &matrix, MatchKernel::Naive, repeat);
+                let trie_secs = run(&patterns, &db, &matrix, MatchKernel::Trie, repeat);
+                for (kernel, secs) in [("naive", naive_secs), ("trie", trie_secs)] {
+                    let row = Row {
+                        symbols: m,
+                        len,
+                        candidates,
+                        kernel,
+                        secs,
+                        evals_per_sec: (candidates * n) as f64 / secs,
+                        speedup: naive_secs / secs,
+                    };
+                    t.row([
+                        row.symbols.to_string(),
+                        row.len.to_string(),
+                        row.candidates.to_string(),
+                        row.kernel.to_string(),
+                        format!("{:.4}", row.secs),
+                        format!("{:.0}", row.evals_per_sec),
+                        format!("{:.2}", row.speedup),
+                    ]);
+                    rows.push(row);
+                }
+            }
+        }
+    }
+    t.emit(None);
+
+    std::fs::write(&out, to_json(seed, n, seq_len, cpus, &rows)).expect("write json");
+    println!("\nwrote {out}");
+}
+
+/// The first `count` length-`len` contiguous patterns over the first
+/// [`CANDIDATE_BASE`] symbols of an `m`-symbol alphabet, in lexicographic
+/// order — a synthetic Apriori level with maximal prefix sharing.
+fn apriori_level(m: usize, len: usize, count: usize) -> Vec<Pattern> {
+    let base = CANDIDATE_BASE.min(m);
+    let mut patterns = Vec::with_capacity(count);
+    let mut digits = vec![0usize; len];
+    for _ in 0..count {
+        let symbols: Vec<Symbol> = digits.iter().map(|&d| Symbol(d as u16)).collect();
+        patterns.push(Pattern::contiguous(&symbols).expect("non-empty candidate"));
+        // Lexicographic increment (most-significant digit first).
+        for d in digits.iter_mut().rev() {
+            *d += 1;
+            if *d < base {
+                break;
+            }
+            *d = 0;
+        }
+    }
+    patterns
+}
+
+/// Times `repeat` single-threaded scans of the full batch and returns the
+/// best wall-clock — the kernels' algorithmic difference, not scheduling
+/// noise, is what this bench isolates.
+fn run(
+    patterns: &[Pattern],
+    db: &MemoryDb,
+    matrix: &CompatibilityMatrix,
+    kernel: MatchKernel,
+    repeat: usize,
+) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..repeat {
+        let start = Instant::now();
+        let out = db_match_many_kernel(patterns, db, matrix, 1, kernel);
+        best = best.min(start.elapsed().as_secs_f64());
+        std::hint::black_box(out);
+    }
+    best
+}
+
+/// Hand-rolled JSON (the vendored serde shim does not serialize).
+fn to_json(seed: u64, n: usize, seq_len: usize, cpus: usize, rows: &[Row]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"bench\": \"match_kernel\",");
+    let _ = writeln!(s, "  \"seed\": {seed},");
+    let _ = writeln!(s, "  \"sequences\": {n},");
+    let _ = writeln!(s, "  \"seq_len\": {seq_len},");
+    let _ = writeln!(s, "  \"cpus\": {cpus},");
+    let _ = writeln!(
+        s,
+        "  \"metrics\": {},",
+        noisemine_bench::metrics_json_fragment(2)
+    );
+    let _ = writeln!(s, "  \"rows\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{\"symbols\": {}, \"len\": {}, \"candidates\": {}, \"kernel\": \"{}\", \
+             \"secs\": {:.6}, \"evals_per_sec\": {:.1}, \"speedup\": {:.3}}}{comma}",
+            r.symbols, r.len, r.candidates, r.kernel, r.secs, r.evals_per_sec, r.speedup,
+        );
+    }
+    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "}}");
+    s
+}

@@ -8,7 +8,9 @@ use noisemine_baselines::{
 use noisemine_core::border_collapse::ProbeStrategy;
 use noisemine_core::matching::{db_match, db_support, MatchMetric, MemorySequences, SequenceScan};
 use noisemine_core::miner::{mine, MinerConfig};
-use noisemine_core::{matrix_io, Alphabet, CompatibilityMatrix, Pattern, PatternSpace, Symbol};
+use noisemine_core::{
+    matrix_io, Alphabet, CompatibilityMatrix, MatchKernel, Pattern, PatternSpace, Symbol,
+};
 use noisemine_datagen::learn_matrix;
 use noisemine_datagen::noise::{channel_to_compatibility, partner_channel};
 use noisemine_datagen::{
@@ -295,6 +297,7 @@ pub fn cmd_mine(opts: &Opts) -> CliResult<()> {
         "strategy",
         "seed",
         "threads",
+        "kernel",
         "limit",
         "top",
         "format",
@@ -358,6 +361,7 @@ pub fn cmd_mine(opts: &Opts) -> CliResult<()> {
                 },
                 seed: opts.num("seed", 2002u64)?,
                 threads: opts.num("threads", 0usize)?,
+                match_kernel: parse_kernel(opts)?,
                 ..MinerConfig::default()
             };
             let outcome = mine(&db, &matrix, &config).map_err(|e| e.to_string())?;
@@ -505,6 +509,7 @@ fn mine_binary(opts: &Opts, sink: Option<&noisemine_obs::FileSink>) -> CliResult
         },
         seed: opts.num("seed", 2002u64)?,
         threads: opts.num("threads", 0usize)?,
+        match_kernel: parse_kernel(opts)?,
         ..MinerConfig::default()
     };
     let outcome = mine(&db, &matrix, &config).map_err(|e| format!("{path}: {e}"))?;
@@ -529,6 +534,15 @@ fn mine_binary(opts: &Opts, sink: Option<&noisemine_obs::FileSink>) -> CliResult
     );
     write_metrics(sink)?;
     emit(&sorted, limit, &alphabet, format)
+}
+
+/// Parses `--kernel trie|naive` into a [`MatchKernel`] (default: trie —
+/// the batched candidate-trie kernel; naive is the per-pattern reference
+/// oracle, bit-identical but slower).
+fn parse_kernel(opts: &Opts) -> CliResult<MatchKernel> {
+    let name = opts.get_or("kernel", "trie");
+    MatchKernel::parse(name)
+        .ok_or_else(|| format!("unknown --kernel {name:?}; use trie or naive").into())
 }
 
 /// Parses `--on-fault strict|retry[:N]|quarantine` into a [`FaultPolicy`]
@@ -581,6 +595,7 @@ pub fn cmd_stream(opts: &Opts) -> CliResult<()> {
         "strategy",
         "seed",
         "threads",
+        "kernel",
         "limit",
         "format",
         "metrics-out",
@@ -630,6 +645,7 @@ pub fn cmd_stream(opts: &Opts) -> CliResult<()> {
                 },
                 seed: opts.num("seed", 2002u64)?,
                 threads: opts.num("threads", 0usize)?,
+                match_kernel: parse_kernel(opts)?,
                 ..MinerConfig::default()
             };
             StreamState::new(matrix.clone(), config).map_err(|e| e.to_string())?

@@ -8,11 +8,11 @@
 //! noisemine mine    --db db.txt|db.nmdb [--matrix m.txt] [--normalize] [--min-match 0.1]
 //!                   [--algorithm three-phase|levelwise|depth-first|max-miner] [--top k]
 //!                   [--max-gap 0] [--max-len 16] [--sample N] [--strategy border|levelwise]
-//!                   [--threads 0] [--metrics-out m.json]
+//!                   [--threads 0] [--kernel trie|naive] [--metrics-out m.json]
 //!                   [--on-fault strict|retry[:N]|quarantine]   (.nmdb inputs)
 //! noisemine stream  --db db.txt [--matrix m.txt] [--checkpoint state.ckpt]
 //!                   [--chunk 1000] [--min-match 0.1] [--sample 1000] [--threads 0]
-//!                   [--metrics-out m.json]
+//!                   [--kernel trie|naive] [--metrics-out m.json]
 //! noisemine convert --db db.txt --out db.nmdb [--matrix m.txt]
 //! ```
 
@@ -35,15 +35,15 @@ USAGE:
                     [--algorithm three-phase|levelwise|depth-first|max-miner]
                     [--max-gap 0] [--max-len 16] [--sample N] [--delta 0.001]
                     [--counters 100000] [--strategy border|levelwise]
-                    [--seed 2002] [--threads 0] [--limit 50] [--top k]
-                    [--metrics-out m.json]
+                    [--seed 2002] [--threads 0] [--kernel trie|naive]
+                    [--limit 50] [--top k] [--metrics-out m.json]
                     [--on-fault strict|retry[:N]|quarantine]
   noisemine stream  --db db.txt|- [--matrix m.txt] [--normalize]
                     [--checkpoint state.ckpt] [--chunk 1000] [--min-match 0.1]
                     [--sample 1000] [--delta 0.001] [--counters 100000]
                     [--max-gap 0] [--max-len 16] [--strategy border|levelwise]
-                    [--seed 2002] [--threads 0] [--limit 50]
-                    [--metrics-out m.json]
+                    [--seed 2002] [--threads 0] [--kernel trie|naive]
+                    [--limit 50] [--metrics-out m.json]
   noisemine learn   --truth clean.txt --observed noisy.txt --out m.txt [--lambda 0.1]
   noisemine convert --db db.txt --out db.nmdb [--matrix m.txt]
 
@@ -55,7 +55,10 @@ diagonal-normalized score matrix (match on the noise-free support scale).
 drift past the Chernoff bound, and persists engine state via --checkpoint so
 a later run over a grown file resumes from the tail. --threads sets the scan
 worker count for the three-phase miner (0 = auto); results are bit-identical
-at any thread count. --metrics-out enables the observability layer and writes
+at any thread count. --kernel picks the candidate evaluation kernel (trie =
+batched candidate-trie, the default; naive = per-pattern reference) — the
+kernels are bit-identical, so this only affects speed.
+--metrics-out enables the observability layer and writes
 a metrics snapshot to the given path (JSON, or Prometheus text when the path
 ends in .prom/.txt); `stream` rewrites it after every chunk. Metrics never
 change mining output — see docs/OBSERVABILITY.md. `mine` also accepts a

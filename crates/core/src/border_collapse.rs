@@ -26,7 +26,8 @@ use serde::{Deserialize, Serialize};
 
 use crate::error::ScanError;
 use crate::lattice::AmbiguousSpace;
-use crate::matching::{try_db_match_many_threads, SequenceScan};
+use crate::match_kernel::MatchKernel;
+use crate::matching::{try_db_match_many_kernel, SequenceScan};
 use crate::matrix::CompatibilityMatrix;
 use crate::pattern::Pattern;
 
@@ -152,6 +153,34 @@ pub fn collapse_with_known<S: SequenceScan + ?Sized>(
 /// the rest, so a caller that retries starts from a clean collapse.
 #[allow(clippy::too_many_arguments)]
 pub fn try_collapse_with_known<S: SequenceScan + ?Sized>(
+    space: AmbiguousSpace,
+    known: &[(Pattern, f64)],
+    db: &S,
+    matrix: &CompatibilityMatrix,
+    min_match: f64,
+    counters_per_scan: usize,
+    strategy: ProbeStrategy,
+    threads: usize,
+) -> Result<CollapseResult, ScanError> {
+    try_collapse_with_known_kernel(
+        space,
+        known,
+        db,
+        matrix,
+        min_match,
+        counters_per_scan,
+        strategy,
+        threads,
+        MatchKernel::default(),
+    )
+}
+
+/// [`try_collapse_with_known`] with an explicit [`MatchKernel`] for the
+/// layer-probe scans. Like `threads`, the kernel is purely operational: the
+/// two kernels are bit-identical (see [`crate::match_kernel`]), so the
+/// verdicts never depend on it.
+#[allow(clippy::too_many_arguments)]
+pub fn try_collapse_with_known_kernel<S: SequenceScan + ?Sized>(
     mut space: AmbiguousSpace,
     known: &[(Pattern, f64)],
     db: &S,
@@ -160,6 +189,7 @@ pub fn try_collapse_with_known<S: SequenceScan + ?Sized>(
     counters_per_scan: usize,
     strategy: ProbeStrategy,
     threads: usize,
+    kernel: MatchKernel,
 ) -> Result<CollapseResult, ScanError> {
     assert!(counters_per_scan >= 1, "need room for at least one counter");
     let mut result = CollapseResult::default();
@@ -188,7 +218,7 @@ pub fn try_collapse_with_known<S: SequenceScan + ?Sized>(
                 probes.iter().map(|p| p.non_eternal_count()).collect();
             crate::obs::collapse_layers_probed().add(layers.len() as u64);
         }
-        let values = try_db_match_many_threads(&probes, db, matrix, threads)?;
+        let values = try_db_match_many_kernel(&probes, db, matrix, threads, kernel)?;
         result.scans += 1;
         result.probes += probes.len();
         result.probes_per_scan.push(probes.len());

@@ -56,6 +56,7 @@ pub mod candidates;
 pub mod chernoff;
 pub mod error;
 pub mod lattice;
+pub mod match_kernel;
 pub mod matching;
 pub mod matrix;
 pub mod matrix_io;
@@ -71,6 +72,7 @@ pub use candidates::PatternSpace;
 pub use chernoff::{Label, SpreadMode};
 pub use error::{Error, Result, ScanError, ScanErrorKind};
 pub use lattice::Border;
+pub use match_kernel::{CandidateTrie, MatchKernel, TrieScratch};
 pub use matching::{MatchMetric, PatternMetric, SequenceScan, SupportMetric};
 pub use matrix::CompatibilityMatrix;
 pub use miner::{mine, FrequentPattern, MineOutcome, MineStats, MinerConfig};

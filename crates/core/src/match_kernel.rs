@@ -1,0 +1,567 @@
+//! Batched candidate-trie match kernel (Definitions 3.5/3.6 at scale).
+//!
+//! Every phase of the miner bottlenecks on the same primitive: evaluate
+//! `M(P, S) = max over windows of ∏ C(pᵢ, sᵢ)` for *many* candidate
+//! patterns against *every* sequence. Phase 2 evaluates whole candidate
+//! levels against the sample, and phase 3's border collapsing probes entire
+//! lattice layers per scan. Evaluating each pattern independently with
+//! [`sequence_match`](crate::matching::sequence_match) redoes identical
+//! prefix products for candidates that share prefixes — and by Apriori
+//! generation ([`crate::candidates::next_level`] extends each survivor on
+//! the right) almost all candidates in a level share long prefixes.
+//!
+//! [`CandidateTrie`] stores an arbitrary batch of patterns keyed by shared
+//! prefixes, and [`CandidateTrie::batch_sequence_match`] walks each window
+//! of a sequence **once**, maintaining the incremental prefix product down
+//! the trie so a prefix shared by `k` candidates is multiplied once instead
+//! of `k` times.
+//!
+//! # Pruning, and why the kernel is bit-identical to the naive path
+//!
+//! Compatibility values never exceed 1 (each column of the matrix is a
+//! conditional distribution), so the running product down a trie path is
+//! non-increasing — the monotonicity behind Claim 3.1's Apriori property,
+//! reused here at window granularity. Each trie node carries a *floor*: the
+//! minimum best-window-so-far over every candidate in its subtree. When the
+//! running product falls to (or below) the floor, no candidate below can
+//! improve on a window it has already seen, and the entire subtree is cut
+//! for this window. This is exactly the per-pattern abandonment of
+//! [`sequence_match`](crate::matching::sequence_match) lifted to subtrees,
+//! and — like it — the cut is *exact*, never heuristic: a pruned window
+//! could only have produced a value `<=` an already-recorded one.
+//!
+//! Because a pattern's product is multiplied in the same left-to-right
+//! order as the naive scan and the window loop visits windows in the same
+//! order, every per-pattern result is **bit-identical** to
+//! `sequence_match` (floating-point multiplication order and max order are
+//! preserved, not merely mathematically equivalent). The naive path is kept
+//! as a reference oracle, selectable with [`MatchKernel::Naive`].
+//!
+//! # Observability
+//!
+//! With the [`noisemine_obs`] registry enabled, the kernel counts trie
+//! nodes expanded (`core_kernel_nodes_visited_total`) and subtree cuts
+//! (`core_kernel_prunes_total`); the batch width of each kernel-evaluated
+//! scan is tracked by `core_kernel_patterns_per_scan`. See
+//! `docs/OBSERVABILITY.md`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::alphabet::Symbol;
+use crate::matrix::CompatibilityMatrix;
+use crate::pattern::{Pattern, PatternElem};
+
+/// Which implementation evaluates multi-pattern match batches.
+///
+/// The two kernels are bit-identical on every input (asserted by the
+/// property suite and the `match_kernel` bench); the naive path is retained
+/// as a reference oracle and for ablation benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum MatchKernel {
+    /// Evaluate each pattern independently with
+    /// [`sequence_match`](crate::matching::sequence_match).
+    Naive,
+    /// Batched candidate-trie kernel: one window walk per sequence,
+    /// shared-prefix products, subtree pruning.
+    #[default]
+    Trie,
+}
+
+impl MatchKernel {
+    /// Parses a kernel name (`"trie"` / `"naive"`), as accepted by the CLI
+    /// `--kernel` flag.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "trie" => Some(Self::Trie),
+            "naive" => Some(Self::Naive),
+            _ => None,
+        }
+    }
+
+    /// Short human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Naive => "naive",
+            Self::Trie => "trie",
+        }
+    }
+}
+
+/// Sentinel: node has no terminal pattern.
+const NO_PATTERN: u32 = u32::MAX;
+/// Sentinel: node has no parent (it is a root).
+const NO_PARENT: u32 = u32::MAX;
+/// Element id for the eternal symbol inside a node.
+const ANY_ELEM: u32 = u32::MAX;
+
+/// One trie node, laid out for the window walk: the element it consumes,
+/// its depth (window offset), its parent (for floor propagation), an
+/// optional terminal pattern index, and a contiguous child range in
+/// [`CandidateTrie::children`].
+#[derive(Debug, Clone)]
+struct TrieNode {
+    /// Concrete symbol id, or [`ANY_ELEM`] for `*`.
+    elem: u32,
+    /// Window offset consumed by this node (root = 0).
+    depth: u32,
+    /// Parent node index, [`NO_PARENT`] for roots.
+    parent: u32,
+    /// Terminal pattern index, [`NO_PATTERN`] if none ends here.
+    pattern: u32,
+    /// Start of the child range in `children`.
+    child_start: u32,
+    /// End (exclusive) of the child range in `children`.
+    child_end: u32,
+}
+
+/// A batch of candidate patterns stored as a prefix trie.
+///
+/// The trie is immutable after construction and holds no per-evaluation
+/// state, so one trie can be shared by any number of worker threads; each
+/// worker brings its own [`TrieScratch`].
+#[derive(Debug, Clone)]
+pub struct CandidateTrie {
+    nodes: Vec<TrieNode>,
+    /// Flat child adjacency; each node owns `children[child_start..child_end]`.
+    children: Vec<u32>,
+    /// Root nodes (depth 0), one per distinct leading element.
+    roots: Vec<u32>,
+    /// `(duplicate, canonical)` pattern-index pairs: a duplicate pattern
+    /// shares the canonical's terminal node and copies its result.
+    dups: Vec<(u32, u32)>,
+    patterns: usize,
+}
+
+/// Intermediate adjacency used only during construction.
+struct BuildNode {
+    elem: u32,
+    depth: u32,
+    parent: u32,
+    pattern: u32,
+    children: Vec<u32>,
+}
+
+impl CandidateTrie {
+    /// Builds a trie over `patterns`. Pattern indices in every evaluation
+    /// output are aligned with this slice. Duplicate patterns are allowed —
+    /// each occupies its own output slot (the first duplicate owns the
+    /// terminal marker, the rest alias its result), so a batch with
+    /// repeats still returns one value per input pattern.
+    pub fn new(patterns: &[Pattern]) -> Self {
+        let mut nodes: Vec<BuildNode> = Vec::new();
+        let mut roots: Vec<u32> = Vec::new();
+        let mut dups: Vec<(u32, u32)> = Vec::new();
+        for (pi, pattern) in patterns.iter().enumerate() {
+            let mut at: Option<u32> = None;
+            for (depth, e) in pattern.elems().iter().enumerate() {
+                let elem = match e {
+                    PatternElem::Any => ANY_ELEM,
+                    PatternElem::Sym(s) => s.0 as u32,
+                };
+                let siblings: &[u32] = match at {
+                    None => &roots,
+                    Some(n) => &nodes[n as usize].children,
+                };
+                let found = siblings
+                    .iter()
+                    .copied()
+                    .find(|&c| nodes[c as usize].elem == elem);
+                let next = match found {
+                    Some(c) => c,
+                    None => {
+                        let idx = nodes.len() as u32;
+                        nodes.push(BuildNode {
+                            elem,
+                            depth: depth as u32,
+                            parent: at.unwrap_or(NO_PARENT),
+                            pattern: NO_PATTERN,
+                            children: Vec::new(),
+                        });
+                        match at {
+                            None => roots.push(idx),
+                            Some(n) => nodes[n as usize].children.push(idx),
+                        }
+                        idx
+                    }
+                };
+                at = Some(next);
+            }
+            let terminal = at.expect("patterns are non-empty") as usize;
+            if nodes[terminal].pattern == NO_PATTERN {
+                nodes[terminal].pattern = pi as u32;
+            } else {
+                dups.push((pi as u32, nodes[terminal].pattern));
+            }
+        }
+
+        // Flatten the per-node child vectors into one contiguous array.
+        let mut children = Vec::with_capacity(nodes.len().saturating_sub(roots.len()));
+        let mut flat = Vec::with_capacity(nodes.len());
+        for n in &nodes {
+            let child_start = children.len() as u32;
+            children.extend_from_slice(&n.children);
+            flat.push(TrieNode {
+                elem: n.elem,
+                depth: n.depth,
+                parent: n.parent,
+                pattern: n.pattern,
+                child_start,
+                child_end: children.len() as u32,
+            });
+        }
+        Self {
+            nodes: flat,
+            children,
+            roots,
+            dups,
+            patterns: patterns.len(),
+        }
+    }
+
+    /// Number of patterns in the batch.
+    pub fn num_patterns(&self) -> usize {
+        self.patterns
+    }
+
+    /// Number of trie nodes — `sum of pattern lengths` minus the positions
+    /// saved by prefix sharing.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Allocates evaluation scratch sized for this trie. Reuse it across
+    /// sequences; sharing one trie across threads requires one scratch per
+    /// thread.
+    pub fn scratch(&self) -> TrieScratch {
+        TrieScratch {
+            best: vec![0.0; self.patterns],
+            floor: vec![0.0; self.nodes.len()],
+            stack: Vec::with_capacity(self.nodes.len().min(1024)),
+            nodes_visited: 0,
+            prunes: 0,
+        }
+    }
+
+    /// Computes `out[i] = sequence_match(patterns[i], sequence, matrix)`
+    /// for every pattern in the batch, walking each window of the sequence
+    /// once. Results are bit-identical to per-pattern
+    /// [`sequence_match`](crate::matching::sequence_match) (see the module
+    /// docs for the argument).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.num_patterns()` in debug builds; a
+    /// shorter `out` panics on indexing in all builds.
+    pub fn batch_sequence_match(
+        &self,
+        sequence: &[Symbol],
+        matrix: &CompatibilityMatrix,
+        scratch: &mut TrieScratch,
+        out: &mut [f64],
+    ) {
+        debug_assert_eq!(out.len(), self.patterns);
+        if self.patterns == 0 {
+            return;
+        }
+        scratch.best.fill(0.0);
+        scratch.floor.fill(0.0);
+        let n = sequence.len();
+        // Only distinct patterns own terminal nodes; duplicates alias a
+        // canonical slot after the walk and never saturate on their own.
+        let distinct = self.patterns - self.dups.len();
+        let mut saturated = 0usize;
+        let mut nodes_visited = 0u64;
+        let mut prunes = 0u64;
+
+        'windows: for w in 0..n {
+            scratch.stack.clear();
+            for &r in self.roots.iter().rev() {
+                scratch.stack.push((r, 1.0f64));
+            }
+            while let Some((ni, upstream)) = scratch.stack.pop() {
+                let node = &self.nodes[ni as usize];
+                let pos = w + node.depth as usize;
+                if pos >= n {
+                    continue; // window runs off the end of the sequence
+                }
+                nodes_visited += 1;
+                let product = if node.elem == ANY_ELEM {
+                    // The eternal symbol: C(*, x) = 1, product unchanged
+                    // (and, like the naive scan, no floor check here).
+                    upstream
+                } else {
+                    let p = upstream * matrix.get(Symbol(node.elem as u16), sequence[pos]);
+                    if p <= scratch.floor[ni as usize] {
+                        // Below every candidate's best in this subtree:
+                        // exact cut (the product can only shrink further).
+                        prunes += 1;
+                        continue;
+                    }
+                    p
+                };
+                if node.pattern != NO_PATTERN {
+                    let pi = node.pattern as usize;
+                    if product > scratch.best[pi] {
+                        if scratch.best[pi] < 1.0 && product >= 1.0 {
+                            saturated += 1;
+                        }
+                        scratch.best[pi] = product;
+                        self.raise_floors(ni, scratch);
+                    }
+                }
+                for &c in self.children[node.child_start as usize..node.child_end as usize]
+                    .iter()
+                    .rev()
+                {
+                    scratch.stack.push((c, product));
+                }
+            }
+            if saturated == distinct {
+                break 'windows; // every candidate already has a perfect match
+            }
+        }
+
+        out.copy_from_slice(&scratch.best);
+        for &(dup, canon) in &self.dups {
+            out[dup as usize] = out[canon as usize];
+        }
+        scratch.nodes_visited += nodes_visited;
+        scratch.prunes += prunes;
+        if noisemine_obs::enabled() {
+            crate::obs::kernel_nodes_visited().add(nodes_visited);
+            crate::obs::kernel_prunes().add(prunes);
+        }
+    }
+
+    /// Re-establishes the floor invariant (`floor[n]` = min best over
+    /// terminal descendants of `n`, including `n` itself) after `best` of
+    /// the terminal at `node` increased, walking toward the root until a
+    /// floor stops changing.
+    fn raise_floors(&self, node: u32, scratch: &mut TrieScratch) {
+        let mut ni = node;
+        loop {
+            let n = &self.nodes[ni as usize];
+            let mut f = if n.pattern == NO_PATTERN {
+                f64::INFINITY
+            } else {
+                scratch.best[n.pattern as usize]
+            };
+            for &c in &self.children[n.child_start as usize..n.child_end as usize] {
+                let cf = scratch.floor[c as usize];
+                if cf < f {
+                    f = cf;
+                }
+            }
+            if f == scratch.floor[ni as usize] {
+                break; // ancestors already see this minimum
+            }
+            scratch.floor[ni as usize] = f;
+            if n.parent == NO_PARENT {
+                break;
+            }
+            ni = n.parent;
+        }
+    }
+}
+
+/// Per-thread evaluation state for one [`CandidateTrie`]: best-window
+/// values per pattern, per-node pruning floors, and the DFS stack. Also
+/// accumulates the kernel's work counters so callers can inspect pruning
+/// effectiveness without the metrics registry.
+#[derive(Debug, Clone)]
+pub struct TrieScratch {
+    best: Vec<f64>,
+    floor: Vec<f64>,
+    stack: Vec<(u32, f64)>,
+    /// Trie nodes expanded across all evaluations with this scratch.
+    pub nodes_visited: u64,
+    /// Subtrees cut by the floor across all evaluations with this scratch.
+    pub prunes: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::matching::sequence_match;
+
+    fn pat(text: &str) -> Pattern {
+        Pattern::parse(text, &Alphabet::synthetic(5)).unwrap()
+    }
+
+    fn seq(text: &str) -> Vec<Symbol> {
+        Alphabet::synthetic(5).encode(text).unwrap()
+    }
+
+    fn assert_batch_matches_naive(
+        patterns: &[Pattern],
+        sequence: &[Symbol],
+        matrix: &CompatibilityMatrix,
+    ) {
+        let trie = CandidateTrie::new(patterns);
+        let mut scratch = trie.scratch();
+        let mut out = vec![f64::NAN; patterns.len()];
+        trie.batch_sequence_match(sequence, matrix, &mut scratch, &mut out);
+        for (p, &got) in patterns.iter().zip(&out) {
+            let want = sequence_match(p, sequence, matrix);
+            assert!(
+                got == want,
+                "{p}: trie {got} != naive {want} (bit-identity broken)"
+            );
+        }
+    }
+
+    #[test]
+    fn agrees_with_naive_on_paper_database() {
+        let matrix = CompatibilityMatrix::paper_figure2();
+        let patterns = vec![
+            pat("d0"),
+            pat("d0 d1"),
+            pat("d0 d1 d1"),
+            pat("d0 * d1"),
+            pat("d1 d0"),
+            pat("d2 d0 d1"),
+            pat("d4 d4"),
+        ];
+        for text in ["d0 d1 d1 d2 d3 d0", "d2 d0 d1", "d0 d0", "d1"] {
+            assert_batch_matches_naive(&patterns, &seq(text), &matrix);
+        }
+    }
+
+    #[test]
+    fn empty_trie_is_a_no_op() {
+        let trie = CandidateTrie::new(&[]);
+        let mut scratch = trie.scratch();
+        let mut out: Vec<f64> = Vec::new();
+        trie.batch_sequence_match(
+            &seq("d0 d1"),
+            &CompatibilityMatrix::paper_figure2(),
+            &mut scratch,
+            &mut out,
+        );
+        assert_eq!(trie.num_patterns(), 0);
+        assert_eq!(trie.num_nodes(), 0);
+    }
+
+    #[test]
+    fn pattern_longer_than_sequence_yields_zero() {
+        let matrix = CompatibilityMatrix::paper_figure2();
+        let patterns = vec![pat("d0 d1 d2 d3"), pat("d0")];
+        let s = seq("d0 d1");
+        assert_batch_matches_naive(&patterns, &s, &matrix);
+        let trie = CandidateTrie::new(&patterns);
+        let mut out = vec![1.0; 2];
+        trie.batch_sequence_match(&s, &matrix, &mut trie.scratch(), &mut out);
+        assert_eq!(out[0], 0.0);
+    }
+
+    #[test]
+    fn empty_sequence_yields_all_zero() {
+        let matrix = CompatibilityMatrix::paper_figure2();
+        let patterns = vec![pat("d0"), pat("d1 d2")];
+        let trie = CandidateTrie::new(&patterns);
+        let mut out = vec![1.0; 2];
+        trie.batch_sequence_match(&[], &matrix, &mut trie.scratch(), &mut out);
+        assert_eq!(out, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn wildcard_columns_share_prefix_nodes() {
+        let matrix = CompatibilityMatrix::paper_figure2();
+        // d0 * d1 and d0 * d2 share the "d0 *" prefix (2 nodes), then fork.
+        let patterns = vec![pat("d0 * d1"), pat("d0 * d2"), pat("d0 * * d1")];
+        let trie = CandidateTrie::new(&patterns);
+        // Shared: d0, *; distinct: d1, d2, second *, final d1 -> 6 nodes.
+        assert_eq!(trie.num_nodes(), 6);
+        for text in ["d0 d3 d1 d4 d2", "d0 d0 d0 d0", "d3 d3"] {
+            assert_batch_matches_naive(&patterns, &seq(text), &matrix);
+        }
+    }
+
+    #[test]
+    fn prefix_sharing_reduces_node_count() {
+        // 4 patterns of length 3 with a common 2-prefix: 2 + 4 nodes.
+        let patterns: Vec<Pattern> = (0..4u16)
+            .map(|i| Pattern::contiguous(&[Symbol(0), Symbol(1), Symbol(i)]).unwrap())
+            .collect();
+        let trie = CandidateTrie::new(&patterns);
+        assert_eq!(trie.num_nodes(), 6);
+        assert_eq!(trie.num_patterns(), 4);
+    }
+
+    #[test]
+    fn terminal_prefix_of_longer_pattern() {
+        // d0 d1 is itself terminal AND the prefix of d0 d1 d2 — both must
+        // report their own (different) match values.
+        let matrix = CompatibilityMatrix::paper_figure2();
+        let patterns = vec![pat("d0 d1"), pat("d0 d1 d2")];
+        for text in ["d0 d1 d2 d0", "d0 d1", "d1 d0 d1 d2"] {
+            assert_batch_matches_naive(&patterns, &seq(text), &matrix);
+        }
+    }
+
+    #[test]
+    fn identity_matrix_exact_hits() {
+        let matrix = CompatibilityMatrix::identity(5);
+        let patterns = vec![pat("d0 d1"), pat("d1 d1"), pat("d0 * d0")];
+        for text in ["d0 d1 d1 d0", "d0 d2 d0", "d1 d1 d1"] {
+            assert_batch_matches_naive(&patterns, &seq(text), &matrix);
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_sequences_is_clean() {
+        let matrix = CompatibilityMatrix::paper_figure2();
+        let patterns = vec![pat("d0 d1"), pat("d1 d0"), pat("d2 d3 d1")];
+        let trie = CandidateTrie::new(&patterns);
+        let mut scratch = trie.scratch();
+        let mut out = vec![0.0; 3];
+        // A high-match sequence first: its bests/floors must not leak into
+        // the evaluation of the later, low-match sequence.
+        trie.batch_sequence_match(&seq("d0 d1 d0"), &matrix, &mut scratch, &mut out);
+        let s2 = seq("d4 d4");
+        trie.batch_sequence_match(&s2, &matrix, &mut scratch, &mut out);
+        for (p, &got) in patterns.iter().zip(&out) {
+            assert_eq!(got, sequence_match(p, &s2, &matrix), "{p}");
+        }
+        assert!(scratch.nodes_visited > 0);
+    }
+
+    #[test]
+    fn pruning_fires_on_repetitive_sequences() {
+        // A long repetitive sequence: after the first window establishes a
+        // best, later windows with equal products are cut at the floor.
+        let matrix = CompatibilityMatrix::paper_figure2();
+        let patterns = vec![pat("d1 d1"), pat("d1 d1 d1")];
+        let trie = CandidateTrie::new(&patterns);
+        let mut scratch = trie.scratch();
+        let mut out = vec![0.0; 2];
+        let s: Vec<Symbol> = std::iter::repeat_n(Symbol(1), 64).collect();
+        trie.batch_sequence_match(&s, &matrix, &mut scratch, &mut out);
+        assert!(scratch.prunes > 0, "floor pruning never fired");
+        for (p, &got) in patterns.iter().zip(&out) {
+            assert_eq!(got, sequence_match(p, &s, &matrix), "{p}");
+        }
+    }
+
+    #[test]
+    fn kernel_parse_round_trips() {
+        assert_eq!(MatchKernel::parse("trie"), Some(MatchKernel::Trie));
+        assert_eq!(MatchKernel::parse("naive"), Some(MatchKernel::Naive));
+        assert_eq!(MatchKernel::parse("fast"), None);
+        assert_eq!(MatchKernel::default().name(), "trie");
+        assert_eq!(MatchKernel::Naive.name(), "naive");
+    }
+
+    #[test]
+    fn duplicate_patterns_each_get_a_result() {
+        let matrix = CompatibilityMatrix::paper_figure2();
+        let patterns = vec![pat("d0 d1"), pat("d2"), pat("d0 d1"), pat("d0 d1")];
+        let trie = CandidateTrie::new(&patterns);
+        // The three copies of `d0 d1` share one terminal node.
+        assert_eq!(trie.num_nodes(), 3);
+        for text in ["d0 d1 d2", "d3 d4", "d0"] {
+            assert_batch_matches_naive(&patterns, &seq(text), &matrix);
+        }
+    }
+}

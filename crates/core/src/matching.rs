@@ -21,6 +21,7 @@
 
 use crate::alphabet::Symbol;
 use crate::error::ScanError;
+use crate::match_kernel::{CandidateTrie, MatchKernel, TrieScratch};
 use crate::matrix::CompatibilityMatrix;
 use crate::pattern::{Pattern, PatternElem};
 
@@ -390,6 +391,43 @@ pub fn try_db_match_many_threads<S: SequenceScan + ?Sized>(
     matrix: &CompatibilityMatrix,
     threads: usize,
 ) -> Result<Vec<f64>, ScanError> {
+    try_db_match_many_kernel(patterns, db, matrix, threads, MatchKernel::default())
+}
+
+/// [`db_match_many_threads`] with an explicit [`MatchKernel`] choice. The
+/// two kernels are bit-identical; the knob exists for the reference oracle
+/// and ablation benchmarks.
+pub fn db_match_many_kernel<S: SequenceScan + ?Sized>(
+    patterns: &[Pattern],
+    db: &S,
+    matrix: &CompatibilityMatrix,
+    threads: usize,
+    kernel: MatchKernel,
+) -> Vec<f64> {
+    match try_db_match_many_kernel(patterns, db, matrix, threads, kernel) {
+        Ok(v) => v,
+        Err(e) => panic!("database scan failed: {e}"),
+    }
+}
+
+/// Fallible variant of [`db_match_many_kernel`] and the common
+/// implementation of every `db_match_many*` entry point.
+///
+/// With [`MatchKernel::Trie`] the candidate batch is loaded into one
+/// [`CandidateTrie`] (built once, shared read-only by all workers; each
+/// worker carries its own [`TrieScratch`]), so each sequence window is
+/// walked once for the whole batch instead of once per pattern. The
+/// per-block accumulation order is identical to the naive path's, and each
+/// per-(pattern, sequence) value is bit-identical to [`sequence_match`], so
+/// the determinism contract of [`db_match_many_threads`] — bit-identical
+/// results at every thread count — holds across both kernels too.
+pub fn try_db_match_many_kernel<S: SequenceScan + ?Sized>(
+    patterns: &[Pattern],
+    db: &S,
+    matrix: &CompatibilityMatrix,
+    threads: usize,
+    kernel: MatchKernel,
+) -> Result<Vec<f64>, ScanError> {
     use crate::parallel::{
         resolve_threads, try_scan_map_reduce, PARALLEL_THRESHOLD, SCAN_BLOCK_SIZE,
     };
@@ -409,22 +447,46 @@ pub fn try_db_match_many_threads<S: SequenceScan + ?Sized>(
         resolve_threads(threads)
     };
     let mut visited = 0usize;
-    let partials = try_scan_map_reduce(
-        db,
-        SCAN_BLOCK_SIZE,
-        threads,
-        &mut |block| visited += block.len(),
-        &|| (),
-        &|_scratch, block| {
-            let mut partial = vec![0.0f64; p];
-            for (_, seq) in block.iter() {
-                for (t, pattern) in partial.iter_mut().zip(patterns) {
-                    *t += sequence_match(pattern, seq, matrix);
+    let partials = match kernel {
+        MatchKernel::Naive => try_scan_map_reduce(
+            db,
+            SCAN_BLOCK_SIZE,
+            threads,
+            &mut |block| visited += block.len(),
+            &|| (),
+            &|_scratch, block| {
+                let mut partial = vec![0.0f64; p];
+                for (_, seq) in block.iter() {
+                    for (t, pattern) in partial.iter_mut().zip(patterns) {
+                        *t += sequence_match(pattern, seq, matrix);
+                    }
                 }
-            }
-            partial
-        },
-    )?;
+                partial
+            },
+        )?,
+        MatchKernel::Trie => {
+            let trie = CandidateTrie::new(patterns);
+            crate::obs::kernel_patterns_per_scan().set(p as f64);
+            try_scan_map_reduce(
+                db,
+                SCAN_BLOCK_SIZE,
+                threads,
+                &mut |block| visited += block.len(),
+                &|| (trie.scratch(), vec![0.0f64; p]),
+                &|worker: &mut (TrieScratch, Vec<f64>), block| {
+                    let (scratch, out) = worker;
+                    let mut partial = vec![0.0f64; p];
+                    for (_, seq) in block.iter() {
+                        trie.batch_sequence_match(seq, matrix, scratch, out);
+                        for (t, &v) in partial.iter_mut().zip(out.iter()) {
+                            *t += v;
+                        }
+                    }
+                    partial
+                },
+            )?
+        }
+    };
     for partial in &partials {
         for (t, &v) in totals.iter_mut().zip(partial) {
             *t += v;

@@ -28,16 +28,19 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use crate::alphabet::Symbol;
-use crate::border_collapse::{try_collapse_with_known, CollapseResult, ProbeStrategy, Resolution};
+use crate::border_collapse::{
+    try_collapse_with_known_kernel, CollapseResult, ProbeStrategy, Resolution,
+};
 use crate::candidates::{LevelTrace, PatternSpace};
 use crate::chernoff::SpreadMode;
 use crate::error::{Error, Result, ScanError};
 use crate::lattice::{AmbiguousSpace, Border};
+use crate::match_kernel::MatchKernel;
 use crate::matching::{SequenceBlock, SequenceScan, SymbolMatchScratch};
 use crate::matrix::CompatibilityMatrix;
 use crate::parallel::{resolve_threads, try_scan_map_reduce, SCAN_BLOCK_SIZE};
 use crate::pattern::Pattern;
-use crate::sample_miner::{mine_sample_budgeted, DEFAULT_MAX_SAMPLE_PATTERNS};
+use crate::sample_miner::{mine_sample_budgeted_kernel, DEFAULT_MAX_SAMPLE_PATTERNS};
 
 /// Configuration of the three-phase miner.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -68,6 +71,13 @@ pub struct MinerConfig {
     /// at every thread count (which is also why this knob is not part of any
     /// checkpointed state).
     pub threads: usize,
+    /// Which match kernel evaluates candidate batches in phases 2 and 3 —
+    /// the batched [`CandidateTrie`](crate::match_kernel::CandidateTrie)
+    /// (default) or the naive per-pattern reference. Purely operational,
+    /// like `threads`: the kernels are bit-identical (see
+    /// [`crate::match_kernel`]), so this knob never changes mining output
+    /// and is not part of any checkpointed state.
+    pub match_kernel: MatchKernel,
 }
 
 impl Default for MinerConfig {
@@ -83,6 +93,7 @@ impl Default for MinerConfig {
             seed: 0x6e6f_6973, // "nois"
             max_sample_patterns: DEFAULT_MAX_SAMPLE_PATTERNS,
             threads: 0,
+            match_kernel: MatchKernel::default(),
         }
     }
 }
@@ -433,7 +444,7 @@ pub fn mine_from_phase1_with_known<S: SequenceScan + ?Sized>(
     // Phase 2: classify candidates on the sample.
     let phase2_span = crate::obs::phase2_seconds().span();
     let t1 = Instant::now();
-    let p2 = mine_sample_budgeted(
+    let p2 = mine_sample_budgeted_kernel(
         &p1.sample,
         matrix,
         &p1.symbol_match,
@@ -442,6 +453,7 @@ pub fn mine_from_phase1_with_known<S: SequenceScan + ?Sized>(
         config.spread_mode,
         &config.space,
         config.max_sample_patterns,
+        config.match_kernel,
     );
     if p2.truncated {
         return Err(Error::InvalidConfig(format!(
@@ -463,7 +475,7 @@ pub fn mine_from_phase1_with_known<S: SequenceScan + ?Sized>(
     let phase3_span = crate::obs::phase3_seconds().span();
     let t2 = Instant::now();
     let ambiguous = AmbiguousSpace::new(p2.ambiguous.iter().map(|(p, _)| p.clone()));
-    let p3 = try_collapse_with_known(
+    let p3 = try_collapse_with_known_kernel(
         ambiguous,
         known,
         db,
@@ -472,6 +484,7 @@ pub fn mine_from_phase1_with_known<S: SequenceScan + ?Sized>(
         config.counters_per_scan,
         config.probe_strategy,
         config.threads,
+        config.match_kernel,
     )?;
     stats.db_scans += p3.scans;
     stats.verified_patterns = p3.probes;

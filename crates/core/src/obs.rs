@@ -122,6 +122,26 @@ counter!(
     "patterns"
 );
 
+// Batched candidate-trie match kernel (match_kernel.rs).
+counter!(
+    kernel_nodes_visited,
+    "core_kernel_nodes_visited_total",
+    "Trie nodes expanded by the batched match kernel across all windows and sequences",
+    "nodes"
+);
+counter!(
+    kernel_prunes,
+    "core_kernel_prunes_total",
+    "Subtrees cut by the kernel's exact best-window floor (Claim 3.1 monotonicity)",
+    "subtrees"
+);
+gauge!(
+    kernel_patterns_per_scan,
+    "core_kernel_patterns_per_scan",
+    "Candidate batch width of the most recent kernel-evaluated database scan",
+    "patterns"
+);
+
 // Deterministic scan map-reduce (phases 1 and 3 share it).
 counter!(
     scan_sequences,

@@ -22,6 +22,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex};
 
 use crate::error::ScanError;
+use crate::match_kernel::{CandidateTrie, MatchKernel};
 use crate::matching::{sequence_match, SequenceBlock, SequenceScan};
 use crate::matrix::CompatibilityMatrix;
 use crate::pattern::Pattern;
@@ -190,26 +191,55 @@ fn store<T>(slots: &mut Vec<Option<T>>, idx: usize, value: T) {
 /// up to `threads` worker threads. Returns sums (not means) aligned with
 /// `patterns`. The accumulation grouping is fixed by [`CHUNK_SIZE`], not by
 /// the thread count, so every thread count produces bit-identical results.
+/// Equivalent to [`sum_sequence_matches_kernel`] with the default kernel.
 pub fn sum_sequence_matches(
     patterns: &[Pattern],
     sequences: &[Vec<Symbol>],
     matrix: &CompatibilityMatrix,
     threads: usize,
 ) -> Vec<f64> {
+    sum_sequence_matches_kernel(patterns, sequences, matrix, threads, MatchKernel::default())
+}
+
+/// [`sum_sequence_matches`] with an explicit [`MatchKernel`] choice.
+///
+/// With [`MatchKernel::Trie`] the pattern batch is loaded into one
+/// [`CandidateTrie`] shared read-only by every worker (each with private
+/// scratch). Per-(pattern, sequence) values are bit-identical to
+/// [`sequence_match`] and the [`CHUNK_SIZE`] accumulation grouping is
+/// unchanged, so both kernels produce bit-identical sums at every thread
+/// count.
+pub fn sum_sequence_matches_kernel(
+    patterns: &[Pattern],
+    sequences: &[Vec<Symbol>],
+    matrix: &CompatibilityMatrix,
+    threads: usize,
+    kernel: MatchKernel,
+) -> Vec<f64> {
     let p = patterns.len();
     if p == 0 || sequences.is_empty() {
         return vec![0.0; p];
     }
+    let trie = match kernel {
+        MatchKernel::Naive => None,
+        MatchKernel::Trie => {
+            crate::obs::kernel_patterns_per_scan().set(p as f64);
+            Some(CandidateTrie::new(patterns))
+        }
+    };
+    // One reusable evaluation context per worker thread.
+    let make_eval = || EvalContext::new(patterns, matrix, trie.as_ref());
     let threads = threads.max(1).min(sequences.len().div_ceil(CHUNK_SIZE));
     if threads == 1 || p * sequences.len() < PARALLEL_THRESHOLD {
         // Serial path, but with the *same* chunked accumulation grouping as
         // the parallel path, so every thread count produces bit-identical
         // sums (floating-point addition is not associative).
+        let mut eval = make_eval();
         let mut totals = vec![0.0f64; p];
         let mut partial = vec![0.0f64; p];
         for chunk in sequences.chunks(CHUNK_SIZE) {
             partial.fill(0.0);
-            accumulate(patterns, chunk, matrix, &mut partial);
+            eval.accumulate(chunk, &mut partial);
             for (t, &v) in totals.iter_mut().zip(&partial) {
                 *t += v;
             }
@@ -226,16 +256,19 @@ pub fn sum_sequence_matches(
             partials.iter_mut().map(std::sync::Mutex::new).collect();
         std::thread::scope(|scope| {
             for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let idx = next.fetch_add(1, Ordering::Relaxed);
-                    if idx >= num_chunks {
-                        break;
+                scope.spawn(|| {
+                    let mut eval = make_eval();
+                    loop {
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        if idx >= num_chunks {
+                            break;
+                        }
+                        let mut totals = vec![0.0f64; p];
+                        eval.accumulate(chunks[idx], &mut totals);
+                        **partial_slots[idx]
+                            .lock()
+                            .expect("match-evaluation worker panicked") = totals;
                     }
-                    let mut totals = vec![0.0f64; p];
-                    accumulate(patterns, chunks[idx], matrix, &mut totals);
-                    **partial_slots[idx]
-                        .lock()
-                        .expect("match-evaluation worker panicked") = totals;
                 });
             }
         });
@@ -252,15 +285,62 @@ pub fn sum_sequence_matches(
     totals
 }
 
-fn accumulate(
-    patterns: &[Pattern],
-    sequences: &[Vec<Symbol>],
-    matrix: &CompatibilityMatrix,
-    totals: &mut [f64],
-) {
-    for seq in sequences {
-        for (total, pattern) in totals.iter_mut().zip(patterns) {
-            *total += sequence_match(pattern, seq, matrix);
+/// One worker's evaluation state: either the naive per-pattern loop or a
+/// shared [`CandidateTrie`] plus this worker's private scratch.
+enum EvalContext<'a> {
+    Naive {
+        patterns: &'a [Pattern],
+        matrix: &'a CompatibilityMatrix,
+    },
+    Trie {
+        trie: &'a CandidateTrie,
+        matrix: &'a CompatibilityMatrix,
+        scratch: crate::match_kernel::TrieScratch,
+        out: Vec<f64>,
+    },
+}
+
+impl<'a> EvalContext<'a> {
+    fn new(
+        patterns: &'a [Pattern],
+        matrix: &'a CompatibilityMatrix,
+        trie: Option<&'a CandidateTrie>,
+    ) -> Self {
+        match trie {
+            None => Self::Naive { patterns, matrix },
+            Some(trie) => Self::Trie {
+                trie,
+                matrix,
+                scratch: trie.scratch(),
+                out: vec![0.0; trie.num_patterns()],
+            },
+        }
+    }
+
+    /// Adds each pattern's sequence match over `sequences` into `totals`,
+    /// in sequence order — the same addition order for both variants.
+    fn accumulate(&mut self, sequences: &[Vec<Symbol>], totals: &mut [f64]) {
+        match self {
+            Self::Naive { patterns, matrix } => {
+                for seq in sequences {
+                    for (total, pattern) in totals.iter_mut().zip(*patterns) {
+                        *total += sequence_match(pattern, seq, matrix);
+                    }
+                }
+            }
+            Self::Trie {
+                trie,
+                matrix,
+                scratch,
+                out,
+            } => {
+                for seq in sequences {
+                    trie.batch_sequence_match(seq, matrix, scratch, out);
+                    for (total, &v) in totals.iter_mut().zip(out.iter()) {
+                        *total += v;
+                    }
+                }
+            }
         }
     }
 }

@@ -15,6 +15,7 @@ use crate::alphabet::Symbol;
 use crate::candidates::{next_level, LevelTrace, PatternSpace};
 use crate::chernoff::{classify, epsilon, Label, SpreadMode};
 use crate::lattice::Border;
+use crate::match_kernel::MatchKernel;
 use crate::matrix::CompatibilityMatrix;
 use crate::pattern::Pattern;
 
@@ -97,6 +98,35 @@ pub fn mine_sample_budgeted(
     space: &PatternSpace,
     max_patterns: usize,
 ) -> SampleMineResult {
+    mine_sample_budgeted_kernel(
+        sample,
+        matrix,
+        symbol_match,
+        min_match,
+        delta,
+        spread_mode,
+        space,
+        max_patterns,
+        MatchKernel::default(),
+    )
+}
+
+/// [`mine_sample_budgeted`] with an explicit [`MatchKernel`] for the
+/// level-wise candidate evaluation. The kernels are bit-identical (see
+/// [`crate::match_kernel`]); the knob selects the reference oracle for
+/// equivalence testing and ablation.
+#[allow(clippy::too_many_arguments)]
+pub fn mine_sample_budgeted_kernel(
+    sample: &[Vec<Symbol>],
+    matrix: &CompatibilityMatrix,
+    symbol_match: &[f64],
+    min_match: f64,
+    delta: f64,
+    spread_mode: SpreadMode,
+    space: &PatternSpace,
+    max_patterns: usize,
+    kernel: MatchKernel,
+) -> SampleMineResult {
     let n = sample.len().max(1);
     let m = matrix.len();
     let mut result = SampleMineResult::default();
@@ -107,7 +137,7 @@ pub fn mine_sample_budgeted(
     let mut survivors: Vec<Pattern> = Vec::new();
     let mut surviving_symbols: Vec<Symbol> = Vec::new();
 
-    let values = sample_matches(&level1, sample, matrix, n);
+    let values = sample_matches(&level1, sample, matrix, n, kernel);
     let mut level_survivors = 0usize;
     for (pattern, value) in level1.iter().zip(&values) {
         let label = label_pattern(
@@ -176,7 +206,7 @@ pub fn mine_sample_budgeted(
             result.truncated = true;
             break;
         }
-        let values = sample_matches(&candidates, sample, matrix, n);
+        let values = sample_matches(&candidates, sample, matrix, n, kernel);
         let mut next_survivors = Vec::new();
         let mut survived = 0usize;
         for (pattern, value) in candidates.iter().zip(&values) {
@@ -212,9 +242,11 @@ fn sample_matches(
     sample: &[Vec<Symbol>],
     matrix: &CompatibilityMatrix,
     n: usize,
+    kernel: MatchKernel,
 ) -> Vec<f64> {
     let threads = std::thread::available_parallelism().map_or(1, |t| t.get());
-    let mut totals = crate::parallel::sum_sequence_matches(patterns, sample, matrix, threads);
+    let mut totals =
+        crate::parallel::sum_sequence_matches_kernel(patterns, sample, matrix, threads, kernel);
     for t in &mut totals {
         *t /= n as f64;
     }

@@ -298,6 +298,9 @@ impl StreamState {
             max_sample_patterns,
             // Operational only, never checkpointed: 0 = auto-detect.
             threads: 0,
+            // Operational only, never checkpointed: the kernels are
+            // bit-identical, so a restore always uses the default.
+            match_kernel: noisemine_core::MatchKernel::default(),
         };
         config
             .validate()

@@ -158,7 +158,7 @@ impl StreamState {
         crate::obs::sequences_ingested().inc();
         // Block boundary: fold the completed block's partial into the grand
         // sums, mirroring the batch scan's per-block reduction order.
-        if self.total.is_multiple_of(SCAN_BLOCK_SIZE as u64) {
+        if self.total % SCAN_BLOCK_SIZE as u64 == 0 {
             for (acc, p) in self.match_sums.iter_mut().zip(&mut self.pending) {
                 *acc += *p;
                 *p = 0.0;

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Performance-regression gate for the committed bench baselines.
+
+Compares a freshly measured bench JSON (``BENCH_kernel.json`` from the
+``match_kernel`` bin, or ``BENCH_parallel.json`` from ``scan_parallel``)
+against the committed baseline of the same bench. Rows are matched by their
+identity fields, throughput is compared, a delta table is printed, and the
+script exits non-zero when any row's throughput dropped by more than the
+threshold (default 25%).
+
+Usage:
+    bench_gate.py BASELINE CURRENT [--threshold 0.25] [--out report.md]
+
+The two files must come from the same bench (their ``"bench"`` field picks
+the row schema). Rows present in the baseline but missing from the current
+run fail the gate — a silently shrunk grid is not a pass. Rows only in the
+current run are reported but don't fail anything (the next baseline refresh
+picks them up). Only the standard library is used.
+"""
+
+import argparse
+import json
+import sys
+
+# bench name -> (identity fields, throughput field) for one row.
+SCHEMAS = {
+    "match_kernel": (("symbols", "len", "candidates", "kernel"), "evals_per_sec"),
+    "scan_parallel": (("backend", "threads"), "seqs_per_sec"),
+}
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    bench = doc.get("bench")
+    if bench not in SCHEMAS:
+        sys.exit(f"error: {path}: unknown bench {bench!r} (expected one of {sorted(SCHEMAS)})")
+    key_fields, metric = SCHEMAS[bench]
+    rows = {}
+    for row in doc["rows"]:
+        key = tuple(row[k] for k in key_fields)
+        if key in rows:
+            sys.exit(f"error: {path}: duplicate row for {dict(zip(key_fields, key))}")
+        rows[key] = float(row[metric])
+    return bench, key_fields, metric, rows
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", help="committed baseline JSON")
+    ap.add_argument("current", help="freshly measured JSON")
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="max tolerated fractional throughput drop (default 0.25)",
+    )
+    ap.add_argument("--out", help="also write the delta table to this file (markdown)")
+    args = ap.parse_args()
+
+    base_bench, key_fields, metric, base = load(args.baseline)
+    cur_bench, _, _, cur = load(args.current)
+    if base_bench != cur_bench:
+        sys.exit(f"error: bench mismatch: baseline is {base_bench!r}, current is {cur_bench!r}")
+
+    header = [*key_fields, f"base {metric}", f"current {metric}", "delta", "status"]
+    table = [header, ["---"] * len(header)]
+    failures = []
+    for key in sorted(base):
+        base_v = base[key]
+        cur_v = cur.get(key)
+        if cur_v is None:
+            failures.append(f"row {dict(zip(key_fields, key))} missing from current run")
+            table.append([*map(str, key), f"{base_v:.0f}", "-", "-", "MISSING"])
+            continue
+        delta = (cur_v - base_v) / base_v if base_v else 0.0
+        regressed = delta < -args.threshold
+        if regressed:
+            failures.append(
+                f"row {dict(zip(key_fields, key))} regressed {-delta:.1%} "
+                f"({base_v:.0f} -> {cur_v:.0f} {metric}, threshold {args.threshold:.0%})"
+            )
+        table.append(
+            [
+                *map(str, key),
+                f"{base_v:.0f}",
+                f"{cur_v:.0f}",
+                f"{delta:+.1%}",
+                "FAIL" if regressed else "ok",
+            ]
+        )
+    for key in sorted(set(cur) - set(base)):
+        table.append([*map(str, key), "-", f"{cur[key]:.0f}", "-", "new"])
+
+    lines = [f"## Bench gate: {base_bench} (threshold {args.threshold:.0%} drop)", ""]
+    lines += ["| " + " | ".join(row) + " |" for row in table]
+    lines.append("")
+    if failures:
+        lines.append(f"**{len(failures)} regression(s):**")
+        lines += [f"- {f}" for f in failures]
+    else:
+        lines.append("No regressions.")
+    report = "\n".join(lines)
+    print(report)
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(report + "\n")
+
+    sys.exit(1 if failures else 0)
+
+
+if __name__ == "__main__":
+    main()

@@ -6,6 +6,11 @@
 //! seeded RNGs and reports the failing case's seed so a failure reproduces
 //! with `CASE_SEED=<n>`-style editing. No shrinking — cases are kept small
 //! instead.
+//!
+//! `NOISEMINE_PROPTEST_CASES=<n>` overrides every suite's case count (like
+//! proptest's `PROPTEST_CASES`): the nightly CI run sets it high to sweep
+//! far more seeds than the per-PR default, and a single case reproduces
+//! deterministically because seeds depend only on the case index.
 
 // Each integration-test binary compiles this module independently and uses
 // only a subset of the generators.
@@ -16,8 +21,15 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Runs `f` for `cases` independently seeded RNGs, panicking with the case
-/// index and seed on the first failure.
+/// index and seed on the first failure. `NOISEMINE_PROPTEST_CASES` (if set)
+/// overrides `cases` for every suite at once.
 pub fn run_cases(cases: usize, mut f: impl FnMut(&mut StdRng)) {
+    let cases = match std::env::var("NOISEMINE_PROPTEST_CASES") {
+        Ok(v) => v
+            .parse::<usize>()
+            .unwrap_or_else(|_| panic!("NOISEMINE_PROPTEST_CASES must be an integer, got {v:?}")),
+        Err(_) => cases,
+    };
     for case in 0..cases {
         let seed = 0x5052_4f50_u64 ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
         let mut rng = StdRng::seed_from_u64(seed);

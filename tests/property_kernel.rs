@@ -1,0 +1,204 @@
+//! Property tests for the batched candidate-trie match kernel (seeded
+//! harness, see `common`).
+//!
+//! The kernel's whole contract is *bit-identity*: for every pattern in a
+//! batch, [`CandidateTrie::batch_sequence_match`] must return exactly the
+//! `f64` that the naive per-pattern [`sequence_match`] oracle returns —
+//! same windows, same left-to-right products, and a subtree-pruning floor
+//! that is provably lossless (Claim 3.1 monotonicity: products only shrink
+//! as a window extends). These suites drive that contract on random
+//! matrices, random batches (short wildcard patterns, long gapped
+//! Apriori-style frontiers), and random databases, plus the edge cases
+//! where the trie's shape degenerates: an empty batch, patterns longer
+//! than the sequence, and shared-prefix wildcard columns. The database
+//! scans are additionally checked across thread counts and both kernels —
+//! four ways to compute the same `Vec<f64>`, one acceptable answer.
+
+mod common;
+
+use common::{random_matrix, random_pattern, random_sequence, random_sequences, run_cases};
+use noisemine::core::matching::{db_match_many_kernel, sequence_match};
+use noisemine::core::{
+    CandidateTrie, CompatibilityMatrix, MatchKernel, Pattern, PatternElem, PatternSpace, Symbol,
+};
+use noisemine::seqdb::MemoryDb;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+const M: usize = 6;
+const CASES: usize = 96;
+
+/// A random batch mixing short wildcard patterns with longer ones (up to
+/// `max_len` positions, concrete endpoints, wildcard runs inside).
+fn random_batch(rng: &mut StdRng, m: usize, count: usize, max_len: usize) -> Vec<Pattern> {
+    (0..count)
+        .map(|_| {
+            if rng.gen_bool(0.5) {
+                random_pattern(rng, m)
+            } else {
+                random_long_pattern(rng, m, max_len)
+            }
+        })
+        .collect()
+}
+
+/// A random pattern of `2..=max_len` positions: concrete endpoints with a
+/// 35% wildcard rate in between — long enough to exercise deep trie paths
+/// and the floor-based subtree pruning.
+fn random_long_pattern(rng: &mut StdRng, m: usize, max_len: usize) -> Pattern {
+    let len = rng.gen_range(2..=max_len);
+    let mut elems: Vec<PatternElem> = (0..len)
+        .map(|_| {
+            if rng.gen_bool(0.35) {
+                PatternElem::Any
+            } else {
+                PatternElem::Sym(Symbol(rng.gen_range(0..m as u16)))
+            }
+        })
+        .collect();
+    elems[0] = PatternElem::Sym(Symbol(rng.gen_range(0..m as u16)));
+    let n = elems.len();
+    elems[n - 1] = PatternElem::Sym(Symbol(rng.gen_range(0..m as u16)));
+    Pattern::new(elems).expect("endpoints are concrete")
+}
+
+/// A random matrix: mostly noisy column-stochastic, sometimes the identity
+/// (exact hits saturate the kernel's early-exit path), sometimes nearly
+/// sparse (entries close to zero stress the pruning floor).
+fn random_kernel_matrix(rng: &mut StdRng, m: usize) -> CompatibilityMatrix {
+    match rng.gen_range(0..4u8) {
+        0 => CompatibilityMatrix::identity(m),
+        1 => random_matrix(rng, m, 1e-6),
+        _ => random_matrix(rng, m, 0.01),
+    }
+}
+
+/// Bit-for-bit equality of two match vectors, with a readable diagnostic.
+fn assert_bit_identical(got: &[f64], want: &[f64], what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: length mismatch");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert!(
+            g.to_bits() == w.to_bits(),
+            "{what}: pattern {i} diverged: kernel {g:e} vs oracle {w:e}"
+        );
+    }
+}
+
+/// The core contract: one trie walk over a sequence returns exactly what
+/// the per-pattern oracle returns, for every pattern in a random batch.
+#[test]
+fn batch_matches_the_per_pattern_oracle() {
+    run_cases(CASES, |rng| {
+        let count = rng.gen_range(1..20usize);
+        let patterns = random_batch(rng, M, count, 10);
+        let seq = random_sequence(rng, M, 25);
+        let matrix = random_kernel_matrix(rng, M);
+        let trie = CandidateTrie::new(&patterns);
+        let mut scratch = trie.scratch();
+        let mut got = vec![0.0f64; patterns.len()];
+        trie.batch_sequence_match(&seq, &matrix, &mut scratch, &mut got);
+        let want: Vec<f64> = patterns
+            .iter()
+            .map(|p| sequence_match(p, &seq, &matrix))
+            .collect();
+        assert_bit_identical(&got, &want, "batch vs oracle");
+    });
+}
+
+/// Gapped-space frontiers — the batches phase 3 actually probes: a random
+/// Apriori level grown with `Pattern::extend` under a gapped
+/// [`PatternSpace`], heavy prefix sharing and wildcard columns included.
+#[test]
+fn gapped_frontier_matches_the_oracle() {
+    run_cases(CASES, |rng| {
+        let max_gap = rng.gen_range(0..3usize);
+        let space = PatternSpace::new(max_gap, 12).expect("valid space");
+        let mut frontier: Vec<Pattern> =
+            (0..M as u16).map(|s| Pattern::single(Symbol(s))).collect();
+        for _ in 0..rng.gen_range(1..4usize) {
+            frontier = frontier
+                .iter()
+                .flat_map(|base| {
+                    let gap = rng.gen_range(0..=max_gap);
+                    (0..M as u16).map(move |s| base.extend(gap, Symbol(s)))
+                })
+                .filter(|p| space.admits(p))
+                .collect();
+        }
+        let seq = random_sequence(rng, M, 25);
+        let matrix = random_kernel_matrix(rng, M);
+        let trie = CandidateTrie::new(&frontier);
+        let mut scratch = trie.scratch();
+        let mut got = vec![0.0f64; frontier.len()];
+        trie.batch_sequence_match(&seq, &matrix, &mut scratch, &mut got);
+        let want: Vec<f64> = frontier
+            .iter()
+            .map(|p| sequence_match(p, &seq, &matrix))
+            .collect();
+        assert_bit_identical(&got, &want, "gapped frontier vs oracle");
+    });
+}
+
+/// An empty batch is a no-op under both kernels and never touches the
+/// output slice.
+#[test]
+fn empty_trie_is_a_no_op() {
+    run_cases(12, |rng| {
+        let seq = random_sequence(rng, M, 25);
+        let matrix = random_kernel_matrix(rng, M);
+        let trie = CandidateTrie::new(&[]);
+        let mut scratch = trie.scratch();
+        trie.batch_sequence_match(&seq, &matrix, &mut scratch, &mut []);
+        let db = MemoryDb::from_sequences(vec![seq]);
+        for kernel in [MatchKernel::Naive, MatchKernel::Trie] {
+            assert!(db_match_many_kernel(&[], &db, &matrix, 1, kernel).is_empty());
+        }
+    });
+}
+
+/// Patterns longer than the sequence have no window at all: the kernel
+/// must report exactly 0, like the oracle, not skip the output slot.
+#[test]
+fn pattern_longer_than_sequence_is_zero() {
+    run_cases(24, |rng| {
+        let seq = random_sequence(rng, M, 6);
+        let count = rng.gen_range(1..8usize);
+        let patterns = random_batch(rng, M, count, 12);
+        let matrix = random_kernel_matrix(rng, M);
+        let trie = CandidateTrie::new(&patterns);
+        let mut scratch = trie.scratch();
+        let mut got = vec![f64::NAN; patterns.len()];
+        trie.batch_sequence_match(&seq, &matrix, &mut scratch, &mut got);
+        for (p, &g) in patterns.iter().zip(&got) {
+            let want = sequence_match(p, &seq, &matrix);
+            assert!(g.to_bits() == want.to_bits(), "{p}: {g:e} vs {want:e}");
+            if p.len() > seq.len() {
+                assert_eq!(g, 0.0, "{p} is longer than the sequence");
+            }
+        }
+    });
+}
+
+/// Database scans: both kernels, at one worker and at four, produce the
+/// same bits — the thread count and the kernel are both purely
+/// operational knobs.
+#[test]
+fn db_scans_are_bit_identical_across_kernels_and_threads() {
+    run_cases(48, |rng| {
+        let db = MemoryDb::from_sequences(random_sequences(rng, M, 25, 1, 12));
+        let count = rng.gen_range(1..16usize);
+        let patterns = random_batch(rng, M, count, 10);
+        let matrix = random_kernel_matrix(rng, M);
+        let reference = db_match_many_kernel(&patterns, &db, &matrix, 1, MatchKernel::Naive);
+        for kernel in [MatchKernel::Naive, MatchKernel::Trie] {
+            for threads in [1, 4] {
+                let got = db_match_many_kernel(&patterns, &db, &matrix, threads, kernel);
+                assert_bit_identical(
+                    &got,
+                    &reference,
+                    &format!("{} @ {threads} thread(s)", kernel.name()),
+                );
+            }
+        }
+    });
+}
