@@ -1,0 +1,259 @@
+//! Load benchmark for the online match-serving layer (`noisemine-serve`).
+//!
+//! Starts a real in-process [`Server`] per grid point and hammers
+//! `POST /v1/classify` from `concurrency` loopback client threads, over a
+//! grid of model sizes (pattern counts) × client concurrency. Every
+//! request goes through the full production path — TCP accept, HTTP
+//! parsing, admission, the batched trie kernel, JSON response — so the
+//! numbers are end-to-end request throughput, not kernel microbenchmarks.
+//!
+//! Reports requests/second plus p50/p99 request latency per grid point and
+//! records JSON (default `BENCH_serve.json`); the CI bench gate compares
+//! the `rps` column against the committed baseline.
+
+use std::fmt::Write as _;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Instant;
+
+use noisemine_bench::args::Args;
+use noisemine_bench::table::Table;
+use noisemine_core::lattice::Border;
+use noisemine_core::miner::{FrequentPattern, MineOutcome, MineStats, Provenance};
+use noisemine_core::{Alphabet, CompatibilityMatrix, Pattern, PatternModel, Symbol};
+use noisemine_serve::{ModelRegistry, ServeConfig, ServeModel, Server};
+
+struct Row {
+    patterns: usize,
+    concurrency: usize,
+    requests: usize,
+    rps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+fn main() {
+    let args = Args::parse();
+    args.deny_unknown(&[
+        "seed",
+        "patterns",
+        "concurrency",
+        "requests",
+        "batch",
+        "seq-len",
+        "threads",
+        "out",
+    ]);
+    let seed = args.u64("seed", 2002);
+    let pattern_counts = args.usize_list("patterns", &[16, 64]);
+    let concurrencies = args.usize_list("concurrency", &[1, 4]);
+    let requests = args.usize("requests", 50);
+    let batch = args.usize("batch", 16);
+    let seq_len = args.usize("seq-len", 30);
+    let threads = args.usize("threads", 4);
+    let out = args.get("out", "BENCH_serve.json").to_string();
+
+    noisemine_obs::enable();
+    let cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let alphabet = Alphabet::amino_acids();
+    let m = alphabet.len();
+    let body = Arc::new(classify_body(&alphabet, batch, seq_len, seed));
+
+    let mut t = Table::new(
+        &format!(
+            "Serve load (batch = {batch} × len {seq_len}, {requests} req/client, \
+             {threads} server thread(s), {cpus} cpu(s))"
+        ),
+        ["patterns", "clients", "requests", "rps", "p50 ms", "p99 ms"],
+    );
+    let mut rows = Vec::new();
+    for &p in &pattern_counts {
+        let model = synthetic_model(&alphabet, m, p, seed);
+        for &concurrency in &concurrencies {
+            let registry = Arc::new(ModelRegistry::new(0.0));
+            registry.swap("default", ServeModel::compile(model.clone()));
+            let server = Server::start(
+                &ServeConfig {
+                    addr: "127.0.0.1:0".into(),
+                    threads,
+                },
+                registry,
+            )
+            .expect("server starts");
+            let addr = server.addr().to_string();
+
+            let start = Instant::now();
+            let clients: Vec<_> = (0..concurrency)
+                .map(|_| {
+                    let addr = addr.clone();
+                    let body = Arc::clone(&body);
+                    std::thread::spawn(move || {
+                        let mut latencies = Vec::with_capacity(requests);
+                        for _ in 0..requests {
+                            let t0 = Instant::now();
+                            let status = classify_once(&addr, &body);
+                            assert_eq!(status, 200, "classify failed under load");
+                            latencies.push(t0.elapsed().as_secs_f64());
+                        }
+                        latencies
+                    })
+                })
+                .collect();
+            let mut latencies: Vec<f64> = clients
+                .into_iter()
+                .flat_map(|c| c.join().expect("client thread"))
+                .collect();
+            let wall = start.elapsed().as_secs_f64();
+            server.stop();
+            server.join();
+
+            latencies.sort_by(|a, b| a.total_cmp(b));
+            let total = latencies.len();
+            let row = Row {
+                patterns: p,
+                concurrency,
+                requests: total,
+                rps: total as f64 / wall,
+                p50_ms: 1e3 * percentile(&latencies, 0.50),
+                p99_ms: 1e3 * percentile(&latencies, 0.99),
+            };
+            t.row([
+                row.patterns.to_string(),
+                row.concurrency.to_string(),
+                row.requests.to_string(),
+                format!("{:.0}", row.rps),
+                format!("{:.3}", row.p50_ms),
+                format!("{:.3}", row.p99_ms),
+            ]);
+            rows.push(row);
+        }
+    }
+    t.emit(None);
+
+    std::fs::write(&out, to_json(seed, batch, seq_len, threads, cpus, &rows)).expect("write json");
+    println!("\nwrote {out}");
+}
+
+/// A model with exactly `count` deterministic contiguous patterns — grid
+/// points differ only in pattern-set size, not mining noise.
+fn synthetic_model(alphabet: &Alphabet, m: usize, count: usize, seed: u64) -> PatternModel {
+    let matrix = CompatibilityMatrix::uniform_noise(m, 0.15).expect("valid noise");
+    let mut state = seed | 1;
+    let frequent = (0..count)
+        .map(|_| {
+            let symbols: Vec<Symbol> = (0..5)
+                .map(|_| {
+                    state = lcg(state);
+                    Symbol(((state >> 33) % m as u64) as u16)
+                })
+                .collect();
+            FrequentPattern {
+                pattern: Pattern::contiguous(&symbols).expect("non-empty"),
+                match_estimate: 0.5,
+                provenance: Provenance::Verified,
+            }
+        })
+        .collect();
+    let outcome = MineOutcome {
+        frequent,
+        border: Border::default(),
+        symbol_match: vec![0.4; m],
+        stats: MineStats::default(),
+    };
+    PatternModel::from_outcome(&outcome, alphabet, &matrix, 0.1, 1)
+}
+
+/// A fixed classify request body: `batch` random sequences of `seq_len`
+/// symbol names.
+fn classify_body(alphabet: &Alphabet, batch: usize, seq_len: usize, seed: u64) -> String {
+    let m = alphabet.len() as u64;
+    let mut state = seed ^ 0x9e37_79b9;
+    let seqs: Vec<String> = (0..batch)
+        .map(|_| {
+            let names: Vec<String> = (0..seq_len)
+                .map(|_| {
+                    state = lcg(state);
+                    let sym = Symbol(((state >> 33) % m) as u16);
+                    format!("\"{}\"", alphabet.name(sym).expect("in range"))
+                })
+                .collect();
+            format!("[{}]", names.join(","))
+        })
+        .collect();
+    format!(
+        "{{\"tenant\": \"default\", \"sequences\": [{}]}}",
+        seqs.join(",")
+    )
+}
+
+fn lcg(state: u64) -> u64 {
+    state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407)
+}
+
+/// One classify request over a fresh loopback connection; returns the
+/// HTTP status.
+fn classify_once(addr: &str, body: &str) -> u16 {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let req = format!(
+        "POST /v1/classify HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\
+         Connection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(req.as_bytes()).expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line")
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Hand-rolled JSON (the vendored serde shim does not serialize).
+fn to_json(
+    seed: u64,
+    batch: usize,
+    seq_len: usize,
+    threads: usize,
+    cpus: usize,
+    rows: &[Row],
+) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"bench\": \"serve_load\",");
+    let _ = writeln!(s, "  \"seed\": {seed},");
+    let _ = writeln!(s, "  \"batch\": {batch},");
+    let _ = writeln!(s, "  \"seq_len\": {seq_len},");
+    let _ = writeln!(s, "  \"server_threads\": {threads},");
+    let _ = writeln!(s, "  \"cpus\": {cpus},");
+    let _ = writeln!(
+        s,
+        "  \"metrics\": {},",
+        noisemine_bench::metrics_json_fragment(2)
+    );
+    let _ = writeln!(s, "  \"rows\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{\"patterns\": {}, \"concurrency\": {}, \"requests\": {}, \"rps\": {:.1}, \
+             \"p50_ms\": {:.4}, \"p99_ms\": {:.4}}}{comma}",
+            r.patterns, r.concurrency, r.requests, r.rps, r.p50_ms, r.p99_ms,
+        );
+    }
+    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "}}");
+    s
+}

@@ -9,7 +9,8 @@ use noisemine_core::border_collapse::ProbeStrategy;
 use noisemine_core::matching::{db_match, db_support, MatchMetric, MemorySequences, SequenceScan};
 use noisemine_core::miner::{mine, MinerConfig};
 use noisemine_core::{
-    matrix_io, Alphabet, CompatibilityMatrix, MatchKernel, Pattern, PatternSpace, Symbol,
+    matrix_io, Alphabet, CompatibilityMatrix, MatchKernel, Pattern, PatternModel, PatternSpace,
+    Symbol,
 };
 use noisemine_datagen::learn_matrix;
 use noisemine_datagen::noise::{channel_to_compatibility, partner_channel};
@@ -303,6 +304,8 @@ pub fn cmd_mine(opts: &Opts) -> CliResult<()> {
         "format",
         "metrics-out",
         "on-fault",
+        "model-out",
+        "model-version",
     ])?;
     let sink = metrics_sink(opts);
     if opts.required("db")?.ends_with(".nmdb") {
@@ -329,6 +332,14 @@ pub fn cmd_mine(opts: &Opts) -> CliResult<()> {
     let format = opts.get_or("format", "table");
     if !["table", "csv", "json"].contains(&format) {
         return Err(format!("unknown --format {format:?}; use table, csv, or json").into());
+    }
+    if opts.get("model-out").is_some() && (algorithm != "three-phase" || opts.get("top").is_some())
+    {
+        return Err(
+            "--model-out needs the three-phase miner (it serializes the miner's full \
+             outcome); drop --top and use --algorithm three-phase"
+                .into(),
+        );
     }
 
     // `--top k` switches to threshold-free best-first mining.
@@ -372,6 +383,7 @@ pub fn cmd_mine(opts: &Opts) -> CliResult<()> {
                 outcome.stats.verified_patterns,
                 outcome.stats.propagated_patterns,
             );
+            maybe_write_model(opts, &outcome, &alphabet, &matrix, min_match)?;
             outcome
                 .frequent
                 .into_iter()
@@ -520,6 +532,7 @@ fn mine_binary(opts: &Opts, sink: Option<&noisemine_obs::FileSink>) -> CliResult
         outcome.stats.verified_patterns,
         outcome.stats.propagated_patterns,
     );
+    maybe_write_model(opts, &outcome, &alphabet, &matrix, min_match)?;
     let mut sorted: Vec<(Pattern, f64)> = outcome
         .frequent
         .into_iter()
@@ -534,6 +547,76 @@ fn mine_binary(opts: &Opts, sink: Option<&noisemine_obs::FileSink>) -> CliResult
     );
     write_metrics(sink)?;
     emit(&sorted, limit, &alphabet, format)
+}
+
+/// Writes the mined outcome as a versioned `NMMODEL` serving artifact
+/// when `--model-out` is given (see docs/SERVING.md).
+fn maybe_write_model(
+    opts: &Opts,
+    outcome: &noisemine_core::miner::MineOutcome,
+    alphabet: &Alphabet,
+    matrix: &CompatibilityMatrix,
+    min_match: f64,
+) -> CliResult<()> {
+    let Some(path) = opts.get("model-out") else {
+        return Ok(());
+    };
+    let version = opts.num("model-version", 1u64)?;
+    let model = PatternModel::from_outcome(outcome, alphabet, matrix, min_match, version);
+    noisemine_serve::write_model(path, &model).map_err(|e| format!("{path}: {e}"))?;
+    eprintln!(
+        "wrote model v{version} ({} patterns) to {path}",
+        model.patterns.len()
+    );
+    Ok(())
+}
+
+/// `noisemine serve` — the online match-serving HTTP server: loads one or
+/// more `NMMODEL` artifacts into per-tenant slots and classifies incoming
+/// sequences against them until `POST /admin/shutdown` (or SIGKILL). See
+/// docs/SERVING.md for the API.
+pub fn cmd_serve(opts: &Opts) -> CliResult<()> {
+    opts.deny_unknown(&["model", "addr", "threads", "tenant-quota", "metrics-out"])?;
+    let sink = metrics_sink(opts);
+    let spec = opts.required("model")?;
+    let quota = opts.num("tenant-quota", 0.0f64)?;
+    let registry = std::sync::Arc::new(noisemine_serve::ModelRegistry::new(quota));
+    for part in spec.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        // `tenant=path`, or a bare path served as the "default" tenant.
+        let (tenant, path) = match part.split_once('=') {
+            Some((t, p)) => (t, p),
+            None => ("default", part),
+        };
+        if tenant.is_empty() {
+            return Err(format!("--model entry {part:?} has an empty tenant name").into());
+        }
+        let model = noisemine_serve::read_model(path).map_err(|e| e.to_string())?;
+        let compiled = noisemine_serve::ServeModel::compile(model);
+        eprintln!(
+            "tenant {tenant}: model v{} ({} patterns) from {path}",
+            compiled.version(),
+            compiled.num_patterns()
+        );
+        registry.swap(tenant, compiled);
+    }
+    let config = noisemine_serve::ServeConfig {
+        addr: opts.get_or("addr", "127.0.0.1:7700").to_string(),
+        threads: opts.num("threads", 4usize)?.max(1),
+    };
+    let server = noisemine_serve::Server::start(&config, registry).map_err(|e| e.to_string())?;
+    // Printed (and flushed) so scripts binding port 0 can discover the
+    // actual address before the first request.
+    println!("serving on http://{}", server.addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.join();
+    write_metrics(sink.as_ref())?;
+    eprintln!("server stopped");
+    Ok(())
 }
 
 /// Parses `--kernel trie|naive` into a [`MatchKernel`] (default: trie —

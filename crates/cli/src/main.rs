@@ -14,6 +14,8 @@
 //!                   [--chunk 1000] [--min-match 0.1] [--sample 1000] [--threads 0]
 //!                   [--kernel trie|naive] [--metrics-out m.json]
 //! noisemine convert --db db.txt --out db.nmdb [--matrix m.txt]
+//! noisemine serve   --model [tenant=]model.nmmodel[,t2=m2.nmmodel] [--addr 127.0.0.1:7700]
+//!                   [--threads 4] [--tenant-quota 0] [--metrics-out m.json]
 //! ```
 
 mod commands;
@@ -38,6 +40,7 @@ USAGE:
                     [--seed 2002] [--threads 0] [--kernel trie|naive]
                     [--limit 50] [--top k] [--metrics-out m.json]
                     [--on-fault strict|retry[:N]|quarantine]
+                    [--model-out model.nmmodel] [--model-version 1]
   noisemine stream  --db db.txt|- [--matrix m.txt] [--normalize]
                     [--checkpoint state.ckpt] [--chunk 1000] [--min-match 0.1]
                     [--sample 1000] [--delta 0.001] [--counters 100000]
@@ -46,6 +49,9 @@ USAGE:
                     [--limit 50] [--metrics-out m.json]
   noisemine learn   --truth clean.txt --observed noisy.txt --out m.txt [--lambda 0.1]
   noisemine convert --db db.txt --out db.nmdb [--matrix m.txt]
+  noisemine serve   --model [tenant=]model.nmmodel[,t2=m2.nmmodel]
+                    [--addr 127.0.0.1:7700] [--threads 4] [--tenant-quota 0]
+                    [--metrics-out m.json]
 
 Databases are plain text (one sequence per line, single letters or
 whitespace-separated tokens; `#`, `>` and blank lines skipped). Matrices use
@@ -65,7 +71,13 @@ change mining output — see docs/OBSERVABILITY.md. `mine` also accepts a
 binary .nmdb database (three-phase only): scans then stream from disk under
 the --on-fault policy — strict fails on the first damaged byte, retry[:N]
 rides out transient I/O faults, quarantine skips corrupt records and mines
-the surviving subset — see docs/ROBUSTNESS.md.";
+the surviving subset — see docs/ROBUSTNESS.md. `mine --model-out` also
+writes the three-phase outcome as a versioned, checksummed NMMODEL serving
+artifact; `serve` loads such artifacts into per-tenant slots and answers
+classification requests over HTTP until POST /admin/shutdown — hot-swap
+models with POST /admin/swap, scrape Prometheus metrics from /metrics, and
+cap tenants at --tenant-quota requests/second (0 = unlimited) — see
+docs/SERVING.md.";
 
 fn run() -> CliResult<()> {
     let opts = Opts::parse(std::env::args().skip(1))?;
@@ -76,6 +88,7 @@ fn run() -> CliResult<()> {
         "mine" => commands::cmd_mine(&opts),
         "stream" => commands::cmd_stream(&opts),
         "convert" => commands::cmd_convert(&opts),
+        "serve" => commands::cmd_serve(&opts),
         "learn" => commands::cmd_learn(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");

@@ -601,3 +601,122 @@ fn synthetic_alphabet_and_uniform_noise() {
     std::fs::remove_file(&db).ok();
     std::fs::remove_file(&matrix).ok();
 }
+
+/// One raw HTTP/1.1 exchange over a real socket (`Connection: close`).
+fn http(addr: &str, method: &str, path: &str, body: &str) -> (u16, String) {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect to server");
+    let req = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\
+         Connection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(req.as_bytes()).unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    let status: u16 = raw.split_whitespace().nth(1).unwrap().parse().unwrap();
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+#[test]
+fn mine_model_out_then_serve_smoke() {
+    let db = tmp("serve-db.txt");
+    let matrix = tmp("serve-m.txt");
+    let model = tmp("serve.nmmodel");
+    generate(&db, &matrix);
+
+    // Mine and write the serving artifact.
+    let out = noisemine(&[
+        "mine",
+        "--db",
+        db.to_str().unwrap(),
+        "--matrix",
+        matrix.to_str().unwrap(),
+        "--normalize",
+        "--min-match",
+        "0.15",
+        "--max-len",
+        "6",
+        "--model-out",
+        model.to_str().unwrap(),
+        "--model-version",
+        "7",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stderr(&out).contains("wrote model v7"), "{}", stderr(&out));
+
+    // --model-out is three-phase-only.
+    let out = noisemine(&[
+        "mine",
+        "--db",
+        db.to_str().unwrap(),
+        "--algorithm",
+        "levelwise",
+        "--model-out",
+        model.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("three-phase"), "{}", stderr(&out));
+
+    // Serve the artifact on an ephemeral port and talk to it for real.
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_noisemine"))
+        .args([
+            "serve",
+            "--model",
+            model.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+            "--threads",
+            "2",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("serve starts");
+    let mut announce = String::new();
+    {
+        use std::io::BufRead;
+        let mut reader = std::io::BufReader::new(child.stdout.take().unwrap());
+        reader.read_line(&mut announce).unwrap();
+    }
+    let addr = announce
+        .trim()
+        .strip_prefix("serving on http://")
+        .unwrap_or_else(|| panic!("unexpected announce line {announce:?}"))
+        .to_string();
+
+    let (status, body) = http(&addr, "GET", "/healthz", "");
+    assert_eq!(status, 200, "{body}");
+
+    let (status, body) = http(
+        &addr,
+        "POST",
+        "/v1/classify",
+        r#"{"tenant": "default", "sequences": [["A", "M", "T", "K", "Y"]]}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"model_version\": 7"), "{body}");
+    assert!(body.contains("\"num_sequences\": 1"), "{body}");
+    assert!(body.contains("\"db_match\""), "{body}");
+
+    let (status, body) = http(&addr, "GET", "/metrics", "");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("serve_requests_total"), "{body}");
+    assert!(
+        body.contains("serve_tenant_default_requests_total"),
+        "{body}"
+    );
+
+    let (status, _) = http(&addr, "POST", "/admin/shutdown", "");
+    assert_eq!(status, 200);
+    let out = child.wait_with_output().expect("clean exit");
+    assert!(out.status.success(), "serve exited {:?}", out.status);
+
+    std::fs::remove_file(&db).ok();
+    std::fs::remove_file(&matrix).ok();
+    std::fs::remove_file(&model).ok();
+}

@@ -61,6 +61,7 @@ pub mod matching;
 pub mod matrix;
 pub mod matrix_io;
 pub mod miner;
+pub mod model;
 pub(crate) mod obs;
 pub mod parallel;
 pub mod pattern;
@@ -76,4 +77,5 @@ pub use match_kernel::{CandidateTrie, MatchKernel, TrieScratch};
 pub use matching::{MatchMetric, PatternMetric, SequenceScan, SupportMetric};
 pub use matrix::CompatibilityMatrix;
 pub use miner::{mine, FrequentPattern, MineOutcome, MineStats, MinerConfig};
+pub use model::{ModelPattern, PatternModel};
 pub use pattern::{Pattern, PatternElem};

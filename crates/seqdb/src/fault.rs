@@ -145,6 +145,28 @@ impl FaultPlan {
         plan
     }
 
+    /// Applies this plan's bit flips directly to an in-memory byte buffer
+    /// (flips landing beyond `bytes.len()` are ignored), returning how
+    /// many were applied.
+    ///
+    /// This lets integrity tests for formats that are read whole — such
+    /// as the serving layer's `NMMODEL` artifacts — reuse a deterministic
+    /// [`FaultPlan::random`] corruption schedule without routing the bytes
+    /// through a [`FaultyStore`]. Transient sites and truncation have no
+    /// meaning for an in-memory buffer and are not applied; model them by
+    /// slicing the buffer (`&bytes[..n]`) for truncation.
+    pub fn corrupt_bytes(&self, bytes: &mut [u8]) -> usize {
+        let mut applied = 0;
+        for &bit in &self.bit_flips {
+            let byte = (bit / 8) as usize;
+            if byte < bytes.len() {
+                bytes[byte] ^= 1 << (bit % 8);
+                applied += 1;
+            }
+        }
+        applied
+    }
+
     /// Wraps an open file handle so its reads observe this plan's faults.
     /// Fresh per scan pass, so transient-failure budgets reset each pass.
     pub(crate) fn wrap(&self, file: File) -> FaultyRead<File> {
@@ -328,6 +350,22 @@ mod tests {
         let mut out = Vec::new();
         r.read_to_end(&mut out).unwrap();
         assert_eq!(out.len(), 20);
+    }
+
+    #[test]
+    fn corrupt_bytes_matches_faulty_read() {
+        let data: Vec<u8> = (0u8..64).collect();
+        let plan = FaultPlan::new()
+            .flip_bit(8 * 10 + 3)
+            .flip_bit(8 * 40)
+            .flip_bit(8 * 200);
+        let mut direct = data.clone();
+        // The out-of-range flip (byte 200) is ignored.
+        assert_eq!(plan.corrupt_bytes(&mut direct), 2);
+        let mut r = FaultyRead::new(Cursor::new(data), plan);
+        let mut streamed = Vec::new();
+        r.read_to_end(&mut streamed).unwrap();
+        assert_eq!(direct, streamed);
     }
 
     #[test]

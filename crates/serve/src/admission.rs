@@ -1,0 +1,109 @@
+//! Token-bucket admission control, one bucket per tenant.
+//!
+//! Time is injected as seconds since an arbitrary epoch (the server passes
+//! elapsed time from its start `Instant`), so the refill logic is fully
+//! deterministic under test: call [`TokenBucket::try_acquire_at`] with
+//! synthetic timestamps and the admit/throttle sequence is reproducible.
+
+/// A classic token bucket: `rate` tokens per second refill up to `burst`
+/// capacity; each admitted request costs one token.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    rate: f64,
+    burst: f64,
+    tokens: f64,
+    last_secs: f64,
+}
+
+impl TokenBucket {
+    /// A bucket refilling at `rate` requests/second with `burst` capacity,
+    /// starting full. A non-positive `rate` means **unlimited** (every
+    /// acquire succeeds) — the CLI's `--tenant-quota 0` default.
+    pub fn new(rate: f64, burst: f64) -> Self {
+        let burst = burst.max(1.0);
+        Self {
+            rate,
+            burst,
+            tokens: burst,
+            last_secs: 0.0,
+        }
+    }
+
+    /// A bucket whose burst equals one second of quota (minimum 1).
+    pub fn per_second(rate: f64) -> Self {
+        Self::new(rate, rate)
+    }
+
+    /// Whether this bucket admits everything.
+    pub fn is_unlimited(&self) -> bool {
+        self.rate <= 0.0
+    }
+
+    /// Attempts to take one token at time `now_secs` (monotone seconds
+    /// since the bucket's epoch). Returns `false` when the quota is
+    /// exhausted — the caller answers HTTP 429.
+    pub fn try_acquire_at(&mut self, now_secs: f64) -> bool {
+        if self.is_unlimited() {
+            return true;
+        }
+        if now_secs > self.last_secs {
+            self.tokens = (self.tokens + (now_secs - self.last_secs) * self.rate).min(self.burst);
+            self.last_secs = now_secs;
+        }
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Tokens currently available (for tests and introspection).
+    pub fn available(&self) -> f64 {
+        self.tokens
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admits_burst_then_throttles() {
+        let mut b = TokenBucket::new(2.0, 3.0);
+        assert!(b.try_acquire_at(0.0));
+        assert!(b.try_acquire_at(0.0));
+        assert!(b.try_acquire_at(0.0));
+        assert!(!b.try_acquire_at(0.0), "burst of 3 exhausted");
+    }
+
+    #[test]
+    fn refills_at_rate() {
+        let mut b = TokenBucket::new(2.0, 2.0);
+        assert!(b.try_acquire_at(0.0));
+        assert!(b.try_acquire_at(0.0));
+        assert!(!b.try_acquire_at(0.0));
+        // 0.5s at 2/s refills one token.
+        assert!(b.try_acquire_at(0.5));
+        assert!(!b.try_acquire_at(0.5));
+        // Refill caps at burst no matter how long the idle gap.
+        assert!(b.try_acquire_at(100.0));
+        assert!(b.try_acquire_at(100.0));
+        assert!(!b.try_acquire_at(100.0));
+    }
+
+    #[test]
+    fn time_going_backwards_is_ignored() {
+        let mut b = TokenBucket::new(1.0, 1.0);
+        assert!(b.try_acquire_at(5.0));
+        assert!(!b.try_acquire_at(4.0), "no refill from a clock step back");
+    }
+
+    #[test]
+    fn zero_rate_is_unlimited() {
+        let mut b = TokenBucket::per_second(0.0);
+        for i in 0..1000 {
+            assert!(b.try_acquire_at(i as f64 * 1e-6));
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Minimal HTTP/1.1 framing: just enough to parse one request and write
+//! one response per connection (`Connection: close`).
+//!
+//! Not a general HTTP implementation — the serving API is a fixed set of
+//! small JSON routes, so this module supports exactly what those need:
+//! request line + headers (case-insensitive `Content-Length`), an optional
+//! body, and a correctly framed response. Oversized heads or bodies are
+//! rejected before allocation can hurt.
+
+use std::io::{self, Read, Write};
+
+/// Maximum accepted request-head size (request line + headers).
+pub const MAX_HEAD: usize = 16 * 1024;
+/// Maximum accepted request-body size.
+pub const MAX_BODY: usize = 16 * 1024 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The method verb, uppercased as received (`GET`, `POST`, …).
+    pub method: String,
+    /// The request path (query strings are not split off; routes here
+    /// don't use them).
+    pub path: String,
+    /// The request body (empty when no `Content-Length`).
+    pub body: String,
+}
+
+/// A response about to be written.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Self {
+        Self {
+            status,
+            content_type: "application/json",
+            body,
+        }
+    }
+
+    /// A JSON error envelope: `{"error": "<message>"}`.
+    pub fn error(status: u16, message: &str) -> Self {
+        Self::json(
+            status,
+            format!("{{\"error\": {}}}", crate::json::escape(message)),
+        )
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Reads one request from `stream`.
+///
+/// Returns `Ok(None)` when the peer closed the connection before sending a
+/// complete head (a health-check probe that connects and disconnects, for
+/// example) — not an error worth logging.
+pub fn read_request<R: Read>(stream: &mut R) -> io::Result<Option<Request>> {
+    let mut head = Vec::with_capacity(512);
+    let mut buf = [0u8; 1024];
+    let (head_end, mut overflow) = loop {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            if head.is_empty() {
+                return Ok(None);
+            }
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-request-head",
+            ));
+        }
+        head.extend_from_slice(&buf[..n]);
+        if let Some(pos) = find_head_end(&head) {
+            let overflow = head.split_off(pos + 4);
+            break (pos, overflow);
+        }
+        if head.len() > MAX_HEAD {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("request head exceeds {MAX_HEAD} bytes"),
+            ));
+        }
+    };
+    let head_text = std::str::from_utf8(&head[..head_end])
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 request head"))?;
+    let mut lines = head_text.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty request"))?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing method"))?
+        .to_string();
+    let path = parts
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing path"))?
+        .to_string();
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().map_err(|_| {
+                    io::Error::new(io::ErrorKind::InvalidData, "bad Content-Length")
+                })?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("request body of {content_length} bytes exceeds {MAX_BODY}"),
+        ));
+    }
+    while overflow.len() < content_length {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-body",
+            ));
+        }
+        overflow.extend_from_slice(&buf[..n]);
+    }
+    overflow.truncate(content_length);
+    let body = String::from_utf8(overflow)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 request body"))?;
+    Ok(Some(Request { method, path, body }))
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Writes `response` to `stream` with correct framing and closes the
+/// logical exchange (`Connection: close`).
+pub fn write_response<W: Write>(stream: &mut W, response: &Response) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        reason(response.status),
+        response.content_type,
+        response.body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(response.body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_post_with_body() {
+        let raw = b"POST /v1/classify HTTP/1.1\r\nHost: x\r\ncontent-length: 11\r\n\r\nhello world";
+        let req = read_request(&mut Cursor::new(&raw[..])).unwrap().unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/classify");
+        assert_eq!(req.body, "hello world");
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let raw = b"GET /metrics HTTP/1.1\r\n\r\n";
+        let req = read_request(&mut Cursor::new(&raw[..])).unwrap().unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/metrics");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn empty_connection_is_none() {
+        let raw: &[u8] = b"";
+        assert!(read_request(&mut Cursor::new(raw)).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_body_errors() {
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 100\r\n\r\nshort";
+        assert!(read_request(&mut Cursor::new(&raw[..])).is_err());
+    }
+
+    #[test]
+    fn response_framing() {
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::json(200, "{\"a\":1}".into())).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 7\r\n"), "{text}");
+        assert!(text.ends_with("{\"a\":1}"), "{text}");
+    }
+
+    #[test]
+    fn error_envelope_escapes() {
+        let r = Response::error(400, "bad \"x\"");
+        assert_eq!(r.body, "{\"error\": \"bad \\\"x\\\"\"}");
+    }
+}

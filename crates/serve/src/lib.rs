@@ -1,0 +1,47 @@
+//! # noisemine-serve
+//!
+//! The online match-serving layer: loads mined pattern sets as versioned,
+//! checksummed `NMMODEL` artifacts and classifies incoming event sequences
+//! against them in real time over a thin HTTP/JSON API — the hot path to
+//! the paper's offline three-phase miner (Yang, Wang, Yu, Han — SIGMOD
+//! 2002), mirroring the offline-mine/online-classify split of
+//! prebuilt-index serving systems.
+//!
+//! ## Pieces
+//!
+//! - [`model_io`] — the `NMMODEL` on-disk artifact format: a byte-stable
+//!   model payload ([`noisemine_core::model`]) framed with magic, format
+//!   version, and CRC32C checksums shared with the sequence database.
+//! - [`registry`] — per-tenant model slots with atomic hot-swap: an
+//!   ArcSwap-style `Mutex<Arc<ServeModel>>` epoch pointer; in-flight
+//!   requests finish on the model they started with.
+//! - [`classify`](mod@classify) — the scoring hot path, **bit-identical**
+//!   to offline [`db_match_many`] over the same sequences (same batched
+//!   trie kernel, same block-ordered float reduction).
+//! - [`admission`] — deterministic per-tenant token buckets; exhausted
+//!   quota answers HTTP 429.
+//! - [`server`] — the zero-dependency server: non-blocking accept loop on
+//!   `std::net` plus a worker thread pool, with `/v1/classify`,
+//!   `/admin/swap`, `/admin/models`, `/admin/shutdown`, `/metrics`
+//!   (Prometheus), and `/healthz` routes.
+//! - [`json`] — the small JSON parser/writer the API uses (floats render
+//!   shortest-roundtrip, so scores survive HTTP bit-exactly).
+//!
+//! See `docs/SERVING.md` for the API reference and operational notes.
+//!
+//! [`db_match_many`]: noisemine_core::matching::db_match_many
+
+pub mod admission;
+pub mod classify;
+pub mod http;
+pub mod json;
+pub mod model_io;
+pub(crate) mod obs;
+pub mod registry;
+pub mod server;
+
+pub use admission::TokenBucket;
+pub use classify::{classify, Classification};
+pub use model_io::{decode_model_file, model_bytes, read_model, write_model, ModelIoError};
+pub use registry::{Admission, ModelRegistry, ServeModel};
+pub use server::{ServeConfig, Server};

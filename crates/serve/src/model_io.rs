@@ -1,0 +1,238 @@
+//! `NMMODEL` — the checksummed on-disk format for pattern-model artifacts.
+//!
+//! Layout (all integers little-endian), mirroring the NMSEQDB v2 idiom of
+//! a magic-framed header plus CRC32C integrity at two granularities:
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic "NMMODEL\0"
+//! 8       4     format version (u32, currently 1)
+//! 12      8     payload length L (u64)
+//! 20      L     model payload (see noisemine_core::model)
+//! 20+L    4     payload CRC32C
+//! 24+L    4     file CRC32C (over bytes 0 .. 24+L)
+//! ```
+//!
+//! The payload CRC detects corruption of the model data itself; the file
+//! CRC additionally covers the header, so a bit flip *anywhere* in the
+//! artifact is rejected with a descriptive error. Checksums use the same
+//! CRC32C implementation as the sequence database ([`noisemine_seqdb::crc`]).
+//!
+//! Writing is deterministic: the same model always produces the same file
+//! bytes (the payload encoding is byte-stable), so artifacts can be
+//! content-addressed or diffed by checksum.
+
+use std::fmt;
+use std::io::{self, Write as _};
+use std::path::Path;
+
+use noisemine_core::PatternModel;
+use noisemine_seqdb::crc::crc32c;
+
+/// The 8-byte magic that opens every NMMODEL file.
+pub const NMMODEL_MAGIC: &[u8; 8] = b"NMMODEL\0";
+/// Current format version.
+pub const NMMODEL_VERSION: u32 = 1;
+/// Fixed header length (magic + version + payload length).
+pub const HEADER_LEN: usize = 20;
+/// Bytes of framing after the payload (payload CRC + file CRC).
+pub const TRAILER_LEN: usize = 8;
+
+/// Errors reading or writing an NMMODEL artifact.
+#[derive(Debug)]
+pub enum ModelIoError {
+    /// An underlying I/O failure.
+    Io(io::Error),
+    /// The file is not a valid NMMODEL artifact; the message says exactly
+    /// what was malformed (bad magic, checksum mismatch, truncation, or a
+    /// payload decode failure).
+    Format(String),
+}
+
+impl fmt::Display for ModelIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelIoError::Io(e) => write!(f, "model artifact i/o error: {e}"),
+            ModelIoError::Format(msg) => write!(f, "invalid NMMODEL artifact: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelIoError {}
+
+impl From<io::Error> for ModelIoError {
+    fn from(e: io::Error) -> Self {
+        ModelIoError::Io(e)
+    }
+}
+
+/// Result alias for artifact I/O.
+pub type ModelIoResult<T> = Result<T, ModelIoError>;
+
+/// Serializes a model to its complete NMMODEL file bytes (deterministic).
+pub fn model_bytes(model: &PatternModel) -> Vec<u8> {
+    let payload = model.encode();
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + TRAILER_LEN);
+    out.extend_from_slice(NMMODEL_MAGIC);
+    out.extend_from_slice(&NMMODEL_VERSION.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&crc32c(&payload).to_le_bytes());
+    let file_crc = crc32c(&out);
+    out.extend_from_slice(&file_crc.to_le_bytes());
+    out
+}
+
+/// Writes a model artifact atomically (`path.tmp` then rename).
+pub fn write_model(path: impl AsRef<Path>, model: &PatternModel) -> ModelIoResult<()> {
+    let path = path.as_ref();
+    let bytes = model_bytes(model);
+    let tmp = path.with_extension("nmmodel.tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Decodes a model from complete NMMODEL file bytes, verifying both
+/// checksums before touching the payload.
+pub fn decode_model_file(bytes: &[u8]) -> ModelIoResult<PatternModel> {
+    if bytes.len() < HEADER_LEN + TRAILER_LEN {
+        return Err(ModelIoError::Format(format!(
+            "file is {} bytes, shorter than the {}-byte minimum (header + checksums); \
+             truncated write?",
+            bytes.len(),
+            HEADER_LEN + TRAILER_LEN
+        )));
+    }
+    if &bytes[..8] != NMMODEL_MAGIC {
+        return Err(ModelIoError::Format(format!(
+            "bad magic {:02x?} (expected {:02x?} — not an NMMODEL file, or the header is corrupt)",
+            &bytes[..8],
+            NMMODEL_MAGIC
+        )));
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if version != NMMODEL_VERSION {
+        return Err(ModelIoError::Format(format!(
+            "format version {version} (this build reads version {NMMODEL_VERSION})"
+        )));
+    }
+    // Whole-file CRC first: it covers the header, so a flipped length or
+    // version byte is caught before it can misdirect the payload parse.
+    let file_crc_at = bytes.len() - 4;
+    let stored_file_crc = u32::from_le_bytes(bytes[file_crc_at..].try_into().expect("4 bytes"));
+    let actual_file_crc = crc32c(&bytes[..file_crc_at]);
+    if stored_file_crc != actual_file_crc {
+        return Err(ModelIoError::Format(format!(
+            "file checksum mismatch: stored {stored_file_crc:#010x}, computed \
+             {actual_file_crc:#010x} — the artifact is corrupt"
+        )));
+    }
+    let payload_len = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes")) as usize;
+    let expected_total = HEADER_LEN + payload_len + TRAILER_LEN;
+    if bytes.len() != expected_total {
+        return Err(ModelIoError::Format(format!(
+            "header promises a {payload_len}-byte payload ({expected_total} bytes total) but the \
+             file is {} bytes",
+            bytes.len()
+        )));
+    }
+    let payload = &bytes[HEADER_LEN..HEADER_LEN + payload_len];
+    let stored_payload_crc = u32::from_le_bytes(
+        bytes[HEADER_LEN + payload_len..HEADER_LEN + payload_len + 4]
+            .try_into()
+            .expect("4 bytes"),
+    );
+    let actual_payload_crc = crc32c(payload);
+    if stored_payload_crc != actual_payload_crc {
+        return Err(ModelIoError::Format(format!(
+            "payload checksum mismatch: stored {stored_payload_crc:#010x}, computed \
+             {actual_payload_crc:#010x} — the model data is corrupt"
+        )));
+    }
+    PatternModel::decode(payload)
+        .map_err(|e| ModelIoError::Format(format!("payload decode failed: {e}")))
+}
+
+/// Reads and verifies a model artifact from disk.
+pub fn read_model(path: impl AsRef<Path>) -> ModelIoResult<PatternModel> {
+    let path = path.as_ref();
+    let bytes = std::fs::read(path)?;
+    decode_model_file(&bytes).map_err(|e| match e {
+        ModelIoError::Format(msg) => ModelIoError::Format(format!("{}: {msg}", path.display())),
+        other => other,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noisemine_core::lattice::Border;
+    use noisemine_core::miner::{FrequentPattern, MineOutcome, MineStats, Provenance};
+    use noisemine_core::{Alphabet, CompatibilityMatrix, Pattern, Symbol};
+
+    fn sample_model() -> PatternModel {
+        let alphabet = Alphabet::synthetic(5);
+        let matrix = CompatibilityMatrix::uniform_noise(5, 0.1).unwrap();
+        let outcome = MineOutcome {
+            frequent: vec![FrequentPattern {
+                pattern: Pattern::contiguous(&[Symbol(0), Symbol(2), Symbol(4)]).unwrap(),
+                match_estimate: 0.5,
+                provenance: Provenance::Verified,
+            }],
+            border: Border::default(),
+            symbol_match: vec![0.4; 5],
+            stats: MineStats::default(),
+        };
+        PatternModel::from_outcome(&outcome, &alphabet, &matrix, 0.25, 7)
+    }
+
+    #[test]
+    fn file_bytes_are_deterministic() {
+        let model = sample_model();
+        assert_eq!(model_bytes(&model), model_bytes(&model));
+    }
+
+    #[test]
+    fn file_round_trips() {
+        let model = sample_model();
+        let bytes = model_bytes(&model);
+        let back = decode_model_file(&bytes).unwrap();
+        assert_eq!(model_bytes(&back), bytes);
+        assert_eq!(back.version, 7);
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_rejected() {
+        let model = sample_model();
+        let clean = model_bytes(&model);
+        for bit in 0..clean.len() * 8 {
+            let mut corrupt = clean.clone();
+            corrupt[bit / 8] ^= 1 << (bit % 8);
+            assert!(
+                decode_model_file(&corrupt).is_err(),
+                "bit {bit} flip went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_is_descriptive() {
+        let model = sample_model();
+        let bytes = model_bytes(&model);
+        let err = decode_model_file(&bytes[..10]).unwrap_err();
+        assert!(err.to_string().contains("truncated write"), "{err}");
+        let err = decode_model_file(&bytes[..bytes.len() - 1]).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn wrong_magic_is_descriptive() {
+        let err = decode_model_file(b"NOTAMODELFILE_AT_ALL_____PADDING").unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+    }
+}

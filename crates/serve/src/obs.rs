@@ -1,0 +1,139 @@
+//! Metric handles for the serving layer: request volume, latency, throttle
+//! and swap counts, plus per-tenant families.
+//!
+//! Global handles follow the workspace idiom (lazily registered in the
+//! process-wide [`noisemine_obs::global`] registry, cached in `OnceLock`s,
+//! recording gated on [`noisemine_obs::enabled`]). The registry is
+//! flat-name only (no labels), so per-tenant metrics encode the tenant in
+//! the metric name — `serve_tenant_<tenant>_requests_total` — with the
+//! tenant sanitized to `[a-z0-9_]` by [`sanitize_tenant`]. Every metric is
+//! documented in `docs/OBSERVABILITY.md`.
+
+use noisemine_obs::{self as obs, Counter, Gauge, Histogram};
+use std::sync::OnceLock;
+
+macro_rules! counter {
+    ($fn_name:ident, $name:literal, $help:literal, $unit:literal) => {
+        pub(crate) fn $fn_name() -> &'static Counter {
+            static H: OnceLock<Counter> = OnceLock::new();
+            H.get_or_init(|| obs::counter($name, $help, $unit))
+        }
+    };
+}
+
+counter!(
+    requests,
+    "serve_requests_total",
+    "HTTP requests accepted by the serving layer (all routes)",
+    "requests"
+);
+counter!(
+    classifications,
+    "serve_classifications_total",
+    "Classification requests that produced a scored response",
+    "requests"
+);
+counter!(
+    sequences_classified,
+    "serve_sequences_classified_total",
+    "Event sequences scored across all classification requests",
+    "sequences"
+);
+counter!(
+    throttled,
+    "serve_throttled_total",
+    "Requests rejected with 429 by token-bucket admission control",
+    "requests"
+);
+counter!(
+    client_errors,
+    "serve_client_errors_total",
+    "Requests rejected with a 4xx other than 429 (bad JSON, unknown route/tenant)",
+    "requests"
+);
+counter!(
+    swaps,
+    "serve_model_swaps_total",
+    "Successful hot-swaps of a tenant's active model",
+    "swaps"
+);
+
+/// Classification latency (request parse to response write).
+pub(crate) fn classify_seconds() -> &'static Histogram {
+    static H: OnceLock<Histogram> = OnceLock::new();
+    H.get_or_init(|| {
+        obs::histogram(
+            "serve_classify_seconds",
+            "Wall-clock time to score one classification request against the active model",
+            "seconds",
+            obs::duration_buckets(),
+        )
+    })
+}
+
+/// Maps a tenant name onto the metric-name-safe alphabet `[a-z0-9_]`
+/// (uppercase folded, everything else becomes `_`).
+pub fn sanitize_tenant(tenant: &str) -> String {
+    tenant
+        .chars()
+        .map(|c| match c {
+            'a'..='z' | '0'..='9' => c,
+            'A'..='Z' => c.to_ascii_lowercase(),
+            _ => '_',
+        })
+        .collect()
+}
+
+/// Per-tenant metric handles, registered when the tenant's first model is
+/// installed (bounded cardinality: only configured tenants get a family).
+#[derive(Debug, Clone)]
+pub(crate) struct TenantMetrics {
+    /// Classification requests admitted for this tenant.
+    pub requests: Counter,
+    /// Requests rejected with 429 for this tenant.
+    pub throttled: Counter,
+    /// Sequences scored for this tenant.
+    pub sequences: Counter,
+    /// The tenant's active model version.
+    pub model_version: Gauge,
+}
+
+impl TenantMetrics {
+    pub(crate) fn register(tenant: &str) -> Self {
+        let t = sanitize_tenant(tenant);
+        Self {
+            requests: obs::counter(
+                &format!("serve_tenant_{t}_requests_total"),
+                "Classification requests admitted for this tenant",
+                "requests",
+            ),
+            throttled: obs::counter(
+                &format!("serve_tenant_{t}_throttled_total"),
+                "Requests rejected with 429 for this tenant",
+                "requests",
+            ),
+            sequences: obs::counter(
+                &format!("serve_tenant_{t}_sequences_total"),
+                "Event sequences scored for this tenant",
+                "sequences",
+            ),
+            model_version: obs::gauge(
+                &format!("serve_tenant_{t}_model_version"),
+                "The tenant's active model version",
+                "version",
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitizes_tenant_names() {
+        assert_eq!(sanitize_tenant("Acme-Corp.EU"), "acme_corp_eu");
+        assert_eq!(sanitize_tenant("default"), "default");
+        assert_eq!(sanitize_tenant("日本"), "__");
+    }
+}

@@ -1,0 +1,255 @@
+//! The per-tenant model registry: compiled models, atomic hot-swap, and
+//! admission state.
+//!
+//! Each tenant owns a slot whose active model is an ArcSwap-style epoch
+//! pointer — a `Mutex<Arc<ServeModel>>`. A request clones the `Arc` under
+//! a brief lock and then classifies entirely on its private handle, so a
+//! concurrent [`ModelRegistry::swap`] never interrupts in-flight work:
+//! requests started before the swap finish on the old model, requests
+//! started after see the new one, and the old model is freed when its last
+//! in-flight reference drops.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use noisemine_core::{CandidateTrie, Pattern, PatternModel};
+
+use crate::admission::TokenBucket;
+use crate::obs::TenantMetrics;
+
+/// A pattern model compiled for serving: the frozen spec plus the shared
+/// [`CandidateTrie`] the hot path batches against.
+#[derive(Debug)]
+pub struct ServeModel {
+    /// The model as loaded from the artifact.
+    pub spec: PatternModel,
+    /// Patterns in model order (the order of every score vector).
+    pub patterns: Vec<Pattern>,
+    /// The compiled batch-match kernel (`None` for an empty pattern set).
+    pub trie: Option<CandidateTrie>,
+}
+
+impl ServeModel {
+    /// Compiles a model for serving. The trie is built once here and
+    /// shared by every request until the model is swapped out.
+    pub fn compile(spec: PatternModel) -> Self {
+        let patterns = spec.plain_patterns();
+        let trie = if patterns.is_empty() {
+            None
+        } else {
+            Some(CandidateTrie::new(&patterns))
+        };
+        Self {
+            spec,
+            patterns,
+            trie,
+        }
+    }
+
+    /// The model's version.
+    pub fn version(&self) -> u64 {
+        self.spec.version
+    }
+
+    /// Number of patterns the model scores.
+    pub fn num_patterns(&self) -> usize {
+        self.patterns.len()
+    }
+}
+
+/// Why a request was not admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// The request may proceed.
+    Granted,
+    /// The tenant's token bucket is empty — answer 429.
+    Throttled,
+    /// No model is installed for the tenant — answer 404.
+    UnknownTenant,
+}
+
+/// One tenant's serving state.
+struct TenantSlot {
+    /// The epoch pointer: swap replaces the `Arc`, readers clone it.
+    model: Mutex<Arc<ServeModel>>,
+    bucket: Mutex<TokenBucket>,
+    metrics: TenantMetrics,
+}
+
+/// The multi-tenant model registry.
+pub struct ModelRegistry {
+    tenants: Mutex<HashMap<String, Arc<TenantSlot>>>,
+    /// Per-tenant quota in requests/second (`<= 0` = unlimited), applied
+    /// to tenants as they are installed.
+    quota: f64,
+}
+
+impl std::fmt::Debug for ModelRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelRegistry")
+            .field("tenants", &self.tenant_versions().len())
+            .field("quota", &self.quota)
+            .finish()
+    }
+}
+
+impl ModelRegistry {
+    /// An empty registry with a per-tenant quota (requests/second;
+    /// non-positive = unlimited).
+    pub fn new(quota: f64) -> Self {
+        Self {
+            tenants: Mutex::new(HashMap::new()),
+            quota,
+        }
+    }
+
+    /// Installs (or hot-swaps) `model` as the tenant's active model.
+    ///
+    /// Returns the previous version when the tenant already existed. The
+    /// swap is atomic: concurrent classifications that already cloned the
+    /// old `Arc` finish undisturbed.
+    pub fn swap(&self, tenant: &str, model: ServeModel) -> Option<u64> {
+        let new_version = model.version();
+        let model = Arc::new(model);
+        let slot = {
+            let mut map = self.tenants.lock().expect("registry poisoned");
+            if let Some(slot) = map.get(tenant) {
+                Arc::clone(slot)
+            } else {
+                let slot = Arc::new(TenantSlot {
+                    model: Mutex::new(Arc::clone(&model)),
+                    bucket: Mutex::new(TokenBucket::per_second(self.quota)),
+                    metrics: TenantMetrics::register(tenant),
+                });
+                map.insert(tenant.to_string(), Arc::clone(&slot));
+                slot.metrics.model_version.set(new_version as f64);
+                return None;
+            }
+        };
+        let old = {
+            let mut active = slot.model.lock().expect("model slot poisoned");
+            std::mem::replace(&mut *active, model)
+        };
+        slot.metrics.model_version.set(new_version as f64);
+        Some(old.version())
+    }
+
+    /// The tenant's active model (cloned `Arc`; survives any later swap).
+    pub fn model(&self, tenant: &str) -> Option<Arc<ServeModel>> {
+        let slot = {
+            let map = self.tenants.lock().expect("registry poisoned");
+            map.get(tenant).cloned()?
+        };
+        let model = slot.model.lock().expect("model slot poisoned").clone();
+        Some(model)
+    }
+
+    /// Admission decision for one classification request at `now_secs`
+    /// (seconds since the server's epoch).
+    pub fn admit(&self, tenant: &str, now_secs: f64) -> Admission {
+        let slot = {
+            let map = self.tenants.lock().expect("registry poisoned");
+            match map.get(tenant) {
+                Some(s) => Arc::clone(s),
+                None => return Admission::UnknownTenant,
+            }
+        };
+        let granted = slot
+            .bucket
+            .lock()
+            .expect("bucket poisoned")
+            .try_acquire_at(now_secs);
+        if granted {
+            Admission::Granted
+        } else {
+            slot.metrics.throttled.inc();
+            crate::obs::throttled().inc();
+            Admission::Throttled
+        }
+    }
+
+    /// Records a successfully admitted classification for tenant metrics.
+    pub(crate) fn record_classification(&self, tenant: &str, sequences: u64) {
+        let slot = {
+            let map = self.tenants.lock().expect("registry poisoned");
+            map.get(tenant).cloned()
+        };
+        if let Some(slot) = slot {
+            slot.metrics.requests.inc();
+            slot.metrics.sequences.add(sequences);
+        }
+    }
+
+    /// `(tenant, active version, pattern count)` for every tenant, sorted
+    /// by tenant name.
+    pub fn tenant_versions(&self) -> Vec<(String, u64, usize)> {
+        let map = self.tenants.lock().expect("registry poisoned");
+        let mut out: Vec<(String, u64, usize)> = map
+            .iter()
+            .map(|(name, slot)| {
+                let model = slot.model.lock().expect("model slot poisoned");
+                (name.clone(), model.version(), model.num_patterns())
+            })
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noisemine_core::lattice::Border;
+    use noisemine_core::miner::{MineOutcome, MineStats};
+    use noisemine_core::{Alphabet, CompatibilityMatrix};
+
+    fn model(version: u64) -> ServeModel {
+        let alphabet = Alphabet::synthetic(3);
+        let matrix = CompatibilityMatrix::identity(3);
+        let outcome = MineOutcome {
+            frequent: Vec::new(),
+            border: Border::default(),
+            symbol_match: vec![0.0; 3],
+            stats: MineStats::default(),
+        };
+        ServeModel::compile(PatternModel::from_outcome(
+            &outcome, &alphabet, &matrix, 0.5, version,
+        ))
+    }
+
+    #[test]
+    fn swap_keeps_old_arc_alive() {
+        let reg = ModelRegistry::new(0.0);
+        assert_eq!(reg.swap("t", model(1)), None);
+        let in_flight = reg.model("t").unwrap();
+        assert_eq!(reg.swap("t", model(2)), Some(1));
+        // The in-flight handle still sees version 1; new readers see 2.
+        assert_eq!(in_flight.version(), 1);
+        assert_eq!(reg.model("t").unwrap().version(), 2);
+    }
+
+    #[test]
+    fn admission_per_tenant() {
+        let reg = ModelRegistry::new(1.0);
+        reg.swap("a", model(1));
+        reg.swap("b", model(1));
+        assert_eq!(reg.admit("a", 0.0), Admission::Granted);
+        assert_eq!(reg.admit("a", 0.0), Admission::Throttled);
+        // Tenant b has its own bucket.
+        assert_eq!(reg.admit("b", 0.0), Admission::Granted);
+        assert_eq!(reg.admit("missing", 0.0), Admission::UnknownTenant);
+        // a refills after a second.
+        assert_eq!(reg.admit("a", 1.5), Admission::Granted);
+    }
+
+    #[test]
+    fn tenant_versions_sorted() {
+        let reg = ModelRegistry::new(0.0);
+        reg.swap("zeta", model(3));
+        reg.swap("alpha", model(9));
+        let v = reg.tenant_versions();
+        assert_eq!(v[0].0, "alpha");
+        assert_eq!(v[0].1, 9);
+        assert_eq!(v[1].0, "zeta");
+    }
+}

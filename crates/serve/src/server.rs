@@ -1,0 +1,509 @@
+//! The long-running server: non-blocking accept loop, worker thread pool,
+//! and the HTTP/JSON route handlers.
+//!
+//! ## Architecture
+//!
+//! One accept thread runs a non-blocking `accept()` poll on a
+//! [`std::net::TcpListener`] and hands connections to a fixed pool of
+//! worker threads over an `mpsc` channel — no external runtime, matching
+//! the workspace's zero-dependency ethos. Shutdown (the `/admin/shutdown`
+//! route, or [`Server::stop`]) flips one flag: the accept thread stops
+//! taking new connections and drops the channel sender; workers drain
+//! every already-accepted connection before exiting, so **no admitted
+//! request is ever dropped** — including across a model hot-swap, which
+//! only replaces an `Arc` in the registry.
+//!
+//! ## Routes
+//!
+//! | Route                  | Method | Purpose |
+//! |------------------------|--------|---------|
+//! | `/v1/classify`         | POST   | Score sequences against the tenant's active model |
+//! | `/metrics`             | GET    | Prometheus rendering of the process metrics registry |
+//! | `/healthz`             | GET    | Liveness probe |
+//! | `/admin/models`        | GET    | Tenants, active versions, pattern counts |
+//! | `/admin/swap`          | POST   | Load an `NMMODEL` artifact and hot-swap it in |
+//! | `/admin/shutdown`      | POST   | Graceful shutdown |
+//!
+//! See `docs/SERVING.md` for request/response examples.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use noisemine_core::Symbol;
+
+use crate::classify::classify;
+use crate::http::{read_request, write_response, Request, Response};
+use crate::json::{self, Value};
+use crate::model_io::read_model;
+use crate::registry::{Admission, ModelRegistry, ServeModel};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7700` (`:0` picks a free port).
+    pub addr: String,
+    /// Worker threads handling requests.
+    pub threads: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 4,
+        }
+    }
+}
+
+/// A running server. Dropping the handle does **not** stop it; call
+/// [`Server::stop`] (or POST `/admin/shutdown`) and then [`Server::join`].
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    registry: Arc<ModelRegistry>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.addr)
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+/// Shared request-handling context.
+pub(crate) struct Ctx {
+    registry: Arc<ModelRegistry>,
+    shutdown: Arc<AtomicBool>,
+    /// Epoch for admission-control timestamps.
+    start: Instant,
+}
+
+impl Server {
+    /// Binds, spawns the accept loop and worker pool, and returns.
+    ///
+    /// Also enables the process metrics registry — a serving process is an
+    /// observability surface by definition (`/metrics` is a core route).
+    pub fn start(config: &ServeConfig, registry: Arc<ModelRegistry>) -> io::Result<Server> {
+        noisemine_obs::enable();
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let ctx = Arc::new(Ctx {
+            registry: Arc::clone(&registry),
+            shutdown: Arc::clone(&shutdown),
+            start: Instant::now(),
+        });
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let threads = config.threads.max(1);
+        let mut workers = Vec::with_capacity(threads);
+        for i in 0..threads {
+            let rx = Arc::clone(&rx);
+            let ctx = Arc::clone(&ctx);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&rx, &ctx))
+                    .expect("spawn worker"),
+            );
+        }
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_thread = std::thread::Builder::new()
+            .name("serve-accept".to_string())
+            .spawn(move || {
+                // `tx` moves in here; dropping it on exit disconnects the
+                // workers once they have drained the queue.
+                while !accept_shutdown.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            crate::obs::requests().inc();
+                            if tx.send(stream).is_err() {
+                                break;
+                            }
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                        Err(_) => std::thread::sleep(Duration::from_millis(2)),
+                    }
+                }
+            })
+            .expect("spawn accept loop");
+        Ok(Server {
+            addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+            workers,
+            registry,
+        })
+    }
+
+    /// The actual bound address (resolves `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The registry this server serves from (for out-of-band swaps).
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.registry
+    }
+
+    /// Requests a graceful shutdown (idempotent, non-blocking).
+    pub fn stop(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_stopping(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until the accept loop and every worker have exited. Workers
+    /// finish all connections accepted before shutdown.
+    pub fn join(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(rx: &Mutex<mpsc::Receiver<TcpStream>>, ctx: &Ctx) {
+    loop {
+        let stream = {
+            let rx = rx.lock().expect("worker channel poisoned");
+            rx.recv_timeout(Duration::from_millis(50))
+        };
+        match stream {
+            Ok(stream) => handle_connection(stream, ctx),
+            // Timeout just means "idle, poll again". During shutdown the
+            // accept thread drops the sender, so once the queue is drained
+            // recv returns Disconnected and the worker exits — every
+            // already-accepted connection gets served first.
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, ctx: &Ctx) {
+    // Accepted sockets can inherit the listener's non-blocking flag.
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let response = match read_request(&mut stream) {
+        Ok(Some(request)) => handle_request(ctx, &request),
+        Ok(None) => return, // probe connection, nothing to answer
+        Err(e) => {
+            crate::obs::client_errors().inc();
+            Response::error(400, &format!("malformed request: {e}"))
+        }
+    };
+    let _ = write_response(&mut stream, &response);
+}
+
+/// Routes one request. Public crate-wide so tests can drive the router
+/// without a socket.
+pub(crate) fn handle_request(ctx: &Ctx, request: &Request) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => Response::json(200, "{\"status\": \"ok\"}".to_string()),
+        ("GET", "/metrics") => Response {
+            status: 200,
+            content_type: "text/plain; version=0.0.4",
+            body: noisemine_obs::global().snapshot().to_prometheus(),
+        },
+        ("GET", "/admin/models") => models_response(&ctx.registry),
+        ("POST", "/admin/swap") => swap(ctx, request),
+        ("POST", "/admin/shutdown") => {
+            ctx.shutdown.store(true, Ordering::SeqCst);
+            Response::json(200, "{\"status\": \"shutting down\"}".to_string())
+        }
+        ("POST", "/v1/classify") => classify_route(ctx, request),
+        (
+            _,
+            "/healthz" | "/metrics" | "/admin/models" | "/admin/swap" | "/admin/shutdown"
+            | "/v1/classify",
+        ) => {
+            crate::obs::client_errors().inc();
+            Response::error(405, "method not allowed for this route")
+        }
+        _ => {
+            crate::obs::client_errors().inc();
+            Response::error(404, &format!("no such route: {}", request.path))
+        }
+    }
+}
+
+fn models_response(registry: &ModelRegistry) -> Response {
+    let rows: Vec<String> = registry
+        .tenant_versions()
+        .into_iter()
+        .map(|(tenant, version, patterns)| {
+            format!(
+                "{{\"tenant\": {}, \"version\": {version}, \"patterns\": {patterns}}}",
+                json::escape(&tenant)
+            )
+        })
+        .collect();
+    Response::json(200, format!("{{\"tenants\": [{}]}}", rows.join(", ")))
+}
+
+fn swap(ctx: &Ctx, request: &Request) -> Response {
+    let doc = match json::parse(&request.body) {
+        Ok(doc) => doc,
+        Err(e) => {
+            crate::obs::client_errors().inc();
+            return Response::error(400, &format!("swap request: {e}"));
+        }
+    };
+    let tenant = doc
+        .get("tenant")
+        .and_then(Value::as_str)
+        .unwrap_or("default")
+        .to_string();
+    let Some(path) = doc.get("path").and_then(Value::as_str) else {
+        crate::obs::client_errors().inc();
+        return Response::error(
+            400,
+            "swap request needs a \"path\" field (NMMODEL artifact)",
+        );
+    };
+    let spec = match read_model(path) {
+        Ok(spec) => spec,
+        Err(e) => {
+            crate::obs::client_errors().inc();
+            return Response::error(400, &format!("cannot load model: {e}"));
+        }
+    };
+    let model = ServeModel::compile(spec);
+    let new_version = model.version();
+    let patterns = model.num_patterns();
+    let old_version = ctx.registry.swap(&tenant, model);
+    crate::obs::swaps().inc();
+    let old = match old_version {
+        Some(v) => v.to_string(),
+        None => "null".to_string(),
+    };
+    Response::json(
+        200,
+        format!(
+            "{{\"tenant\": {}, \"old_version\": {old}, \"new_version\": {new_version}, \
+             \"patterns\": {patterns}}}",
+            json::escape(&tenant)
+        ),
+    )
+}
+
+fn classify_route(ctx: &Ctx, request: &Request) -> Response {
+    let doc = match json::parse(&request.body) {
+        Ok(doc) => doc,
+        Err(e) => {
+            crate::obs::client_errors().inc();
+            return Response::error(400, &format!("classify request: {e}"));
+        }
+    };
+    let tenant = doc
+        .get("tenant")
+        .and_then(Value::as_str)
+        .unwrap_or("default")
+        .to_string();
+    match ctx
+        .registry
+        .admit(&tenant, ctx.start.elapsed().as_secs_f64())
+    {
+        Admission::Granted => {}
+        Admission::UnknownTenant => {
+            crate::obs::client_errors().inc();
+            return Response::error(404, &format!("no model installed for tenant {tenant:?}"));
+        }
+        Admission::Throttled => {
+            return Response::error(429, &format!("quota exhausted for tenant {tenant:?}"));
+        }
+    }
+    let Some(model) = ctx.registry.model(&tenant) else {
+        crate::obs::client_errors().inc();
+        return Response::error(404, &format!("no model installed for tenant {tenant:?}"));
+    };
+    let Some(raw) = doc.get("sequences").and_then(Value::as_arr) else {
+        crate::obs::client_errors().inc();
+        return Response::error(
+            400,
+            "classify request needs a \"sequences\" field: an array of symbol-name arrays",
+        );
+    };
+    let mut sequences: Vec<Vec<Symbol>> = Vec::with_capacity(raw.len());
+    for (i, seq) in raw.iter().enumerate() {
+        let Some(elems) = seq.as_arr() else {
+            crate::obs::client_errors().inc();
+            return Response::error(400, &format!("sequence {i} is not an array"));
+        };
+        let mut encoded = Vec::with_capacity(elems.len());
+        for (j, e) in elems.iter().enumerate() {
+            let Some(name) = e.as_str() else {
+                crate::obs::client_errors().inc();
+                return Response::error(
+                    400,
+                    &format!("sequence {i} element {j} is not a symbol-name string"),
+                );
+            };
+            match model.spec.alphabet.symbol(name) {
+                Ok(sym) => encoded.push(sym),
+                Err(_) => {
+                    crate::obs::client_errors().inc();
+                    return Response::error(
+                        400,
+                        &format!(
+                            "sequence {i} element {j}: symbol {name:?} is not in the model's \
+                             {}-symbol alphabet",
+                            model.spec.alphabet.len()
+                        ),
+                    );
+                }
+            }
+        }
+        sequences.push(encoded);
+    }
+    let span = crate::obs::classify_seconds().span();
+    let result = classify(&model, &sequences);
+    span.finish();
+    crate::obs::classifications().inc();
+    crate::obs::sequences_classified().add(sequences.len() as u64);
+    ctx.registry
+        .record_classification(&tenant, sequences.len() as u64);
+    let mut patterns_json = Vec::with_capacity(model.num_patterns());
+    for (p, mp) in model.spec.patterns.iter().enumerate() {
+        let display = mp
+            .pattern
+            .display(&model.spec.alphabet)
+            .unwrap_or_else(|_| "<unrenderable>".to_string());
+        let scores: Vec<String> = result
+            .per_sequence
+            .iter()
+            .map(|row| json::num(row[p]))
+            .collect();
+        patterns_json.push(format!(
+            "{{\"pattern\": {}, \"match_estimate\": {}, \"db_match\": {}, \
+             \"sequence_scores\": [{}]}}",
+            json::escape(&display),
+            json::num(mp.match_estimate),
+            json::num(result.db_match[p]),
+            scores.join(", ")
+        ));
+    }
+    Response::json(
+        200,
+        format!(
+            "{{\"tenant\": {}, \"model_version\": {}, \"num_patterns\": {}, \
+             \"num_sequences\": {}, \"patterns\": [{}]}}",
+            json::escape(&tenant),
+            result.model_version,
+            model.num_patterns(),
+            sequences.len(),
+            patterns_json.join(", ")
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noisemine_core::lattice::Border;
+    use noisemine_core::miner::{FrequentPattern, MineOutcome, MineStats, Provenance};
+    use noisemine_core::{Alphabet, CompatibilityMatrix, Pattern, PatternModel};
+
+    fn ctx_with_model(quota: f64) -> Arc<Ctx> {
+        let alphabet = Alphabet::synthetic(4);
+        let matrix = CompatibilityMatrix::uniform_noise(4, 0.1).unwrap();
+        let outcome = MineOutcome {
+            frequent: vec![FrequentPattern {
+                pattern: Pattern::contiguous(&[Symbol(0), Symbol(1)]).unwrap(),
+                match_estimate: 0.5,
+                provenance: Provenance::Verified,
+            }],
+            border: Border::default(),
+            symbol_match: vec![0.4; 4],
+            stats: MineStats::default(),
+        };
+        let registry = Arc::new(ModelRegistry::new(quota));
+        registry.swap(
+            "default",
+            ServeModel::compile(PatternModel::from_outcome(
+                &outcome, &alphabet, &matrix, 0.1, 3,
+            )),
+        );
+        Arc::new(Ctx {
+            registry,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            start: Instant::now(),
+        })
+    }
+
+    fn post(ctx: &Ctx, path: &str, body: &str) -> Response {
+        handle_request(
+            ctx,
+            &Request {
+                method: "POST".to_string(),
+                path: path.to_string(),
+                body: body.to_string(),
+            },
+        )
+    }
+
+    #[test]
+    fn classify_route_scores() {
+        let ctx = ctx_with_model(0.0);
+        let r = post(
+            &ctx,
+            "/v1/classify",
+            r#"{"sequences": [["d0", "d1", "d2"]]}"#,
+        );
+        assert_eq!(r.status, 200, "{}", r.body);
+        assert!(r.body.contains("\"model_version\": 3"), "{}", r.body);
+        assert!(r.body.contains("\"db_match\""), "{}", r.body);
+    }
+
+    #[test]
+    fn unknown_symbol_is_400() {
+        let ctx = ctx_with_model(0.0);
+        let r = post(&ctx, "/v1/classify", r#"{"sequences": [["nope"]]}"#);
+        assert_eq!(r.status, 400);
+        assert!(r.body.contains("nope"), "{}", r.body);
+    }
+
+    #[test]
+    fn unknown_tenant_is_404() {
+        let ctx = ctx_with_model(0.0);
+        let r = post(
+            &ctx,
+            "/v1/classify",
+            r#"{"tenant": "ghost", "sequences": []}"#,
+        );
+        assert_eq!(r.status, 404);
+    }
+
+    #[test]
+    fn bad_json_is_400() {
+        let ctx = ctx_with_model(0.0);
+        let r = post(&ctx, "/v1/classify", "{nope");
+        assert_eq!(r.status, 400);
+    }
+
+    #[test]
+    fn unknown_route_is_404_and_wrong_method_is_405() {
+        let ctx = ctx_with_model(0.0);
+        assert_eq!(post(&ctx, "/nope", "").status, 404);
+        assert_eq!(post(&ctx, "/metrics", "").status, 405);
+    }
+}

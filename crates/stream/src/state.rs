@@ -32,7 +32,7 @@ use noisemine_core::chernoff::epsilon;
 use noisemine_core::matching::{sequence_match, SequenceScan, SymbolMatchScratch};
 use noisemine_core::miner::{mine_from_phase1_with_known, MineOutcome, MinerConfig, Phase1Output};
 use noisemine_core::parallel::SCAN_BLOCK_SIZE;
-use noisemine_core::{CompatibilityMatrix, Pattern, Symbol};
+use noisemine_core::{Alphabet, CompatibilityMatrix, Pattern, PatternModel, Symbol};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -342,6 +342,23 @@ impl StreamState {
         } else {
             Ok(None)
         }
+    }
+
+    /// Freezes a mining outcome into a versioned [`PatternModel`] for the
+    /// online serving layer — the drift→swap hook.
+    ///
+    /// The model's version is the stream position ([`Self::total_seen`])
+    /// at freeze time, so successive drift-triggered re-mines yield
+    /// strictly increasing versions and a serving registry can hot-swap
+    /// monotonically. The matrix and `min_match` are the engine's own.
+    pub fn to_model(&self, outcome: &MineOutcome, alphabet: &Alphabet) -> PatternModel {
+        PatternModel::from_outcome(
+            outcome,
+            alphabet,
+            &self.matrix,
+            self.config.min_match,
+            self.total_seen(),
+        )
     }
 
     /// Replaces the tracked set with every pattern the given phase-3 run

@@ -2,8 +2,9 @@
 """Performance-regression gate for the committed bench baselines.
 
 Compares a freshly measured bench JSON (``BENCH_kernel.json`` from the
-``match_kernel`` bin, or ``BENCH_parallel.json`` from ``scan_parallel``)
-against the committed baseline of the same bench. Rows are matched by their
+``match_kernel`` bin, ``BENCH_parallel.json`` from ``scan_parallel``, or
+``BENCH_serve.json`` from ``serve_load``) against the committed baseline of
+the same bench. Rows are matched by their
 identity fields, throughput is compared, a delta table is printed, and the
 script exits non-zero when any row's throughput dropped by more than the
 threshold (default 25%).
@@ -16,6 +17,16 @@ the row schema). Rows present in the baseline but missing from the current
 run fail the gate — a silently shrunk grid is not a pass. Rows only in the
 current run are reported but don't fail anything (the next baseline refresh
 picks them up). Only the standard library is used.
+
+Seeding a baseline: a gate needs a committed baseline to compare against.
+To seed one for a new bench (or refresh an old one), run the bench bin on a
+quiet machine and commit its JSON at the repo root, e.g.::
+
+    cargo run --release -p noisemine-bench --bin serve_load -- --out BENCH_serve.json
+    git add BENCH_serve.json
+
+A missing baseline file is reported as an actionable error, not a pass —
+an uncommitted baseline would silently disable the gate.
 """
 
 import argparse
@@ -26,12 +37,24 @@ import sys
 SCHEMAS = {
     "match_kernel": (("symbols", "len", "candidates", "kernel"), "evals_per_sec"),
     "scan_parallel": (("backend", "threads"), "seqs_per_sec"),
+    "serve_load": (("patterns", "concurrency"), "rps"),
 }
 
 
 def load(path):
-    with open(path) as f:
-        doc = json.load(f)
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except FileNotFoundError:
+        sys.exit(
+            f"error: {path}: no such file. If this is the committed baseline, seed it by\n"
+            f"running the matching bench bin and committing its JSON output, e.g.:\n"
+            f"  cargo run --release -p noisemine-bench --bin serve_load -- --out {path}\n"
+            f"  git add {path}\n"
+            f"(see the docstring at the top of scripts/bench_gate.py)"
+        )
+    except json.JSONDecodeError as e:
+        sys.exit(f"error: {path}: not valid JSON ({e}) — partial bench write?")
     bench = doc.get("bench")
     if bench not in SCHEMAS:
         sys.exit(f"error: {path}: unknown bench {bench!r} (expected one of {sorted(SCHEMAS)})")
