@@ -576,7 +576,15 @@ fn maybe_write_model(
 /// sequences against them until `POST /admin/shutdown` (or SIGKILL). See
 /// docs/SERVING.md for the API.
 pub fn cmd_serve(opts: &Opts) -> CliResult<()> {
-    opts.deny_unknown(&["model", "addr", "threads", "tenant-quota", "metrics-out"])?;
+    opts.deny_unknown(&[
+        "model",
+        "addr",
+        "threads",
+        "tenant-quota",
+        "metrics-out",
+        "max-requests-per-conn",
+        "idle-timeout",
+    ])?;
     let sink = metrics_sink(opts);
     let spec = opts.required("model")?;
     let quota = opts.num("tenant-quota", 0.0f64)?;
@@ -603,9 +611,16 @@ pub fn cmd_serve(opts: &Opts) -> CliResult<()> {
         );
         registry.swap(tenant, compiled);
     }
+    let idle_timeout = opts.num("idle-timeout", 10.0f64)?;
+    if !idle_timeout.is_finite() || idle_timeout <= 0.0 {
+        return Err(format!("--idle-timeout must be positive seconds, got {idle_timeout}").into());
+    }
     let config = noisemine_serve::ServeConfig {
         addr: opts.get_or("addr", "127.0.0.1:7700").to_string(),
         threads: opts.num("threads", 4usize)?.max(1),
+        max_requests_per_conn: opts.num("max-requests-per-conn", 0usize)?,
+        idle_timeout: std::time::Duration::from_secs_f64(idle_timeout),
+        ..noisemine_serve::ServeConfig::default()
     };
     let server = noisemine_serve::Server::start(&config, registry).map_err(|e| e.to_string())?;
     // Printed (and flushed) so scripts binding port 0 can discover the

@@ -15,7 +15,8 @@
 //!                   [--kernel trie|naive] [--metrics-out m.json]
 //! noisemine convert --db db.txt --out db.nmdb [--matrix m.txt]
 //! noisemine serve   --model [tenant=]model.nmmodel[,t2=m2.nmmodel] [--addr 127.0.0.1:7700]
-//!                   [--threads 4] [--tenant-quota 0] [--metrics-out m.json]
+//!                   [--threads 4] [--tenant-quota 0] [--max-requests-per-conn 0]
+//!                   [--idle-timeout 10] [--metrics-out m.json]
 //! ```
 
 mod commands;
@@ -51,6 +52,7 @@ USAGE:
   noisemine convert --db db.txt --out db.nmdb [--matrix m.txt]
   noisemine serve   --model [tenant=]model.nmmodel[,t2=m2.nmmodel]
                     [--addr 127.0.0.1:7700] [--threads 4] [--tenant-quota 0]
+                    [--max-requests-per-conn 0] [--idle-timeout 10]
                     [--metrics-out m.json]
 
 Databases are plain text (one sequence per line, single letters or

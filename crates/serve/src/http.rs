@@ -1,11 +1,18 @@
-//! Minimal HTTP/1.1 framing: just enough to parse one request and write
-//! one response per connection (`Connection: close`).
+//! Minimal HTTP/1.1 framing with persistent-connection support: parse
+//! requests off a connection-lifetime buffer (so pipelined bytes carry
+//! over between requests) and write correctly framed keep-alive or close
+//! responses.
 //!
 //! Not a general HTTP implementation — the serving API is a fixed set of
 //! small JSON routes, so this module supports exactly what those need:
-//! request line + headers (case-insensitive `Content-Length`), an optional
-//! body, and a correctly framed response. Oversized heads or bodies are
-//! rejected before allocation can hurt.
+//! request line + headers (case-insensitive `Content-Length` and
+//! `Connection`), an optional body, and HTTP/1.0-vs-1.1 keep-alive
+//! defaults. Framing is strict where it matters for connection reuse:
+//! oversized heads are rejected at exactly [`MAX_HEAD`] bytes (the parser
+//! never reads past the limit looking for the terminator), and duplicate
+//! `Connection`-relevant `Content-Length` headers that disagree are
+//! rejected outright — a desynchronized body length on a reused
+//! connection would make every later request on it misparse.
 
 use std::io::{self, Read, Write};
 
@@ -24,6 +31,10 @@ pub struct Request {
     pub path: String,
     /// The request body (empty when no `Content-Length`).
     pub body: String,
+    /// Whether the peer asked to end the connection after this exchange:
+    /// `Connection: close`, or an HTTP/1.0 request without
+    /// `Connection: keep-alive`.
+    pub close: bool,
 }
 
 /// A response about to be written.
@@ -62,45 +73,137 @@ fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
         429 => "Too Many Requests",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
         _ => "Unknown",
     }
 }
 
-/// Reads one request from `stream`.
+/// The connection-lifetime receive buffer.
 ///
-/// Returns `Ok(None)` when the peer closed the connection before sending a
-/// complete head (a health-check probe that connects and disconnects, for
-/// example) — not an error worth logging.
-pub fn read_request<R: Read>(stream: &mut R) -> io::Result<Option<Request>> {
-    let mut head = Vec::with_capacity(512);
-    let mut buf = [0u8; 1024];
-    let (head_end, mut overflow) = loop {
-        let n = stream.read(&mut buf)?;
-        if n == 0 {
-            if head.is_empty() {
-                return Ok(None);
-            }
-            return Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "connection closed mid-request-head",
-            ));
+/// Bytes read off the socket land here; [`try_parse_request`] consumes
+/// complete requests from the front and leaves any trailing (pipelined or
+/// partial) bytes for the next call. `scanned` remembers how far the
+/// head-terminator search has progressed so a head trickled in N chunks
+/// costs one linear scan total, not a rescan per chunk.
+#[derive(Debug, Default)]
+pub struct ConnBuf {
+    buf: Vec<u8>,
+    /// Prefix of `buf` already scanned for `\r\n\r\n` without a match.
+    scanned: usize,
+    /// Cached terminator offset once found (cleared when the request is
+    /// drained), so body trickle never rescans the head.
+    head_end: Option<usize>,
+}
+
+impl ConnBuf {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether any unparsed bytes are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends raw bytes (for tests and pipelined-injection harnesses).
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// How many bytes the next socket read may pull in. While the head is
+    /// still incomplete this is capped so the buffer never grows past
+    /// [`MAX_HEAD`] hunting for the terminator (the head is rejected the
+    /// moment `MAX_HEAD` unterminated bytes are buffered); once the head
+    /// is found, body reads are unconstrained.
+    fn read_budget(&self, chunk: usize) -> usize {
+        if self.head_end.is_some() {
+            chunk
+        } else {
+            MAX_HEAD.saturating_sub(self.buf.len()).clamp(1, chunk)
         }
-        head.extend_from_slice(&buf[..n]);
-        if let Some(pos) = find_head_end(&head) {
-            let overflow = head.split_off(pos + 4);
-            break (pos, overflow);
+    }
+
+    /// Finds the end of the head (`\r\n\r\n`), scanning only bytes not
+    /// covered by a previous call. Returns the offset of the terminator.
+    fn find_head_end(&mut self) -> Option<usize> {
+        if let Some(pos) = self.head_end {
+            return Some(pos);
         }
-        if head.len() > MAX_HEAD {
+        // Restart up to 3 bytes back: the terminator may straddle the
+        // boundary between the previously scanned prefix and new bytes.
+        let start = self.scanned.saturating_sub(3);
+        if let Some(pos) = self.buf[start..].windows(4).position(|w| w == b"\r\n\r\n") {
+            self.head_end = Some(start + pos);
+            return Some(start + pos);
+        }
+        self.scanned = self.buf.len();
+        None
+    }
+}
+
+/// Attempts to parse one complete request from the front of `buf`.
+///
+/// Returns `Ok(None)` when the buffered bytes are a valid prefix but not
+/// yet a whole request (more socket data needed). On success the request's
+/// bytes are drained from the buffer; pipelined followers stay put.
+pub fn try_parse_request(buf: &mut ConnBuf) -> io::Result<Option<Request>> {
+    let Some(head_end) = buf.find_head_end() else {
+        if buf.buf.len() >= MAX_HEAD {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("request head exceeds {MAX_HEAD} bytes"),
             ));
         }
+        return Ok(None);
     };
-    let head_text = std::str::from_utf8(&head[..head_end])
+    if head_end + 4 > MAX_HEAD {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("request head exceeds {MAX_HEAD} bytes"),
+        ));
+    }
+    let parsed = parse_head(&buf.buf[..head_end])?;
+    if parsed.content_length > MAX_BODY {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "request body of {} bytes exceeds {MAX_BODY}",
+                parsed.content_length
+            ),
+        ));
+    }
+    let body_start = head_end + 4;
+    let body_end = body_start + parsed.content_length;
+    if buf.buf.len() < body_end {
+        return Ok(None);
+    }
+    let body = String::from_utf8(buf.buf[body_start..body_end].to_vec())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 request body"))?;
+    buf.buf.drain(..body_end);
+    buf.scanned = 0;
+    buf.head_end = None;
+    Ok(Some(Request {
+        method: parsed.method,
+        path: parsed.path,
+        body,
+        close: parsed.close,
+    }))
+}
+
+struct ParsedHead {
+    method: String,
+    path: String,
+    content_length: usize,
+    close: bool,
+}
+
+fn parse_head(head: &[u8]) -> io::Result<ParsedHead> {
+    let head_text = std::str::from_utf8(head)
         .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 request head"))?;
     let mut lines = head_text.split("\r\n");
     let request_line = lines
@@ -115,54 +218,107 @@ pub fn read_request<R: Read>(stream: &mut R) -> io::Result<Option<Request>> {
         .next()
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing path"))?
         .to_string();
-    let mut content_length = 0usize;
+    // HTTP/1.1 defaults to keep-alive; HTTP/1.0 (or no version) to close.
+    let keep_alive_default = parts.next() == Some("HTTP/1.1");
+    let mut content_length: Option<usize> = None;
+    let mut close = !keep_alive_default;
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
-                content_length = value.trim().parse().map_err(|_| {
+            let name = name.trim();
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                let parsed: usize = value.parse().map_err(|_| {
                     io::Error::new(io::ErrorKind::InvalidData, "bad Content-Length")
                 })?;
+                // Repeated identical values are tolerated (some proxies
+                // duplicate the header); disagreeing ones would desync
+                // keep-alive framing and are rejected.
+                if content_length.is_some_and(|seen| seen != parsed) {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "conflicting duplicate Content-Length headers",
+                    ));
+                }
+                content_length = Some(parsed);
+            } else if name.eq_ignore_ascii_case("connection") {
+                // A comma-separated token list; "close" and "keep-alive"
+                // are the tokens that matter here.
+                for token in value.split(',') {
+                    let token = token.trim();
+                    if token.eq_ignore_ascii_case("close") {
+                        close = true;
+                    } else if token.eq_ignore_ascii_case("keep-alive") {
+                        close = false;
+                    }
+                }
             }
         }
     }
-    if content_length > MAX_BODY {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("request body of {content_length} bytes exceeds {MAX_BODY}"),
-        ));
-    }
-    while overflow.len() < content_length {
-        let n = stream.read(&mut buf)?;
+    Ok(ParsedHead {
+        method,
+        path,
+        content_length: content_length.unwrap_or(0),
+        close,
+    })
+}
+
+/// Reads one request from `stream`, carrying partial/pipelined bytes in
+/// `buf` across calls on the same connection.
+///
+/// Returns `Ok(None)` when the peer closed the connection cleanly between
+/// requests (a health-check probe that connects and disconnects, or a
+/// keep-alive client hanging up) — not an error worth logging.
+pub fn read_request_buffered<R: Read>(
+    stream: &mut R,
+    buf: &mut ConnBuf,
+) -> io::Result<Option<Request>> {
+    let mut chunk = [0u8; 8192];
+    loop {
+        if let Some(request) = try_parse_request(buf)? {
+            return Ok(Some(request));
+        }
+        let budget = buf.read_budget(chunk.len());
+        let n = stream.read(&mut chunk[..budget])?;
         if n == 0 {
+            if buf.is_empty() {
+                return Ok(None);
+            }
             return Err(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
-                "connection closed mid-body",
+                "connection closed mid-request",
             ));
         }
-        overflow.extend_from_slice(&buf[..n]);
+        buf.extend(&chunk[..n]);
     }
-    overflow.truncate(content_length);
-    let body = String::from_utf8(overflow)
-        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 request body"))?;
-    Ok(Some(Request { method, path, body }))
 }
 
-fn find_head_end(buf: &[u8]) -> Option<usize> {
-    buf.windows(4).position(|w| w == b"\r\n\r\n")
+/// Reads one request from a fresh connection (one-shot convenience used
+/// by tests; the server threads a [`ConnBuf`] through the connection).
+pub fn read_request<R: Read>(stream: &mut R) -> io::Result<Option<Request>> {
+    read_request_buffered(stream, &mut ConnBuf::new())
 }
 
-/// Writes `response` to `stream` with correct framing and closes the
-/// logical exchange (`Connection: close`).
-pub fn write_response<W: Write>(stream: &mut W, response: &Response) -> io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+/// Writes `response` to `stream` with correct framing. `keep_alive`
+/// decides the `Connection` header: the server sends `close` on the final
+/// response of a connection so clients never wait on a dead socket.
+pub fn write_response<W: Write>(
+    stream: &mut W,
+    response: &Response,
+    keep_alive: bool,
+) -> io::Result<()> {
+    // Head and body go out in ONE write: a small trailing segment after
+    // unacked data would otherwise sit in Nagle's buffer waiting out the
+    // peer's delayed ACK (~40ms per keep-alive request).
+    let mut wire = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
         response.status,
         reason(response.status),
         response.content_type,
-        response.body.len()
+        response.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
     );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(response.body.as_bytes())?;
+    wire.push_str(&response.body);
+    stream.write_all(wire.as_bytes())?;
     stream.flush()
 }
 
@@ -178,6 +334,7 @@ mod tests {
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/v1/classify");
         assert_eq!(req.body, "hello world");
+        assert!(!req.close, "HTTP/1.1 defaults to keep-alive");
     }
 
     #[test]
@@ -187,6 +344,31 @@ mod tests {
         assert_eq!(req.method, "GET");
         assert_eq!(req.path, "/metrics");
         assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn connection_close_and_http10_semantics() {
+        let close = b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n";
+        assert!(
+            read_request(&mut Cursor::new(&close[..]))
+                .unwrap()
+                .unwrap()
+                .close
+        );
+        let old = b"GET / HTTP/1.0\r\n\r\n";
+        assert!(
+            read_request(&mut Cursor::new(&old[..]))
+                .unwrap()
+                .unwrap()
+                .close
+        );
+        let old_ka = b"GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n";
+        assert!(
+            !read_request(&mut Cursor::new(&old_ka[..]))
+                .unwrap()
+                .unwrap()
+                .close
+        );
     }
 
     #[test]
@@ -202,13 +384,89 @@ mod tests {
     }
 
     #[test]
+    fn pipelined_requests_parse_from_one_buffer() {
+        let mut buf = ConnBuf::new();
+        buf.extend(
+            b"POST /a HTTP/1.1\r\nContent-Length: 3\r\n\r\nabcGET /b HTTP/1.1\r\n\r\nGET /c HT",
+        );
+        let a = try_parse_request(&mut buf).unwrap().unwrap();
+        assert_eq!((a.path.as_str(), a.body.as_str()), ("/a", "abc"));
+        let b = try_parse_request(&mut buf).unwrap().unwrap();
+        assert_eq!(b.path, "/b");
+        // The third request is incomplete: parser asks for more data and
+        // keeps the partial bytes.
+        assert!(try_parse_request(&mut buf).unwrap().is_none());
+        buf.extend(b"TP/1.1\r\n\r\n");
+        let c = try_parse_request(&mut buf).unwrap().unwrap();
+        assert_eq!(c.path, "/c");
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn conflicting_duplicate_content_length_is_rejected() {
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 4\r\n\r\nabcd";
+        let err = read_request(&mut Cursor::new(&raw[..])).unwrap_err();
+        assert!(err.to_string().contains("conflicting"), "{err}");
+        // Repeated identical values stay accepted.
+        let ok = b"POST / HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 3\r\n\r\nabc";
+        let req = read_request(&mut Cursor::new(&ok[..])).unwrap().unwrap();
+        assert_eq!(req.body, "abc");
+    }
+
+    #[test]
+    fn head_limit_is_exact() {
+        // A head that fits exactly: "GET / HTTP/1.1\r\nX: ...\r\n\r\n"
+        // padded to MAX_HEAD bytes total parses fine.
+        let fixed = b"GET / HTTP/1.1\r\nX: ";
+        let pad = MAX_HEAD - fixed.len() - 4;
+        let mut raw = fixed.to_vec();
+        raw.extend(std::iter::repeat_n(b'a', pad));
+        raw.extend(b"\r\n\r\n");
+        assert_eq!(raw.len(), MAX_HEAD);
+        assert!(read_request(&mut Cursor::new(&raw[..])).unwrap().is_some());
+        // One byte more is rejected — and the parser never buffers past
+        // the limit hunting for the terminator.
+        let mut raw = fixed.to_vec();
+        raw.extend(std::iter::repeat_n(b'a', pad + 1));
+        raw.extend(b"\r\n\r\n");
+        let mut buf = ConnBuf::new();
+        let err = read_request_buffered(&mut Cursor::new(&raw[..]), &mut buf).unwrap_err();
+        assert!(err.to_string().contains("exceeds"), "{err}");
+    }
+
+    #[test]
+    fn trickled_head_parses_incrementally() {
+        // Feed a head one byte at a time through the buffered parser; the
+        // scanned watermark means this is O(n) total, and the result is
+        // identical to a single-shot parse.
+        let raw = b"POST /v1/classify HTTP/1.1\r\nContent-Length: 2\r\n\r\nok";
+        let mut buf = ConnBuf::new();
+        let mut req = None;
+        for &byte in raw.iter() {
+            buf.extend(&[byte]);
+            if let Some(r) = try_parse_request(&mut buf).unwrap() {
+                req = Some(r);
+            }
+        }
+        let req = req.expect("complete request parsed");
+        assert_eq!(req.path, "/v1/classify");
+        assert_eq!(req.body, "ok");
+    }
+
+    #[test]
     fn response_framing() {
         let mut out = Vec::new();
-        write_response(&mut out, &Response::json(200, "{\"a\":1}".into())).unwrap();
+        write_response(&mut out, &Response::json(200, "{\"a\":1}".into()), false).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
         assert!(text.contains("Content-Length: 7\r\n"), "{text}");
+        assert!(text.contains("Connection: close\r\n"), "{text}");
         assert!(text.ends_with("{\"a\":1}"), "{text}");
+
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::json(200, "{}".into()), true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Connection: keep-alive\r\n"), "{text}");
     }
 
     #[test]

@@ -20,10 +20,13 @@
 //!   trie kernel, same block-ordered float reduction).
 //! - [`admission`] — deterministic per-tenant token buckets; exhausted
 //!   quota answers HTTP 429.
-//! - [`server`] — the zero-dependency server: non-blocking accept loop on
-//!   `std::net` plus a worker thread pool, with `/v1/classify`,
-//!   `/admin/swap`, `/admin/models`, `/admin/shutdown`, `/metrics`
-//!   (Prometheus), and `/healthz` routes.
+//! - [`server`] — the zero-dependency server: a `poll(2)` readiness event
+//!   loop (raw libc FFI, no external runtime) multiplexing persistent
+//!   HTTP/1.1 keep-alive connections across a worker thread pool, with
+//!   `/v1/classify`, `/admin/swap`, `/admin/models`, `/admin/shutdown`,
+//!   `/metrics` (Prometheus), and `/healthz` routes. Idle connections
+//!   park in the event loop (no worker held); drain answers late
+//!   requests `503` and closes.
 //! - [`json`] — the small JSON parser/writer the API uses (floats render
 //!   shortest-roundtrip, so scores survive HTTP bit-exactly).
 //!
@@ -37,6 +40,7 @@ pub mod http;
 pub mod json;
 pub mod model_io;
 pub(crate) mod obs;
+pub(crate) mod poll;
 pub mod registry;
 pub mod server;
 

@@ -24,7 +24,43 @@ macro_rules! counter {
 counter!(
     requests,
     "serve_requests_total",
-    "HTTP requests accepted by the serving layer (all routes)",
+    "HTTP requests parsed and routed by the serving layer (all routes)",
+    "requests"
+);
+counter!(
+    connections,
+    "serve_connections_total",
+    "TCP connections accepted by the serving layer",
+    "connections"
+);
+counter!(
+    keepalive_reuses,
+    "serve_keepalive_reuses_total",
+    "Requests served on an already-used keep-alive connection (second and later per connection)",
+    "requests"
+);
+counter!(
+    pipelined_requests,
+    "serve_pipelined_requests_total",
+    "Requests parsed from bytes already buffered behind an earlier request on the same connection",
+    "requests"
+);
+counter!(
+    idle_evictions,
+    "serve_idle_evictions_total",
+    "Keep-alive connections closed by the idle timeout",
+    "connections"
+);
+counter!(
+    poll_wakeups,
+    "serve_poll_wakeups_total",
+    "Readiness event-loop iterations (poll(2) returns)",
+    "wakeups"
+);
+counter!(
+    drain_rejects,
+    "serve_drain_rejects_total",
+    "Requests answered 503 because they arrived during graceful drain",
     "requests"
 );
 counter!(
@@ -57,6 +93,30 @@ counter!(
     "Successful hot-swaps of a tenant's active model",
     "swaps"
 );
+
+/// Connections currently open (accepted and not yet closed).
+pub(crate) fn open_connections() -> &'static Gauge {
+    static H: OnceLock<Gauge> = OnceLock::new();
+    H.get_or_init(|| {
+        obs::gauge(
+            "serve_open_connections",
+            "Connections currently open (accepted and not yet closed)",
+            "connections",
+        )
+    })
+}
+
+/// Connections parked in the readiness loop awaiting their next request.
+pub(crate) fn idle_connections() -> &'static Gauge {
+    static H: OnceLock<Gauge> = OnceLock::new();
+    H.get_or_init(|| {
+        obs::gauge(
+            "serve_idle_connections",
+            "Keep-alive connections parked in the readiness loop awaiting their next request",
+            "connections",
+        )
+    })
+}
 
 /// Classification latency (request parse to response write).
 pub(crate) fn classify_seconds() -> &'static Histogram {

@@ -27,11 +27,16 @@ pub struct ServeModel {
     pub patterns: Vec<Pattern>,
     /// The compiled batch-match kernel (`None` for an empty pattern set).
     pub trie: Option<CandidateTrie>,
+    /// Per-pattern response fragments (`"pattern": …, "match_estimate": …`),
+    /// rendered and JSON-escaped once at compile time — the classify route
+    /// serves them on every request without re-rendering.
+    pub pattern_json: Vec<String>,
 }
 
 impl ServeModel {
-    /// Compiles a model for serving. The trie is built once here and
-    /// shared by every request until the model is swapped out.
+    /// Compiles a model for serving. The trie and the per-pattern JSON
+    /// fragments are built once here and shared by every request until the
+    /// model is swapped out.
     pub fn compile(spec: PatternModel) -> Self {
         let patterns = spec.plain_patterns();
         let trie = if patterns.is_empty() {
@@ -39,10 +44,26 @@ impl ServeModel {
         } else {
             Some(CandidateTrie::new(&patterns))
         };
+        let pattern_json = spec
+            .patterns
+            .iter()
+            .map(|mp| {
+                let display = mp
+                    .pattern
+                    .display(&spec.alphabet)
+                    .unwrap_or_else(|_| "<unrenderable>".to_string());
+                format!(
+                    "\"pattern\": {}, \"match_estimate\": {}",
+                    crate::json::escape(&display),
+                    crate::json::num(mp.match_estimate),
+                )
+            })
+            .collect();
         Self {
             spec,
             patterns,
             trie,
+            pattern_json,
         }
     }
 
@@ -166,6 +187,19 @@ impl ModelRegistry {
             crate::obs::throttled().inc();
             Admission::Throttled
         }
+    }
+
+    /// Tokens currently available in the tenant's admission bucket
+    /// (`None` for an unknown tenant). For tests and introspection — the
+    /// quota-burn regression suite asserts rejected requests leave this
+    /// untouched.
+    pub fn available_quota(&self, tenant: &str) -> Option<f64> {
+        let slot = {
+            let map = self.tenants.lock().expect("registry poisoned");
+            map.get(tenant).cloned()?
+        };
+        let available = slot.bucket.lock().expect("bucket poisoned").available();
+        Some(available)
     }
 
     /// Records a successfully admitted classification for tenant metrics.

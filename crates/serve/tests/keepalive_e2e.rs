@@ -1,0 +1,338 @@
+//! End-to-end tests for the persistent-connection serve path: HTTP/1.1
+//! keep-alive reuse (bit-identical to `Connection: close` responses),
+//! pipelined back-to-back requests in one write, slow-loris idle-timeout
+//! eviction, the requests-per-connection cap, and graceful drain under
+//! load with zero dropped in-flight requests.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use noisemine_core::lattice::Border;
+use noisemine_core::miner::{FrequentPattern, MineOutcome, MineStats, Provenance};
+use noisemine_core::{Alphabet, CompatibilityMatrix, Pattern, PatternModel, Symbol};
+use noisemine_serve::{ModelRegistry, ServeConfig, ServeModel, Server};
+
+/// A deterministic single-pattern model (no mining, so this suite is
+/// fast) served for the `default` tenant.
+fn start_server(config: &ServeConfig) -> Server {
+    let alphabet = Alphabet::synthetic(6);
+    let matrix = CompatibilityMatrix::uniform_noise(6, 0.12).unwrap();
+    let outcome = MineOutcome {
+        frequent: vec![
+            FrequentPattern {
+                pattern: Pattern::contiguous(&[Symbol(0), Symbol(1), Symbol(2)]).unwrap(),
+                match_estimate: 0.5,
+                provenance: Provenance::Verified,
+            },
+            FrequentPattern {
+                pattern: Pattern::contiguous(&[Symbol(3), Symbol(4)]).unwrap(),
+                match_estimate: 0.4,
+                provenance: Provenance::Verified,
+            },
+        ],
+        border: Border::default(),
+        symbol_match: vec![0.4; 6],
+        stats: MineStats::default(),
+    };
+    let registry = Arc::new(ModelRegistry::new(0.0));
+    registry.swap(
+        "default",
+        ServeModel::compile(PatternModel::from_outcome(
+            &outcome, &alphabet, &matrix, 0.1, 7,
+        )),
+    );
+    Server::start(config, registry).expect("server starts")
+}
+
+const CLASSIFY_BODY: &str =
+    r#"{"tenant": "default", "sequences": [["d0", "d1", "d2", "d3"], ["d4", "d5", "d0"]]}"#;
+
+fn request_bytes(method: &str, path: &str, body: &str, close: bool) -> Vec<u8> {
+    format!(
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n{}\r\n{body}",
+        body.len(),
+        if close { "Connection: close\r\n" } else { "" },
+    )
+    .into_bytes()
+}
+
+/// Reads exactly one framed response off `stream`, carrying over-read
+/// bytes (the start of a later pipelined response) in `carry`; returns
+/// `(status, headers, body)`.
+fn read_one_response(stream: &mut TcpStream, carry: &mut Vec<u8>) -> (u16, String, String) {
+    let mut raw = std::mem::take(carry);
+    let mut chunk = [0u8; 1024];
+    let (head_end, content_length) = loop {
+        if let Some(pos) = raw.windows(4).position(|w| w == b"\r\n\r\n") {
+            let head = std::str::from_utf8(&raw[..pos]).expect("UTF-8 head");
+            let cl = head
+                .lines()
+                .find_map(|l| {
+                    let (name, value) = l.split_once(':')?;
+                    name.trim()
+                        .eq_ignore_ascii_case("content-length")
+                        .then(|| value.trim().parse::<usize>().expect("numeric length"))
+                })
+                .expect("response has Content-Length");
+            break (pos, cl);
+        }
+        let n = stream.read(&mut chunk).expect("read response head");
+        assert!(n > 0, "connection closed mid-response-head: {raw:?}");
+        raw.extend_from_slice(&chunk[..n]);
+    };
+    while raw.len() < head_end + 4 + content_length {
+        let n = stream.read(&mut chunk).expect("read response body");
+        assert!(n > 0, "connection closed mid-response-body");
+        raw.extend_from_slice(&chunk[..n]);
+    }
+    let headers = String::from_utf8(raw[..head_end].to_vec()).unwrap();
+    let body = String::from_utf8(raw[head_end + 4..head_end + 4 + content_length].to_vec())
+        .expect("UTF-8 body");
+    *carry = raw.split_off(head_end + 4 + content_length);
+    let status = headers
+        .split_whitespace()
+        .nth(1)
+        .expect("status line")
+        .parse()
+        .expect("numeric status");
+    (status, headers, body)
+}
+
+#[test]
+fn keepalive_responses_are_bit_identical_to_close_mode() {
+    let server = start_server(&ServeConfig::default());
+    let addr = server.addr();
+
+    // Reference: one-shot Connection: close exchange.
+    let mut one_shot = TcpStream::connect(addr).unwrap();
+    let mut shot_carry = Vec::new();
+    one_shot
+        .write_all(&request_bytes("POST", "/v1/classify", CLASSIFY_BODY, true))
+        .unwrap();
+    let (status, headers, reference) = read_one_response(&mut one_shot, &mut shot_carry);
+    assert_eq!(status, 200, "{reference}");
+    assert!(headers.contains("Connection: close"), "{headers}");
+    let mut rest = Vec::new();
+    one_shot.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "bytes after a close-mode response");
+
+    // Many sequential requests on ONE socket: every response arrives on
+    // the same connection, marked keep-alive, with a byte-identical body.
+    let mut conn = TcpStream::connect(addr).unwrap();
+    let mut carry = Vec::new();
+    for i in 0..20 {
+        conn.write_all(&request_bytes("POST", "/v1/classify", CLASSIFY_BODY, false))
+            .unwrap();
+        let (status, headers, body) = read_one_response(&mut conn, &mut carry);
+        assert_eq!(status, 200, "request {i}");
+        assert!(headers.contains("Connection: keep-alive"), "{headers}");
+        assert_eq!(body, reference, "request {i} diverged from close mode");
+    }
+    // A final Connection: close request ends the exchange and the server
+    // actually closes.
+    conn.write_all(&request_bytes("POST", "/v1/classify", CLASSIFY_BODY, true))
+        .unwrap();
+    let (status, headers, body) = read_one_response(&mut conn, &mut carry);
+    assert_eq!(status, 200);
+    assert!(headers.contains("Connection: close"), "{headers}");
+    assert_eq!(body, reference);
+    assert!(carry.is_empty(), "stray bytes after the final response");
+    let mut rest = Vec::new();
+    conn.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty());
+
+    server.stop();
+    server.join();
+}
+
+#[test]
+fn pipelined_requests_in_one_write_all_answer_in_order() {
+    let server = start_server(&ServeConfig::default());
+    let mut conn = TcpStream::connect(server.addr()).unwrap();
+    let mut carry = Vec::new();
+
+    // Reference body from a lone request.
+    conn.write_all(&request_bytes("POST", "/v1/classify", CLASSIFY_BODY, false))
+        .unwrap();
+    let (_, _, reference) = read_one_response(&mut conn, &mut carry);
+
+    // Three back-to-back requests in ONE write: two classifies around a
+    // healthz, so ordering is observable.
+    let mut batch = Vec::new();
+    batch.extend(request_bytes("POST", "/v1/classify", CLASSIFY_BODY, false));
+    batch.extend(request_bytes("GET", "/healthz", "", false));
+    batch.extend(request_bytes("POST", "/v1/classify", CLASSIFY_BODY, false));
+    conn.write_all(&batch).unwrap();
+
+    let (s1, _, b1) = read_one_response(&mut conn, &mut carry);
+    let (s2, _, b2) = read_one_response(&mut conn, &mut carry);
+    let (s3, _, b3) = read_one_response(&mut conn, &mut carry);
+    assert_eq!((s1, s2, s3), (200, 200, 200));
+    assert_eq!(b1, reference);
+    assert_eq!(b2, "{\"status\": \"ok\"}");
+    assert_eq!(b3, reference);
+
+    server.stop();
+    server.join();
+}
+
+#[test]
+fn slow_loris_connections_are_evicted_by_the_idle_timeout() {
+    let config = ServeConfig {
+        idle_timeout: Duration::from_millis(250),
+        ..ServeConfig::default()
+    };
+    let server = start_server(&config);
+    let addr = server.addr();
+
+    // A connection that never sends a byte parks in the event loop and is
+    // evicted without ever occupying a worker.
+    let mut silent = TcpStream::connect(addr).unwrap();
+    // A connection that trickles half a request head and stalls hits the
+    // worker-side read timeout.
+    let mut trickler = TcpStream::connect(addr).unwrap();
+    trickler.write_all(b"POST /v1/classify HT").unwrap();
+
+    let t0 = Instant::now();
+    for conn in [&mut silent, &mut trickler] {
+        conn.set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut buf = Vec::new();
+        // EOF (Ok with empty read-to-end) or a reset both count as closed.
+        match conn.read_to_end(&mut buf) {
+            Ok(_) => {}
+            Err(e) => assert!(
+                matches!(
+                    e.kind(),
+                    ErrorKind::ConnectionReset | ErrorKind::UnexpectedEof
+                ),
+                "unexpected error kind: {e}"
+            ),
+        }
+        assert!(buf.is_empty(), "no response owed to a request never sent");
+    }
+    let elapsed = t0.elapsed();
+    assert!(
+        elapsed >= Duration::from_millis(100),
+        "evicted implausibly fast ({elapsed:?})"
+    );
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "idle eviction too slow ({elapsed:?})"
+    );
+
+    // The server stays fully functional for well-behaved clients.
+    let mut ok = TcpStream::connect(addr).unwrap();
+    ok.write_all(&request_bytes("POST", "/v1/classify", CLASSIFY_BODY, true))
+        .unwrap();
+    let (status, _, _) = read_one_response(&mut ok, &mut Vec::new());
+    assert_eq!(status, 200);
+
+    server.stop();
+    server.join();
+}
+
+#[test]
+fn requests_per_connection_cap_closes_politely() {
+    let config = ServeConfig {
+        max_requests_per_conn: 3,
+        ..ServeConfig::default()
+    };
+    let server = start_server(&config);
+    let mut conn = TcpStream::connect(server.addr()).unwrap();
+    let mut carry = Vec::new();
+
+    for i in 1..=3 {
+        conn.write_all(&request_bytes("GET", "/healthz", "", false))
+            .unwrap();
+        let (status, headers, _) = read_one_response(&mut conn, &mut carry);
+        assert_eq!(status, 200);
+        if i < 3 {
+            assert!(headers.contains("Connection: keep-alive"), "{headers}");
+        } else {
+            // The capping response says close — the client is told, not
+            // surprised by a dead socket.
+            assert!(headers.contains("Connection: close"), "{headers}");
+        }
+    }
+    let mut rest = Vec::new();
+    conn.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "connection survived past the cap");
+
+    server.stop();
+    server.join();
+}
+
+#[test]
+fn drain_under_load_drops_no_inflight_requests() {
+    let config = ServeConfig {
+        threads: 4,
+        drain_grace: Duration::from_secs(5),
+        ..ServeConfig::default()
+    };
+    let server = start_server(&config);
+    let addr = server.addr();
+
+    // Keep-alive clients hammering classify. Every exchange must be a
+    // complete, well-formed response (`read_one_response` panics on a torn
+    // one, so a dropped in-flight request fails the test loudly). Each
+    // client runs until the drain ends its connection, which happens one
+    // of two announced ways:
+    //   - a 503 "draining" + `Connection: close` (the connection was
+    //     parked when drain started and submitted another request), or
+    //   - a normal 200 whose headers say `Connection: close` (a worker
+    //     held the connection hot when drain started and finished the
+    //     in-flight request before closing).
+    let clients: Vec<_> = (0..4)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut conn = TcpStream::connect(addr).unwrap();
+                let mut carry = Vec::new();
+                let mut completed = 0u32;
+                loop {
+                    conn.write_all(&request_bytes("POST", "/v1/classify", CLASSIFY_BODY, false))
+                        .unwrap();
+                    let (status, headers, body) = read_one_response(&mut conn, &mut carry);
+                    match status {
+                        200 => {
+                            completed += 1;
+                            if headers.contains("Connection: close") {
+                                return (completed, false);
+                            }
+                        }
+                        503 => {
+                            assert!(headers.contains("Connection: close"), "{headers}");
+                            assert!(body.contains("draining"), "{body}");
+                            return (completed, true);
+                        }
+                        other => panic!("unexpected status {other}: {body}"),
+                    }
+                }
+            })
+        })
+        .collect();
+
+    // Let the clients get going, then pull the plug mid-flight.
+    std::thread::sleep(Duration::from_millis(150));
+    server.stop();
+
+    for client in clients {
+        let (completed, _saw_503) = client.join().expect("client panicked — dropped request");
+        assert!(completed > 0, "client never completed a request");
+    }
+
+    server.join();
+    // Post-join the listener is gone: new connections are refused (or the
+    // probe connect succeeds into a dead backlog and the read fails —
+    // either way no request is served).
+    if let Ok(mut late) = TcpStream::connect(addr) {
+        late.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        late.write_all(&request_bytes("GET", "/healthz", "", true))
+            .unwrap();
+        let mut buf = Vec::new();
+        let n = late.read_to_end(&mut buf).unwrap_or(0);
+        assert_eq!(n, 0, "server answered after join: {buf:?}");
+    }
+}

@@ -188,6 +188,7 @@ fn drift_hot_swap_drops_no_inflight_requests() {
         &ServeConfig {
             addr: "127.0.0.1:0".into(),
             threads: 4,
+            ..ServeConfig::default()
         },
         Arc::clone(&registry),
     )

@@ -37,7 +37,7 @@ import sys
 SCHEMAS = {
     "match_kernel": (("symbols", "len", "candidates", "kernel"), "evals_per_sec"),
     "scan_parallel": (("backend", "threads"), "seqs_per_sec"),
-    "serve_load": (("patterns", "concurrency"), "rps"),
+    "serve_load": (("patterns", "concurrency", "mode"), "rps"),
 }
 
 
