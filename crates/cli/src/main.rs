@@ -8,12 +8,13 @@
 //! noisemine mine    --db db.txt|db.nmdb [--matrix m.txt] [--normalize] [--min-match 0.1]
 //!                   [--algorithm three-phase|levelwise|depth-first|max-miner] [--top k]
 //!                   [--max-gap 0] [--max-len 16] [--sample N] [--strategy border|levelwise]
-//!                   [--threads 0] [--kernel trie|naive] [--metrics-out m.json]
+//!                   [--threads 0] [--kernel trie|naive] [--index off|build|use]
+//!                   [--metrics-out m.json]
 //!                   [--on-fault strict|retry[:N]|quarantine]   (.nmdb inputs)
 //! noisemine stream  --db db.txt [--matrix m.txt] [--checkpoint state.ckpt]
 //!                   [--chunk 1000] [--min-match 0.1] [--sample 1000] [--threads 0]
 //!                   [--kernel trie|naive] [--metrics-out m.json]
-//! noisemine convert --db db.txt --out db.nmdb [--matrix m.txt]
+//! noisemine convert --db db.txt --out db.nmdb [--matrix m.txt] [--index build]
 //! noisemine serve   --model [tenant=]model.nmmodel[,t2=m2.nmmodel] [--addr 127.0.0.1:7700]
 //!                   [--threads 4] [--tenant-quota 0] [--max-requests-per-conn 0]
 //!                   [--idle-timeout 10] [--metrics-out m.json]
@@ -39,7 +40,8 @@ USAGE:
                     [--max-gap 0] [--max-len 16] [--sample N] [--delta 0.001]
                     [--counters 100000] [--strategy border|levelwise]
                     [--seed 2002] [--threads 0] [--kernel trie|naive]
-                    [--limit 50] [--top k] [--metrics-out m.json]
+                    [--index off|build|use] [--limit 50] [--top k]
+                    [--metrics-out m.json]
                     [--on-fault strict|retry[:N]|quarantine]
                     [--model-out model.nmmodel] [--model-version 1]
   noisemine stream  --db db.txt|- [--matrix m.txt] [--normalize]
@@ -49,7 +51,7 @@ USAGE:
                     [--seed 2002] [--threads 0] [--kernel trie|naive]
                     [--limit 50] [--metrics-out m.json]
   noisemine learn   --truth clean.txt --observed noisy.txt --out m.txt [--lambda 0.1]
-  noisemine convert --db db.txt --out db.nmdb [--matrix m.txt]
+  noisemine convert --db db.txt --out db.nmdb [--matrix m.txt] [--index build]
   noisemine serve   --model [tenant=]model.nmmodel[,t2=m2.nmmodel]
                     [--addr 127.0.0.1:7700] [--threads 4] [--tenant-quota 0]
                     [--max-requests-per-conn 0] [--idle-timeout 10]
@@ -65,7 +67,12 @@ a later run over a grown file resumes from the tail. --threads sets the scan
 worker count for the three-phase miner (0 = auto); results are bit-identical
 at any thread count. --kernel picks the candidate evaluation kernel (trie =
 batched candidate-trie, the default; naive = per-pattern reference) — the
-kernels are bit-identical, so this only affects speed.
+kernels are bit-identical, so this only affects speed. --index enables the
+positional symbol index: phase-3 probe scans then skip sequences that
+provably match every probe at 0.0 (output stays bit-identical). For .nmdb
+databases, build writes an NMIDX sidecar next to the file and use loads it
+(rebuilding when stale); `convert --index build` writes the sidecar at
+conversion time — see docs/INDEXING.md.
 --metrics-out enables the observability layer and writes
 a metrics snapshot to the given path (JSON, or Prometheus text when the path
 ends in .prom/.txt); `stream` rewrites it after every chunk. Metrics never

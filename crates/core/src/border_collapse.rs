@@ -25,9 +25,10 @@ use std::collections::HashMap;
 use serde::{Deserialize, Serialize};
 
 use crate::error::ScanError;
+use crate::index::{SkipPlan, SymbolIndex};
 use crate::lattice::AmbiguousSpace;
 use crate::match_kernel::MatchKernel;
-use crate::matching::{try_db_match_many_kernel, SequenceScan};
+use crate::matching::{try_db_match_many_kernel_indexed, SequenceScan};
 use crate::matrix::CompatibilityMatrix;
 use crate::pattern::Pattern;
 
@@ -181,6 +182,40 @@ pub fn try_collapse_with_known<S: SequenceScan + ?Sized>(
 /// verdicts never depend on it.
 #[allow(clippy::too_many_arguments)]
 pub fn try_collapse_with_known_kernel<S: SequenceScan + ?Sized>(
+    space: AmbiguousSpace,
+    known: &[(Pattern, f64)],
+    db: &S,
+    matrix: &CompatibilityMatrix,
+    min_match: f64,
+    counters_per_scan: usize,
+    strategy: ProbeStrategy,
+    threads: usize,
+    kernel: MatchKernel,
+) -> Result<CollapseResult, ScanError> {
+    try_collapse_with_known_kernel_indexed(
+        space,
+        known,
+        db,
+        matrix,
+        min_match,
+        counters_per_scan,
+        strategy,
+        threads,
+        kernel,
+        None,
+    )
+}
+
+/// [`try_collapse_with_known_kernel`] with an optional positional
+/// [`SymbolIndex`] over `db` (see [`crate::index`]).
+///
+/// Each probe scan builds a [`SkipPlan`] for its batch, so the
+/// verification scan evaluates only sequences that can match at least one
+/// probe; everything else is skipped while still counting toward the
+/// Definition 3.7 denominator. Like `threads` and `kernel`, the index is
+/// purely operational — the verdicts are bit-identical with and without it.
+#[allow(clippy::too_many_arguments)]
+pub fn try_collapse_with_known_kernel_indexed<S: SequenceScan + ?Sized>(
     mut space: AmbiguousSpace,
     known: &[(Pattern, f64)],
     db: &S,
@@ -190,6 +225,7 @@ pub fn try_collapse_with_known_kernel<S: SequenceScan + ?Sized>(
     strategy: ProbeStrategy,
     threads: usize,
     kernel: MatchKernel,
+    symbol_index: Option<&SymbolIndex>,
 ) -> Result<CollapseResult, ScanError> {
     assert!(counters_per_scan >= 1, "need room for at least one counter");
     let mut result = CollapseResult::default();
@@ -218,7 +254,12 @@ pub fn try_collapse_with_known_kernel<S: SequenceScan + ?Sized>(
                 probes.iter().map(|p| p.non_eternal_count()).collect();
             crate::obs::collapse_layers_probed().add(layers.len() as u64);
         }
-        let values = try_db_match_many_kernel(&probes, db, matrix, threads, kernel)?;
+        let plan = symbol_index.map(|ix| {
+            crate::obs::index_plans_built().inc();
+            SkipPlan::build(ix, &probes, matrix)
+        });
+        let values =
+            try_db_match_many_kernel_indexed(&probes, db, matrix, threads, kernel, plan.as_ref())?;
         result.scans += 1;
         result.probes += probes.len();
         result.probes_per_scan.push(probes.len());

@@ -55,6 +55,7 @@ pub mod border_collapse;
 pub mod candidates;
 pub mod chernoff;
 pub mod error;
+pub mod index;
 pub mod lattice;
 pub mod match_kernel;
 pub mod matching;
@@ -72,10 +73,11 @@ pub use border_collapse::{CollapseResult, ProbeStrategy};
 pub use candidates::PatternSpace;
 pub use chernoff::{Label, SpreadMode};
 pub use error::{Error, Result, ScanError, ScanErrorKind};
+pub use index::{IndexMode, SkipPlan, SymbolIndex, SymbolIndexBuilder};
 pub use lattice::Border;
 pub use match_kernel::{CandidateTrie, MatchKernel, TrieScratch};
 pub use matching::{MatchMetric, PatternMetric, SequenceScan, SupportMetric};
 pub use matrix::CompatibilityMatrix;
-pub use miner::{mine, FrequentPattern, MineOutcome, MineStats, MinerConfig};
+pub use miner::{mine, mine_indexed, FrequentPattern, MineOutcome, MineStats, MinerConfig};
 pub use model::{ModelPattern, PatternModel};
 pub use pattern::{Pattern, PatternElem};

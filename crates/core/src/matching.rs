@@ -21,6 +21,7 @@
 
 use crate::alphabet::Symbol;
 use crate::error::ScanError;
+use crate::index::SkipPlan;
 use crate::match_kernel::{CandidateTrie, MatchKernel, TrieScratch};
 use crate::matrix::CompatibilityMatrix;
 use crate::pattern::{Pattern, PatternElem};
@@ -428,6 +429,29 @@ pub fn try_db_match_many_kernel<S: SequenceScan + ?Sized>(
     threads: usize,
     kernel: MatchKernel,
 ) -> Result<Vec<f64>, ScanError> {
+    try_db_match_many_kernel_indexed(patterns, db, matrix, threads, kernel, None)
+}
+
+/// [`try_db_match_many_kernel`] with an optional [`SkipPlan`] from a
+/// positional symbol index (see [`crate::index`]).
+///
+/// With a plan, only sequences the plan marks as candidates are evaluated;
+/// every skipped sequence's match against every pattern in the batch is
+/// provably exactly `0.0`, so omitting its `+0.0` from the per-block
+/// partial leaves the accumulated bits unchanged. Skipped sequences still
+/// count toward the Definition 3.7 denominator — the visited count comes
+/// from the scan pipeline's in-order `inspect` hook, which sees every
+/// block regardless of the plan. Output is therefore bit-identical to the
+/// unindexed path at every thread count (property-tested with the
+/// unindexed path as oracle in `tests/property_index.rs`).
+pub fn try_db_match_many_kernel_indexed<S: SequenceScan + ?Sized>(
+    patterns: &[Pattern],
+    db: &S,
+    matrix: &CompatibilityMatrix,
+    threads: usize,
+    kernel: MatchKernel,
+    plan: Option<&SkipPlan>,
+) -> Result<Vec<f64>, ScanError> {
     use crate::parallel::{
         resolve_threads, try_scan_map_reduce, PARALLEL_THRESHOLD, SCAN_BLOCK_SIZE,
     };
@@ -454,13 +478,22 @@ pub fn try_db_match_many_kernel<S: SequenceScan + ?Sized>(
             threads,
             &mut |block| visited += block.len(),
             &|| (),
-            &|_scratch, block| {
+            &|_scratch, block_idx, block| {
                 let mut partial = vec![0.0f64; p];
-                for (_, seq) in block.iter() {
-                    for (t, pattern) in partial.iter_mut().zip(patterns) {
-                        *t += sequence_match(pattern, seq, matrix);
+                let mut stats = BlockSkipStats::default();
+                for (i, (_, seq)) in block.iter().enumerate() {
+                    if !stats.visit(plan, block_idx * SCAN_BLOCK_SIZE + i) {
+                        continue;
                     }
+                    let mut nonzero = false;
+                    for (t, pattern) in partial.iter_mut().zip(patterns) {
+                        let v = sequence_match(pattern, seq, matrix);
+                        nonzero |= v != 0.0;
+                        *t += v;
+                    }
+                    stats.contributed(nonzero);
                 }
+                stats.record();
                 partial
             },
         )?,
@@ -473,15 +506,23 @@ pub fn try_db_match_many_kernel<S: SequenceScan + ?Sized>(
                 threads,
                 &mut |block| visited += block.len(),
                 &|| (trie.scratch(), vec![0.0f64; p]),
-                &|worker: &mut (TrieScratch, Vec<f64>), block| {
+                &|worker: &mut (TrieScratch, Vec<f64>), block_idx, block| {
                     let (scratch, out) = worker;
                     let mut partial = vec![0.0f64; p];
-                    for (_, seq) in block.iter() {
+                    let mut stats = BlockSkipStats::default();
+                    for (i, (_, seq)) in block.iter().enumerate() {
+                        if !stats.visit(plan, block_idx * SCAN_BLOCK_SIZE + i) {
+                            continue;
+                        }
                         trie.batch_sequence_match(seq, matrix, scratch, out);
+                        let mut nonzero = false;
                         for (t, &v) in partial.iter_mut().zip(out.iter()) {
+                            nonzero |= v != 0.0;
                             *t += v;
                         }
+                        stats.contributed(nonzero);
                     }
+                    stats.record();
                     partial
                 },
             )?
@@ -498,6 +539,54 @@ pub fn try_db_match_many_kernel<S: SequenceScan + ?Sized>(
         }
     }
     Ok(totals)
+}
+
+/// Per-block skip accounting for the indexed scan path: candidates
+/// visited, sequences skipped, and candidates whose every match turned out
+/// to be zero anyway (index false positives). Counters are flushed once
+/// per block to keep the per-sequence path free of atomics.
+#[derive(Default)]
+struct BlockSkipStats {
+    indexed: bool,
+    candidates: u64,
+    skipped: u64,
+    false_positives: u64,
+}
+
+impl BlockSkipStats {
+    /// Consults the plan for `ordinal`; returns `true` when the sequence
+    /// must be evaluated. Without a plan everything is visited and nothing
+    /// is counted.
+    #[inline]
+    fn visit(&mut self, plan: Option<&SkipPlan>, ordinal: usize) -> bool {
+        let Some(plan) = plan else { return true };
+        self.indexed = true;
+        if plan.is_candidate(ordinal) {
+            self.candidates += 1;
+            true
+        } else {
+            self.skipped += 1;
+            false
+        }
+    }
+
+    /// Notes whether the just-visited candidate contributed any non-zero
+    /// match value.
+    #[inline]
+    fn contributed(&mut self, nonzero: bool) {
+        if self.indexed && !nonzero {
+            self.false_positives += 1;
+        }
+    }
+
+    /// Flushes the block's counts into the index metrics.
+    fn record(&self) {
+        if self.indexed {
+            crate::obs::index_candidates_visited().add(self.candidates);
+            crate::obs::index_sequences_skipped().add(self.skipped);
+            crate::obs::index_false_positives().add(self.false_positives);
+        }
+    }
 }
 
 /// Exact-occurrence support of a pattern in a sequence: 1 if some window

@@ -29,11 +29,12 @@ use serde::{Deserialize, Serialize};
 
 use crate::alphabet::Symbol;
 use crate::border_collapse::{
-    try_collapse_with_known_kernel, CollapseResult, ProbeStrategy, Resolution,
+    try_collapse_with_known_kernel_indexed, CollapseResult, ProbeStrategy, Resolution,
 };
 use crate::candidates::{LevelTrace, PatternSpace};
 use crate::chernoff::SpreadMode;
 use crate::error::{Error, Result, ScanError};
+use crate::index::{IndexMode, SymbolIndex, SymbolIndexBuilder};
 use crate::lattice::{AmbiguousSpace, Border};
 use crate::match_kernel::MatchKernel;
 use crate::matching::{SequenceBlock, SequenceScan, SymbolMatchScratch};
@@ -78,6 +79,17 @@ pub struct MinerConfig {
     /// [`crate::match_kernel`]), so this knob never changes mining output
     /// and is not part of any checkpointed state.
     pub match_kernel: MatchKernel,
+    /// Positional symbol index mode (see [`crate::index`]). With
+    /// [`IndexMode::Build`] (or `Use` without a supplied sidecar), phase 1
+    /// builds a [`SymbolIndex`] as a by-product of its scan and phase-3
+    /// probe scans consult it to skip sequences that provably match every
+    /// probe at exactly `0.0`. Purely operational, like `threads` and
+    /// `match_kernel`: skipped sequences still count toward the Definition
+    /// 3.7 denominator, so mining output is bit-identical in every mode —
+    /// which is also why this knob defaults on deserialization and is not
+    /// part of any checkpointed state.
+    #[serde(default)]
+    pub index: IndexMode,
 }
 
 impl Default for MinerConfig {
@@ -94,6 +106,7 @@ impl Default for MinerConfig {
             max_sample_patterns: DEFAULT_MAX_SAMPLE_PATTERNS,
             threads: 0,
             match_kernel: MatchKernel::default(),
+            index: IndexMode::default(),
         }
     }
 }
@@ -338,9 +351,30 @@ pub fn try_phase1_threads<S: SequenceScan + ?Sized>(
     rng: &mut impl Rng,
     threads: usize,
 ) -> std::result::Result<Phase1Output, ScanError> {
+    try_phase1_threads_indexed(db, matrix, sample_size, rng, threads, false).map(|(p1, _)| p1)
+}
+
+/// [`try_phase1_threads`] that additionally builds a [`SymbolIndex`] over
+/// the scanned database when `build_index` is set.
+///
+/// The index is assembled in the in-order `inspect` hook alongside the
+/// sequential sampler, so it costs no extra scan and records every
+/// sequence in scan order — ordinal `i` in the index is the `i`-th
+/// sequence the scan yields, the addressing scheme the indexed match path
+/// expects. Phase 1 itself never *uses* an index: both the sampler and the
+/// symbol matches must see every sequence.
+pub fn try_phase1_threads_indexed<S: SequenceScan + ?Sized>(
+    db: &S,
+    matrix: &CompatibilityMatrix,
+    sample_size: usize,
+    rng: &mut impl Rng,
+    threads: usize,
+    build_index: bool,
+) -> std::result::Result<(Phase1Output, Option<SymbolIndex>), ScanError> {
     let m = matrix.len();
     let threads = resolve_threads(threads);
     let mut sampler = SequentialSampler::new(sample_size, db.num_sequences());
+    let mut builder = build_index.then(|| SymbolIndexBuilder::new(m));
     let partials = try_scan_map_reduce(
         db,
         SCAN_BLOCK_SIZE,
@@ -348,10 +382,13 @@ pub fn try_phase1_threads<S: SequenceScan + ?Sized>(
         &mut |block| {
             for (_, seq) in block.iter() {
                 sampler.offer(seq, rng);
+                if let Some(b) = builder.as_mut() {
+                    b.add_sequence(seq);
+                }
             }
         },
         &|| SymbolMatchScratch::new(m),
-        &|scratch: &mut SymbolMatchScratch, block: &SequenceBlock| {
+        &|scratch: &mut SymbolMatchScratch, _idx, block: &SequenceBlock| {
             let mut partial = vec![0.0f64; m];
             for (_, seq) in block.iter() {
                 for (acc, &v) in partial.iter_mut().zip(scratch.sequence(seq, matrix)) {
@@ -373,10 +410,17 @@ pub fn try_phase1_threads<S: SequenceScan + ?Sized>(
             *v /= visited as f64;
         }
     }
-    Ok(Phase1Output {
-        symbol_match: match_acc,
-        sample,
-    })
+    let index = builder.map(|b| {
+        crate::obs::index_builds().inc();
+        b.finish()
+    });
+    Ok((
+        Phase1Output {
+            symbol_match: match_acc,
+            sample,
+        },
+        index,
+    ))
 }
 
 /// Runs the full three-phase miner.
@@ -385,18 +429,44 @@ pub fn mine<S: SequenceScan + ?Sized>(
     matrix: &CompatibilityMatrix,
     config: &MinerConfig,
 ) -> Result<MineOutcome> {
+    mine_indexed(db, matrix, config, None)
+}
+
+/// [`mine`] with an optional pre-built [`SymbolIndex`] over `db`.
+///
+/// With `supplied` set (e.g. loaded from an `NMIDX` sidecar by the CLI),
+/// phase-3 probe scans consult it regardless of `config.index`. With
+/// `supplied` absent and `config.index` enabled, phase 1 builds the index
+/// as a by-product of its scan. Either way the mined output is
+/// bit-identical to an unindexed run — the index only skips sequences
+/// whose match is provably `0.0` for every probe in a batch.
+pub fn mine_indexed<S: SequenceScan + ?Sized>(
+    db: &S,
+    matrix: &CompatibilityMatrix,
+    config: &MinerConfig,
+    supplied: Option<&SymbolIndex>,
+) -> Result<MineOutcome> {
     config.validate()?;
     let mut rng = StdRng::seed_from_u64(config.seed);
 
     // Phase 1: symbol matches + sample, one scan. A scan failure surfaces
     // as `Error::Scan` instead of killing the run with a panic.
+    let build_index = supplied.is_none() && config.index.enabled();
     let span = crate::obs::phase1_seconds().span();
     let t0 = Instant::now();
-    let p1 = try_phase1_threads(db, matrix, config.sample_size, &mut rng, config.threads)?;
+    let (p1, built) = try_phase1_threads_indexed(
+        db,
+        matrix,
+        config.sample_size,
+        &mut rng,
+        config.threads,
+        build_index,
+    )?;
     let phase1_time = t0.elapsed();
     span.finish();
 
-    let mut outcome = mine_from_phase1(db, matrix, config, &p1)?;
+    let index = supplied.or(built.as_ref());
+    let mut outcome = mine_from_phase1_with_known_indexed(db, matrix, config, &p1, &[], index)?.0;
     outcome.stats.db_scans += 1;
     outcome.stats.phase1_time = phase1_time;
     Ok(outcome)
@@ -434,6 +504,21 @@ pub fn mine_from_phase1_with_known<S: SequenceScan + ?Sized>(
     config: &MinerConfig,
     p1: &Phase1Output,
     known: &[(Pattern, f64)],
+) -> Result<(MineOutcome, CollapseResult)> {
+    mine_from_phase1_with_known_indexed(db, matrix, config, p1, known, None)
+}
+
+/// [`mine_from_phase1_with_known`] with an optional [`SymbolIndex`] over
+/// `db` for the phase-3 probe scans (see [`crate::index`]). The index is
+/// purely operational: verdicts and match values are bit-identical with
+/// and without it.
+pub fn mine_from_phase1_with_known_indexed<S: SequenceScan + ?Sized>(
+    db: &S,
+    matrix: &CompatibilityMatrix,
+    config: &MinerConfig,
+    p1: &Phase1Output,
+    known: &[(Pattern, f64)],
+    index: Option<&SymbolIndex>,
 ) -> Result<(MineOutcome, CollapseResult)> {
     config.validate()?;
     let mut stats = MineStats {
@@ -475,7 +560,7 @@ pub fn mine_from_phase1_with_known<S: SequenceScan + ?Sized>(
     let phase3_span = crate::obs::phase3_seconds().span();
     let t2 = Instant::now();
     let ambiguous = AmbiguousSpace::new(p2.ambiguous.iter().map(|(p, _)| p.clone()));
-    let p3 = try_collapse_with_known_kernel(
+    let p3 = try_collapse_with_known_kernel_indexed(
         ambiguous,
         known,
         db,
@@ -485,6 +570,7 @@ pub fn mine_from_phase1_with_known<S: SequenceScan + ?Sized>(
         config.probe_strategy,
         config.threads,
         config.match_kernel,
+        index,
     )?;
     stats.db_scans += p3.scans;
     stats.verified_patterns = p3.probes;

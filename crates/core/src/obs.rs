@@ -142,6 +142,38 @@ gauge!(
     "patterns"
 );
 
+// Positional symbol index skip-scans (index.rs; beyond the paper).
+counter!(
+    index_builds,
+    "core_index_builds_total",
+    "Symbol indexes built as a by-product of a phase-1 scan",
+    "indexes"
+);
+counter!(
+    index_plans_built,
+    "core_index_plans_built_total",
+    "Skip plans computed from the symbol index (one per indexed probe scan)",
+    "plans"
+);
+counter!(
+    index_candidates_visited,
+    "core_index_candidates_visited_total",
+    "Sequences evaluated by indexed scans because the skip plan marked them candidates",
+    "sequences"
+);
+counter!(
+    index_sequences_skipped,
+    "core_index_sequences_skipped_total",
+    "Sequences skipped by indexed scans (match provably 0.0 for every probe in the batch)",
+    "sequences"
+);
+counter!(
+    index_false_positives,
+    "core_index_false_positives_total",
+    "Skip-plan candidates whose every probe match still evaluated to 0.0 (index selectivity loss)",
+    "sequences"
+);
+
 // Deterministic scan map-reduce (phases 1 and 3 share it).
 counter!(
     scan_sequences,

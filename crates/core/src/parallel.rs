@@ -57,7 +57,10 @@ pub fn resolve_threads(threads: usize) -> usize {
 ///   block is handed to a worker — the hook for order-sensitive work
 ///   (sequential sampling, visit counting).
 /// - `map` runs on one of `threads` workers with that worker's private
-///   scratch value (from `make_scratch`), producing one `T` per block.
+///   scratch value (from `make_scratch`) and the block's zero-based index
+///   in scan order, producing one `T` per block. The index gives the
+///   ordinal of the block's first sequence (`index * block_size`) — the
+///   addressing scheme of [`crate::index::SkipPlan`].
 ///
 /// Returns the per-block results **in block order**, regardless of which
 /// worker produced each or when. Block boundaries are fixed by
@@ -72,7 +75,7 @@ pub fn scan_map_reduce<S, W, T>(
     threads: usize,
     inspect: &mut dyn FnMut(&SequenceBlock),
     make_scratch: &(dyn Fn() -> W + Sync),
-    map: &(dyn Fn(&mut W, &SequenceBlock) -> T + Sync),
+    map: &(dyn Fn(&mut W, usize, &SequenceBlock) -> T + Sync),
 ) -> Vec<T>
 where
     S: SequenceScan + ?Sized,
@@ -95,7 +98,7 @@ pub fn try_scan_map_reduce<S, W, T>(
     threads: usize,
     inspect: &mut dyn FnMut(&SequenceBlock),
     make_scratch: &(dyn Fn() -> W + Sync),
-    map: &(dyn Fn(&mut W, &SequenceBlock) -> T + Sync),
+    map: &(dyn Fn(&mut W, usize, &SequenceBlock) -> T + Sync),
 ) -> Result<Vec<T>, ScanError>
 where
     S: SequenceScan + ?Sized,
@@ -109,7 +112,8 @@ where
             inspect(&block);
             crate::obs::parallel_scan_blocks().inc();
             crate::obs::scan_sequences().add(block.len() as u64);
-            results.push(map(&mut scratch, &block));
+            let idx = results.len();
+            results.push(map(&mut scratch, idx, &block));
             block
         })?;
         return Ok(results);
@@ -133,7 +137,7 @@ where
                     // hand-off, not while mapping.
                     let received = work_rx.lock().expect("scan worker panicked").recv();
                     let Ok((idx, block)) = received else { break };
-                    let value = map(&mut scratch, &block);
+                    let value = map(&mut scratch, idx, &block);
                     if done_tx.send((idx, value, block)).is_err() {
                         break;
                     }
@@ -424,7 +428,7 @@ mod tests {
                 threads,
                 &mut |block| inspected.push(block.get(0).0),
                 &|| (),
-                &|_, block| block.iter().map(|(id, _)| id).collect::<Vec<u64>>(),
+                &|_, _, block| block.iter().map(|(id, _)| id).collect::<Vec<u64>>(),
             );
             let flat: Vec<u64> = ids.into_iter().flatten().collect();
             assert_eq!(
@@ -449,7 +453,7 @@ mod tests {
                 threads,
                 &mut |_| {},
                 &|| (),
-                &|_, block| {
+                &|_, _, block| {
                     block
                         .iter()
                         .map(|(_, seq)| sequence_match(&pattern, seq, &matrix))
@@ -466,7 +470,7 @@ mod tests {
     #[test]
     fn scan_map_reduce_on_empty_db() {
         let db = crate::matching::MemorySequences(Vec::new());
-        let out = scan_map_reduce(&db, 8, 4, &mut |_| {}, &|| (), &|_, block| block.len());
+        let out = scan_map_reduce(&db, 8, 4, &mut |_| {}, &|| (), &|_, _, block| block.len());
         assert!(out.is_empty());
     }
 }

@@ -1,0 +1,423 @@
+//! `NMIDX` — the persistent positional symbol index sidecar.
+//!
+//! A [`noisemine_core::SymbolIndex`] built over a disk
+//! database can be persisted next to it (at [`sidecar_path`]) so later
+//! mining runs skip the build scan. The sidecar is CRC32C-framed like
+//! NMSEQDB format v2 and carries a [`IndexBinding`] fingerprint of the
+//! database it was built from; [`load_validated`] compares that
+//! fingerprint against the database actually being opened and refuses a
+//! stale or corrupt index (returning `None` so the caller rebuilds)
+//! rather than silently using it. See `docs/INDEXING.md` for the layout
+//! and staleness semantics.
+//!
+//! ## On-disk layout (version 1, all integers little-endian)
+//!
+//! ```text
+//! magic      b"NMIDX\0\0\0"                      8 bytes
+//! version    u32 = 1
+//! binding    file_len u64 | db_version u32 | db_count u64
+//!            | fcrc u32 | q_count u32 | q_crc u32
+//! alphabet   u32
+//! sequences  u64
+//! lens       sequences x u32
+//! postings   per symbol: count u32, then count ascending u32 ordinals
+//! trailer    b"NMIXFT\0\0" | crc u32   (CRC32C over every preceding byte)
+//! ```
+
+use std::fs::File;
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use noisemine_core::matching::SequenceScan;
+use noisemine_core::{SymbolIndex, SymbolIndexBuilder};
+
+use crate::crc::{crc32c, Crc32c};
+use crate::disk::{DiskDb, DiskError, DiskResult};
+
+/// Sidecar magic ("NMIDX" + padding).
+const MAGIC: &[u8; 8] = b"NMIDX\0\0\0";
+/// Trailer magic ("NMIXFT" + padding).
+const TRAILER_MAGIC: &[u8; 8] = b"NMIXFT\0\0";
+/// Sidecar format version.
+const VERSION: u32 = 1;
+
+/// The path of a database's index sidecar: the database path with
+/// `.nmidx` appended (so `corpus.nmdb` pairs with `corpus.nmdb.nmidx`).
+pub fn sidecar_path(db_path: &Path) -> PathBuf {
+    let mut s = db_path.as_os_str().to_os_string();
+    s.push(".nmidx");
+    PathBuf::from(s)
+}
+
+/// The fingerprint binding an index to the exact database state (and
+/// quarantine view) it was built from. Any mismatch means the index's
+/// sequence ordinals may not line up with the scan anymore, so the index
+/// is stale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexBinding {
+    /// Byte length of the database file.
+    pub file_len: u64,
+    /// NMSEQDB format version of the database.
+    pub db_version: u32,
+    /// Sequences the scan yields — the header count, or the quarantine
+    /// census's survivor count.
+    pub db_count: u64,
+    /// The database's whole-file footer checksum (format v2); `0` for v1
+    /// files, which have no footer.
+    pub fcrc: u32,
+    /// Number of quarantined regions in the database's open view.
+    pub q_count: u32,
+    /// CRC32C over the quarantined `(index, offset, skipped)` triples;
+    /// `0` when nothing is quarantined.
+    pub q_crc: u32,
+}
+
+impl IndexBinding {
+    /// Computes the binding of an open database.
+    pub fn of(db: &DiskDb) -> DiskResult<Self> {
+        let file_len = std::fs::metadata(db.path())?.len();
+        let fcrc = if db.version() >= 2 && file_len >= 4 {
+            let mut f = File::open(db.path())?;
+            f.seek(SeekFrom::End(-4))?;
+            let mut b = [0u8; 4];
+            f.read_exact(&mut b)?;
+            u32::from_le_bytes(b)
+        } else {
+            0
+        };
+        let quarantined = db.quarantined();
+        let q_crc = if quarantined.is_empty() {
+            0
+        } else {
+            let mut crc = Crc32c::new();
+            for q in quarantined {
+                crc.update(&q.index.to_le_bytes());
+                crc.update(&q.offset.to_le_bytes());
+                crc.update(&q.skipped.to_le_bytes());
+            }
+            crc.finish()
+        };
+        Ok(Self {
+            file_len,
+            db_version: db.version(),
+            db_count: db.num_sequences() as u64,
+            fcrc,
+            q_count: quarantined.len() as u32,
+            q_crc,
+        })
+    }
+}
+
+/// Builds a [`SymbolIndex`] over `db` with one scan. Ordinals follow scan
+/// order — the same order every other scan of this database (under the
+/// same quarantine view) yields.
+pub fn build_index(db: &DiskDb, alphabet_size: usize) -> DiskResult<SymbolIndex> {
+    let span = crate::obs::index_build_seconds().span();
+    let mut builder = SymbolIndexBuilder::new(alphabet_size);
+    db.try_scan(&mut |_, seq| builder.add_sequence(seq))
+        .map_err(DiskError::from)?;
+    span.finish();
+    Ok(builder.finish())
+}
+
+/// Serializes `index`, bound to `db`'s current state, into the sidecar
+/// file at [`sidecar_path`]. Returns the path written.
+pub fn write_sidecar(db: &DiskDb, index: &SymbolIndex) -> DiskResult<PathBuf> {
+    let path = sidecar_path(db.path());
+    let binding = IndexBinding::of(db)?;
+    write_index_file(&path, &binding, index)?;
+    crate::obs::index_writes().inc();
+    Ok(path)
+}
+
+/// Writes an index file with an explicit binding (exposed for tests; use
+/// [`write_sidecar`] to bind to a live database).
+pub fn write_index_file(
+    path: &Path,
+    binding: &IndexBinding,
+    index: &SymbolIndex,
+) -> DiskResult<()> {
+    let mut buf: Vec<u8> = Vec::new();
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.extend_from_slice(&binding.file_len.to_le_bytes());
+    buf.extend_from_slice(&binding.db_version.to_le_bytes());
+    buf.extend_from_slice(&binding.db_count.to_le_bytes());
+    buf.extend_from_slice(&binding.fcrc.to_le_bytes());
+    buf.extend_from_slice(&binding.q_count.to_le_bytes());
+    buf.extend_from_slice(&binding.q_crc.to_le_bytes());
+    buf.extend_from_slice(&(index.alphabet_size() as u32).to_le_bytes());
+    buf.extend_from_slice(&(index.num_sequences() as u64).to_le_bytes());
+    for ordinal in 0..index.num_sequences() {
+        let len = index.len_of(ordinal).expect("ordinal within coverage");
+        buf.extend_from_slice(&len.to_le_bytes());
+    }
+    for sym in 0..index.alphabet_size() {
+        let postings = index.postings_for(noisemine_core::Symbol(sym as u16));
+        buf.extend_from_slice(&(postings.len() as u32).to_le_bytes());
+        for ordinal in postings {
+            buf.extend_from_slice(&ordinal.to_le_bytes());
+        }
+    }
+    buf.extend_from_slice(TRAILER_MAGIC);
+    let crc = crc32c(&buf);
+    buf.extend_from_slice(&crc.to_le_bytes());
+    let mut f = File::create(path)?;
+    f.write_all(&buf)?;
+    f.sync_all()?;
+    Ok(())
+}
+
+/// Reads and structurally validates an index file: magic, version,
+/// whole-file CRC, and posting-list consistency. Does *not* check the
+/// binding against any database — that is [`load_validated`]'s job.
+pub fn read_index_file(path: &Path) -> DiskResult<(IndexBinding, SymbolIndex)> {
+    let mut buf = Vec::new();
+    File::open(path)?.read_to_end(&mut buf)?;
+    parse_index(&buf).map_err(DiskError::Format)
+}
+
+fn parse_index(buf: &[u8]) -> Result<(IndexBinding, SymbolIndex), String> {
+    // 8 magic + 4 version + 32 binding + 4 alphabet + 8 sequences.
+    const FIXED: usize = 56;
+    const TRAILER: usize = 12;
+    if buf.len() < FIXED + TRAILER {
+        return Err(format!("index file too short ({} bytes)", buf.len()));
+    }
+    if &buf[..8] != MAGIC {
+        return Err("bad index magic".into());
+    }
+    let body_end = buf.len() - TRAILER;
+    if &buf[body_end..body_end + 8] != TRAILER_MAGIC {
+        return Err("bad index trailer magic".into());
+    }
+    let stored_crc = le_u32(&buf[body_end + 8..]);
+    let actual_crc = crc32c(&buf[..body_end + 8]);
+    if stored_crc != actual_crc {
+        return Err(format!(
+            "index checksum mismatch: stored {stored_crc:#010x}, computed {actual_crc:#010x}"
+        ));
+    }
+    let version = le_u32(&buf[8..12]);
+    if version != VERSION {
+        return Err(format!("unsupported index version {version}"));
+    }
+    let binding = IndexBinding {
+        file_len: le_u64(&buf[12..20]),
+        db_version: le_u32(&buf[20..24]),
+        db_count: le_u64(&buf[24..32]),
+        fcrc: le_u32(&buf[32..36]),
+        q_count: le_u32(&buf[36..40]),
+        q_crc: le_u32(&buf[40..44]),
+    };
+    let alphabet_size = le_u32(&buf[44..48]) as usize;
+    let num_sequences = le_u64(&buf[48..56]) as usize;
+    let mut pos = FIXED;
+    let mut take = |n: usize| -> Result<&[u8], String> {
+        if pos + n > body_end {
+            return Err("index body truncated".into());
+        }
+        let slice = &buf[pos..pos + n];
+        pos += n;
+        Ok(slice)
+    };
+    let mut lens = Vec::with_capacity(num_sequences);
+    for chunk in take(
+        num_sequences
+            .checked_mul(4)
+            .ok_or("length table overflow")?,
+    )?
+    .chunks(4)
+    {
+        lens.push(le_u32(chunk));
+    }
+    let mut postings = Vec::with_capacity(alphabet_size);
+    for _ in 0..alphabet_size {
+        let count = le_u32(take(4)?) as usize;
+        let mut row = Vec::with_capacity(count);
+        for chunk in take(count.checked_mul(4).ok_or("posting list overflow")?)?.chunks(4) {
+            row.push(le_u32(chunk));
+        }
+        postings.push(row);
+    }
+    if pos != body_end {
+        return Err(format!("index body has {} trailing bytes", body_end - pos));
+    }
+    let index = SymbolIndex::from_parts(alphabet_size, lens, postings)?;
+    Ok((binding, index))
+}
+
+/// Loads the sidecar index for `db` if one exists and matches the
+/// database's current state. Returns `Ok(None)` when the sidecar is
+/// missing, stale (binding mismatch — the database changed or is opened
+/// under a different quarantine view), or fails validation; the caller
+/// should rebuild. Only hard I/O failures surface as `Err`.
+pub fn load_validated(db: &DiskDb) -> DiskResult<Option<SymbolIndex>> {
+    let path = sidecar_path(db.path());
+    let (stored, index) = match read_index_file(&path) {
+        Ok(parsed) => parsed,
+        Err(DiskError::Io(e)) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(DiskError::Io(e)) => return Err(DiskError::Io(e)),
+        Err(DiskError::Format(_)) => {
+            // Corrupt sidecar: treat like stale — rebuild, don't fail.
+            crate::obs::index_stale().inc();
+            return Ok(None);
+        }
+    };
+    let current = IndexBinding::of(db)?;
+    if stored != current || index.num_sequences() as u64 != current.db_count {
+        crate::obs::index_stale().inc();
+        return Ok(None);
+    }
+    crate::obs::index_loads().inc();
+    Ok(Some(index))
+}
+
+/// The sidecar workflow in one call: load a valid sidecar if present,
+/// otherwise build the index with one scan and persist it for next time.
+pub fn ensure_index(db: &DiskDb, alphabet_size: usize) -> DiskResult<SymbolIndex> {
+    if let Some(index) = load_validated(db)? {
+        if index.alphabet_size() >= alphabet_size {
+            return Ok(index);
+        }
+        // Built for a smaller alphabet than the matrix in use: symbols
+        // beyond its coverage would read as absent everywhere, which is
+        // unsound. Rebuild.
+        crate::obs::index_stale().inc();
+    }
+    let index = build_index(db, alphabet_size)?;
+    write_sidecar(db, &index)?;
+    Ok(index)
+}
+
+fn le_u32(b: &[u8]) -> u32 {
+    u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+}
+
+fn le_u64(b: &[u8]) -> u64 {
+    u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::DiskDbWriter;
+    use noisemine_core::Symbol;
+
+    fn syms(v: &[u16]) -> Vec<Symbol> {
+        v.iter().map(|&x| Symbol(x)).collect()
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("nmidx_test_{}_{name}", std::process::id()));
+        p
+    }
+
+    fn write_db(path: &Path, seqs: &[Vec<Symbol>]) -> DiskDb {
+        let mut w = DiskDbWriter::create(path).unwrap();
+        for (i, s) in seqs.iter().enumerate() {
+            w.write_sequence(i as u64, s).unwrap();
+        }
+        w.finish().unwrap()
+    }
+
+    #[test]
+    fn sidecar_path_appends_extension() {
+        assert_eq!(
+            sidecar_path(Path::new("/data/corpus.nmdb")),
+            PathBuf::from("/data/corpus.nmdb.nmidx")
+        );
+    }
+
+    #[test]
+    fn roundtrip_through_sidecar() {
+        let path = tmp("roundtrip.nmdb");
+        let seqs = vec![syms(&[0, 1, 2]), syms(&[2, 2]), syms(&[1])];
+        let db = write_db(&path, &seqs);
+        let index = build_index(&db, 4).unwrap();
+        let side = write_sidecar(&db, &index).unwrap();
+        assert_eq!(side, sidecar_path(&path));
+        let loaded = load_validated(&db).unwrap().expect("fresh sidecar loads");
+        assert_eq!(loaded, index);
+        assert_eq!(loaded.postings_for(Symbol(2)), vec![0, 1]);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&side);
+    }
+
+    #[test]
+    fn missing_sidecar_is_none() {
+        let path = tmp("missing.nmdb");
+        let db = write_db(&path, &[syms(&[0])]);
+        assert!(load_validated(&db).unwrap().is_none());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn stale_sidecar_is_rejected_after_db_change() {
+        let path = tmp("stale.nmdb");
+        let db = write_db(&path, &[syms(&[0, 1]), syms(&[1])]);
+        let index = build_index(&db, 2).unwrap();
+        let side = write_sidecar(&db, &index).unwrap();
+        // Rewrite the database with different content.
+        let db = write_db(&path, &[syms(&[1, 1]), syms(&[0]), syms(&[0, 0])]);
+        assert!(
+            load_validated(&db).unwrap().is_none(),
+            "stale sidecar must not load"
+        );
+        // ensure_index rebuilds and re-persists a valid sidecar.
+        let rebuilt = ensure_index(&db, 2).unwrap();
+        assert_eq!(rebuilt.num_sequences(), 3);
+        assert_eq!(load_validated(&db).unwrap(), Some(rebuilt));
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&side);
+    }
+
+    #[test]
+    fn corrupt_sidecar_is_rejected() {
+        let path = tmp("corrupt.nmdb");
+        let db = write_db(&path, &[syms(&[0, 1])]);
+        let index = build_index(&db, 2).unwrap();
+        let side = write_sidecar(&db, &index).unwrap();
+        let mut bytes = std::fs::read(&side).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&side, &bytes).unwrap();
+        assert!(
+            load_validated(&db).unwrap().is_none(),
+            "corrupt sidecar must not load"
+        );
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&side);
+    }
+
+    #[test]
+    fn v1_database_binds_without_footer_crc() {
+        let path = tmp("v1.nmdb");
+        let mut w = DiskDbWriter::create_v1(&path).unwrap();
+        w.write_sequence(0, &syms(&[0, 1, 1])).unwrap();
+        w.write_sequence(1, &syms(&[1])).unwrap();
+        let db = w.finish().unwrap();
+        let binding = IndexBinding::of(&db).unwrap();
+        assert_eq!(binding.db_version, 1);
+        assert_eq!(binding.fcrc, 0);
+        let index = ensure_index(&db, 2).unwrap();
+        assert_eq!(index.num_sequences(), 2);
+        assert_eq!(load_validated(&db).unwrap(), Some(index));
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(sidecar_path(&path));
+    }
+
+    #[test]
+    fn undersized_alphabet_triggers_rebuild() {
+        let path = tmp("alpha.nmdb");
+        let db = write_db(&path, &[syms(&[0, 1, 2])]);
+        let small = ensure_index(&db, 2).unwrap();
+        assert_eq!(small.alphabet_size(), 2);
+        let grown = ensure_index(&db, 5).unwrap();
+        assert_eq!(grown.alphabet_size(), 5);
+        assert_eq!(grown.postings_for(Symbol(2)), vec![0]);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(sidecar_path(&path));
+    }
+}

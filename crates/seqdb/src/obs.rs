@@ -97,3 +97,26 @@ counter!(
     "Scans that surfaced an error to the caller",
     "scans"
 );
+counter!(
+    index_writes,
+    "seqdb_index_writes_total",
+    "NMIDX sidecar files written (index build + persist)",
+    "files"
+);
+counter!(
+    index_loads,
+    "seqdb_index_loads_total",
+    "NMIDX sidecars loaded after passing checksum and binding validation",
+    "files"
+);
+counter!(
+    index_stale,
+    "seqdb_index_stale_total",
+    "NMIDX sidecars rejected as stale or corrupt (database changed, view changed, or checksum failed)",
+    "files"
+);
+duration_histogram!(
+    index_build_seconds,
+    "seqdb_index_build_seconds",
+    "Wall-clock time of one index-building scan over a disk database"
+);

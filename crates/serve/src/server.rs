@@ -6,7 +6,7 @@
 //!
 //! One event-loop thread owns the listener and every **parked** (idle
 //! keep-alive) connection, multiplexing them through a single `poll(2)`
-//! call (raw FFI in [`crate::poll`] — no external runtime, matching the
+//! call (raw FFI in the private `poll` module — no external runtime, matching the
 //! workspace's zero-dependency ethos). When a parked connection becomes
 //! readable it is handed to a fixed pool of worker threads over an `mpsc`
 //! channel; the worker reads requests, answers them, serves any pipelined

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo's documentation set.
+
+Scans ``README.md``, every root-level ``*.md``, and ``docs/**/*.md`` for
+inline markdown links and validates the ones this repo controls:
+
+- relative file links must point at an existing file or directory;
+- ``#anchor`` fragments (in-file or cross-file into another markdown file)
+  must match a heading's GitHub-style slug in the target document.
+
+External links (``http://``, ``https://``, ``mailto:``) are *not* fetched —
+CI must stay deterministic and offline — so only their syntax rides along.
+Exits non-zero listing every broken link with file and line number. Only
+the standard library is used.
+
+Usage:
+    check_links.py [ROOT]          # default: the repo root containing this script
+"""
+
+import os
+import re
+import sys
+
+INLINE_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+EXTERNAL = ("http://", "https://", "mailto:")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$")
+
+
+def slugify(heading):
+    """GitHub's anchor slug: lowercase, drop punctuation, spaces to dashes."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading.strip())
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # linked headings
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path):
+    """All anchor slugs of a markdown file, with GitHub's -1, -2 dedup."""
+    counts = {}
+    slugs = set()
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = HEADING.match(line)
+            if not m:
+                continue
+            slug = slugify(m.group(1))
+            n = counts.get(slug, 0)
+            counts[slug] = n + 1
+            slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def doc_files(root):
+    files = []
+    for entry in sorted(os.listdir(root)):
+        if entry.endswith(".md"):
+            files.append(os.path.join(root, entry))
+    docs = os.path.join(root, "docs")
+    for dirpath, _, names in os.walk(docs):
+        for name in sorted(names):
+            if name.endswith(".md"):
+                files.append(os.path.join(dirpath, name))
+    return files
+
+
+def check_file(path, root, slug_cache):
+    errors = []
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for m in INLINE_LINK.finditer(line):
+                target = m.group(1)
+                if target.startswith(EXTERNAL):
+                    continue
+                where = f"{os.path.relpath(path, root)}:{lineno}"
+                target, _, anchor = target.partition("#")
+                if target:
+                    resolved = os.path.normpath(
+                        os.path.join(os.path.dirname(path), target)
+                    )
+                    if not os.path.exists(resolved):
+                        errors.append(f"{where}: broken link target {target!r}")
+                        continue
+                else:
+                    resolved = path
+                if anchor:
+                    if not resolved.endswith(".md") or os.path.isdir(resolved):
+                        continue  # anchors into non-markdown: nothing to check
+                    if resolved not in slug_cache:
+                        slug_cache[resolved] = heading_slugs(resolved)
+                    if anchor.lower() not in slug_cache[resolved]:
+                        errors.append(
+                            f"{where}: no heading for anchor "
+                            f"#{anchor} in {os.path.relpath(resolved, root)}"
+                        )
+    return errors
+
+
+def main():
+    root = os.path.abspath(
+        sys.argv[1]
+        if len(sys.argv) > 1
+        else os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
+    )
+    slug_cache = {}
+    errors = []
+    files = doc_files(root)
+    for path in files:
+        errors.extend(check_file(path, root, slug_cache))
+    if errors:
+        print(f"{len(errors)} broken link(s) across {len(files)} file(s):")
+        for e in errors:
+            print(f"  {e}")
+        sys.exit(1)
+    print(f"checked {len(files)} markdown file(s): all links resolve")
+
+
+if __name__ == "__main__":
+    main()

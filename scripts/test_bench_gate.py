@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Unit tests for scripts/bench_gate.py — run with ``python3 scripts/test_bench_gate.py``.
+
+Covers the gate's verdicts (pass, regression, shrunk grid) and, most
+importantly, its error reporting: a bench row missing an identity field or
+the gated metric must produce an actionable message naming the missing
+field, never a bare ``KeyError`` traceback. Only the standard library is
+used, matching bench_gate.py itself.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+GATE = os.path.join(os.path.dirname(os.path.abspath(__file__)), "bench_gate.py")
+
+
+def kernel_doc(rows):
+    return {"bench": "match_kernel", "rows": rows}
+
+
+def kernel_row(symbols=8, length=4, candidates=16, kernel="trie", evals=1000.0):
+    return {
+        "symbols": symbols,
+        "len": length,
+        "candidates": candidates,
+        "kernel": kernel,
+        "evals_per_sec": evals,
+    }
+
+
+class GateHarness(unittest.TestCase):
+    def run_gate(self, baseline_doc, current_doc, *extra):
+        with tempfile.TemporaryDirectory() as tmp:
+            base = os.path.join(tmp, "base.json")
+            cur = os.path.join(tmp, "cur.json")
+            with open(base, "w") as f:
+                json.dump(baseline_doc, f)
+            with open(cur, "w") as f:
+                json.dump(current_doc, f)
+            return subprocess.run(
+                [sys.executable, GATE, base, cur, *extra],
+                capture_output=True,
+                text=True,
+            )
+
+
+class TestVerdicts(GateHarness):
+    def test_unchanged_rows_pass(self):
+        doc = kernel_doc([kernel_row()])
+        res = self.run_gate(doc, doc)
+        self.assertEqual(res.returncode, 0, res.stderr)
+        self.assertIn("No regressions", res.stdout)
+
+    def test_drop_beyond_threshold_fails(self):
+        res = self.run_gate(
+            kernel_doc([kernel_row(evals=1000.0)]),
+            kernel_doc([kernel_row(evals=500.0)]),
+        )
+        self.assertEqual(res.returncode, 1)
+        self.assertIn("regressed", res.stdout)
+
+    def test_drop_within_custom_threshold_passes(self):
+        res = self.run_gate(
+            kernel_doc([kernel_row(evals=1000.0)]),
+            kernel_doc([kernel_row(evals=500.0)]),
+            "--threshold",
+            "0.6",
+        )
+        self.assertEqual(res.returncode, 0, res.stderr)
+
+    def test_row_missing_from_current_fails(self):
+        res = self.run_gate(
+            kernel_doc([kernel_row(kernel="trie"), kernel_row(kernel="naive")]),
+            kernel_doc([kernel_row(kernel="trie")]),
+        )
+        self.assertEqual(res.returncode, 1)
+        self.assertIn("missing from current run", res.stdout)
+
+    def test_index_scan_schema_gates_speedup(self):
+        def idx_row(speedup):
+            return {
+                "symbols": 64,
+                "len": 6,
+                "candidates": 16,
+                "mode": "indexed",
+                "speedup": speedup,
+                "evals_per_sec": 1.0,
+            }
+
+        doc = {"bench": "index_scan", "rows": [idx_row(6.0)]}
+        ok = self.run_gate(doc, {"bench": "index_scan", "rows": [idx_row(5.5)]})
+        self.assertEqual(ok.returncode, 0, ok.stderr)
+        bad = self.run_gate(doc, {"bench": "index_scan", "rows": [idx_row(2.0)]})
+        self.assertEqual(bad.returncode, 1)
+        self.assertIn("regressed", bad.stdout)
+
+
+class TestMalformedInput(GateHarness):
+    def test_row_missing_metric_reports_field_not_traceback(self):
+        row = kernel_row()
+        del row["evals_per_sec"]
+        res = self.run_gate(kernel_doc([kernel_row()]), kernel_doc([row]))
+        self.assertEqual(res.returncode, 1)
+        self.assertIn("missing field(s) evals_per_sec", res.stderr)
+        self.assertNotIn("Traceback", res.stderr)
+
+    def test_row_missing_identity_field_reports_field_not_traceback(self):
+        row = kernel_row()
+        del row["kernel"]
+        del row["symbols"]
+        res = self.run_gate(kernel_doc([row]), kernel_doc([kernel_row()]))
+        self.assertEqual(res.returncode, 1)
+        self.assertIn("missing field(s) kernel, symbols", res.stderr)
+        self.assertNotIn("Traceback", res.stderr)
+
+    def test_unknown_bench_rejected(self):
+        doc = {"bench": "mystery", "rows": []}
+        res = self.run_gate(doc, doc)
+        self.assertEqual(res.returncode, 1)
+        self.assertIn("unknown bench", res.stderr)
+
+    def test_bench_mismatch_rejected(self):
+        res = self.run_gate(
+            kernel_doc([kernel_row()]),
+            {"bench": "scan_parallel", "rows": []},
+        )
+        self.assertEqual(res.returncode, 1)
+        self.assertIn("bench mismatch", res.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()
