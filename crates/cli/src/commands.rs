@@ -628,10 +628,13 @@ fn maybe_write_model(
     Ok(())
 }
 
-/// `noisemine serve` — the online match-serving HTTP server: loads one or
-/// more `NMMODEL` artifacts into per-tenant slots and classifies incoming
-/// sequences against them until `POST /admin/shutdown` (or SIGKILL). See
-/// docs/SERVING.md for the API.
+/// `noisemine serve` — the online match-serving HTTP server: loads
+/// `NMMODEL` artifacts into per-tenant slots (from explicit `--model`
+/// specs and/or a watched `--catalog` directory) and classifies incoming
+/// sequences against them until `POST /admin/shutdown` (or SIGKILL). With
+/// `--drift`, classified traffic feeds per-tenant drift detectors and the
+/// server re-mines and self-swaps its own models. See docs/SERVING.md for
+/// the API and lifecycle.
 pub fn cmd_serve(opts: &Opts) -> CliResult<()> {
     opts.deny_unknown(&[
         "model",
@@ -641,12 +644,29 @@ pub fn cmd_serve(opts: &Opts) -> CliResult<()> {
         "metrics-out",
         "max-requests-per-conn",
         "idle-timeout",
+        "catalog",
+        "catalog-interval",
+        "drift",
+        "drift-interval",
+        "drift-min-seqs",
+        "remine-timeout",
+        "remine-backoff",
+        "remine-backoff-max",
+        "breaker-threshold",
+        "breaker-cooldown",
+        "drift-sample",
+        "drift-max-len",
+        "drift-max-gap",
+        "drift-max-buffer",
     ])?;
     let sink = metrics_sink(opts);
-    let spec = opts.required("model")?;
+    let catalog_root = opts.get("catalog");
+    if opts.get("model").is_none() && catalog_root.is_none() {
+        return Err("serve needs --model <spec> and/or --catalog <dir>".into());
+    }
     let quota = opts.num("tenant-quota", 0.0f64)?;
     let registry = std::sync::Arc::new(noisemine_serve::ModelRegistry::new(quota));
-    for part in spec.split(',') {
+    for part in opts.get("model").unwrap_or("").split(',') {
         let part = part.trim();
         if part.is_empty() {
             continue;
@@ -668,6 +688,52 @@ pub fn cmd_serve(opts: &Opts) -> CliResult<()> {
         );
         registry.swap(tenant, compiled);
     }
+    // Catalog: sync once before serving (so /readyz is meaningful from the
+    // first request), then hand the directory to the supervisor thread.
+    let catalog_supervisor = match catalog_root {
+        Some(root) => {
+            let catalog = noisemine_serve::Catalog::new(root);
+            let report = catalog.sync(&registry);
+            for (tenant, version) in &report.adopted {
+                eprintln!("tenant {tenant}: adopted v{version} from catalog");
+            }
+            for tenant in &report.modelless {
+                eprintln!("tenant {tenant}: no valid model in catalog yet (degraded)");
+            }
+            let interval = positive_secs(opts, "catalog-interval", 2.0)?;
+            Some(noisemine_serve::CatalogSupervisor::spawn(
+                catalog,
+                std::sync::Arc::clone(&registry),
+                interval,
+            ))
+        }
+        None => None,
+    };
+    // Drift loop: optional, catalog-backed when both are configured.
+    let (drift_controller, drift_supervisor) = if opts.flag("drift") {
+        let drift_config = noisemine_serve::DriftConfig {
+            interval: positive_secs(opts, "drift-interval", 1.0)?,
+            min_sequences: opts.num("drift-min-seqs", 256u64)?,
+            remine_timeout: positive_secs(opts, "remine-timeout", 30.0)?,
+            backoff_base: positive_secs(opts, "remine-backoff", 1.0)?,
+            backoff_max: positive_secs(opts, "remine-backoff-max", 60.0)?,
+            breaker_threshold: opts.num("breaker-threshold", 5u32)?.max(1),
+            breaker_cooldown: positive_secs(opts, "breaker-cooldown", 30.0)?,
+            max_buffer: opts.num("drift-max-buffer", 100_000usize)?,
+            sample_size: opts.num("drift-sample", 512usize)?,
+            max_len: opts.num("drift-max-len", 8usize)?,
+            max_gap: opts.num("drift-max-gap", 0usize)?,
+            ..noisemine_serve::DriftConfig::default()
+        };
+        let (controller, supervisor) = noisemine_serve::DriftSupervisor::spawn(
+            drift_config,
+            std::sync::Arc::clone(&registry),
+            catalog_root.map(noisemine_serve::Catalog::new),
+        );
+        (Some(controller), Some(supervisor))
+    } else {
+        (None, None)
+    };
     let idle_timeout = opts.num("idle-timeout", 10.0f64)?;
     if !idle_timeout.is_finite() || idle_timeout <= 0.0 {
         return Err(format!("--idle-timeout must be positive seconds, got {idle_timeout}").into());
@@ -679,16 +745,32 @@ pub fn cmd_serve(opts: &Opts) -> CliResult<()> {
         idle_timeout: std::time::Duration::from_secs_f64(idle_timeout),
         ..noisemine_serve::ServeConfig::default()
     };
-    let server = noisemine_serve::Server::start(&config, registry).map_err(|e| e.to_string())?;
+    let server = noisemine_serve::Server::start_with(&config, registry, drift_controller)
+        .map_err(|e| e.to_string())?;
     // Printed (and flushed) so scripts binding port 0 can discover the
     // actual address before the first request.
     println!("serving on http://{}", server.addr());
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
     server.join();
+    if let Some(s) = drift_supervisor {
+        s.stop();
+    }
+    if let Some(s) = catalog_supervisor {
+        s.stop();
+    }
     write_metrics(sink.as_ref())?;
     eprintln!("server stopped");
     Ok(())
+}
+
+/// Parses `--<name>` as positive seconds into a `Duration`.
+fn positive_secs(opts: &Opts, name: &str, default: f64) -> CliResult<std::time::Duration> {
+    let secs = opts.num(name, default)?;
+    if !secs.is_finite() || secs <= 0.0 {
+        return Err(format!("--{name} must be positive seconds, got {secs}").into());
+    }
+    Ok(std::time::Duration::from_secs_f64(secs))
 }
 
 /// Parses `--kernel trie|naive` into a [`MatchKernel`] (default: trie —

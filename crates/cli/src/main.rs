@@ -15,7 +15,11 @@
 //!                   [--chunk 1000] [--min-match 0.1] [--sample 1000] [--threads 0]
 //!                   [--kernel trie|naive] [--metrics-out m.json]
 //! noisemine convert --db db.txt --out db.nmdb [--matrix m.txt] [--index build]
-//! noisemine serve   --model [tenant=]model.nmmodel[,t2=m2.nmmodel] [--addr 127.0.0.1:7700]
+//! noisemine serve   [--model [tenant=]model.nmmodel[,t2=m2.nmmodel]] [--catalog dir]
+//!                   [--catalog-interval 2] [--drift] [--drift-interval 1]
+//!                   [--drift-min-seqs 256] [--remine-timeout 30] [--remine-backoff 1]
+//!                   [--remine-backoff-max 60] [--breaker-threshold 5]
+//!                   [--breaker-cooldown 30] [--addr 127.0.0.1:7700]
 //!                   [--threads 4] [--tenant-quota 0] [--max-requests-per-conn 0]
 //!                   [--idle-timeout 10] [--metrics-out m.json]
 //! ```
@@ -52,7 +56,14 @@ USAGE:
                     [--limit 50] [--metrics-out m.json]
   noisemine learn   --truth clean.txt --observed noisy.txt --out m.txt [--lambda 0.1]
   noisemine convert --db db.txt --out db.nmdb [--matrix m.txt] [--index build]
-  noisemine serve   --model [tenant=]model.nmmodel[,t2=m2.nmmodel]
+  noisemine serve   [--model [tenant=]model.nmmodel[,t2=m2.nmmodel]]
+                    [--catalog dir] [--catalog-interval 2]
+                    [--drift] [--drift-interval 1] [--drift-min-seqs 256]
+                    [--remine-timeout 30] [--remine-backoff 1]
+                    [--remine-backoff-max 60] [--breaker-threshold 5]
+                    [--breaker-cooldown 30] [--drift-sample 512]
+                    [--drift-max-len 8] [--drift-max-gap 0]
+                    [--drift-max-buffer 100000]
                     [--addr 127.0.0.1:7700] [--threads 4] [--tenant-quota 0]
                     [--max-requests-per-conn 0] [--idle-timeout 10]
                     [--metrics-out m.json]
@@ -85,8 +96,14 @@ writes the three-phase outcome as a versioned, checksummed NMMODEL serving
 artifact; `serve` loads such artifacts into per-tenant slots and answers
 classification requests over HTTP until POST /admin/shutdown — hot-swap
 models with POST /admin/swap, scrape Prometheus metrics from /metrics, and
-cap tenants at --tenant-quota requests/second (0 = unlimited) — see
-docs/SERVING.md.";
+cap tenants at --tenant-quota requests/second (0 = unlimited). `serve
+--catalog` watches a directory of <tenant>/<version>.nmmodel artifacts and
+crash-safely adopts the newest valid version per tenant (torn/corrupt files
+are ignored; the last-good model keeps serving); `serve --drift` feeds
+classified traffic to per-tenant drift detectors and re-mines + self-swaps
+models in-process under a supervised, circuit-broken re-mine loop. /healthz
+is liveness only; /readyz reports per-tenant readiness with degradation
+reasons — see docs/SERVING.md.";
 
 fn run() -> CliResult<()> {
     let opts = Opts::parse(std::env::args().skip(1))?;

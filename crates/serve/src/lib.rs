@@ -24,18 +24,32 @@
 //!   loop (raw libc FFI, no external runtime) multiplexing persistent
 //!   HTTP/1.1 keep-alive connections across a worker thread pool, with
 //!   `/v1/classify`, `/admin/swap`, `/admin/models`, `/admin/shutdown`,
-//!   `/metrics` (Prometheus), and `/healthz` routes. Idle connections
-//!   park in the event loop (no worker held); drain answers late
-//!   requests `503` and closes.
+//!   `/metrics` (Prometheus), `/healthz` (liveness), and `/readyz`
+//!   (readiness with per-tenant degradation reasons) routes. Idle
+//!   connections park in the event loop (no worker held); drain answers
+//!   late requests `503` and closes.
 //! - [`json`] — the small JSON parser/writer the API uses (floats render
 //!   shortest-roundtrip, so scores survive HTTP bit-exactly).
+//! - [`catalog`] — the crash-safe model catalog: a watched directory of
+//!   `NMMODEL` artifacts (`<tenant>/<version>.nmmodel`) whose supervisor
+//!   validates every artifact end-to-end before adoption and hot-swaps
+//!   the newest valid version in. Torn, truncated, corrupt, or mislabeled
+//!   files are ignored; the last-good model keeps serving.
+//! - [`drift`] — the in-server drift loop: classified traffic feeds a
+//!   per-tenant [`noisemine_stream::StreamState`]; when the Chernoff
+//!   detector fires, a supervised (panic-isolated, time-bounded,
+//!   circuit-broken) background re-mine produces a new model, persists it
+//!   through the catalog, and self-swaps — mine → serve → drift closes
+//!   with no operator.
 //!
 //! See `docs/SERVING.md` for the API reference and operational notes.
 //!
 //! [`db_match_many`]: noisemine_core::matching::db_match_many
 
 pub mod admission;
+pub mod catalog;
 pub mod classify;
+pub mod drift;
 pub mod http;
 pub mod json;
 pub mod model_io;
@@ -45,7 +59,11 @@ pub mod registry;
 pub mod server;
 
 pub use admission::TokenBucket;
+pub use catalog::{Catalog, CatalogSupervisor, SyncReport, TenantScan};
 pub use classify::{classify, Classification};
+pub use drift::{DriftConfig, DriftController, DriftFault, DriftSupervisor};
 pub use model_io::{decode_model_file, model_bytes, read_model, write_model, ModelIoError};
-pub use registry::{Admission, ModelRegistry, ServeModel};
+pub use registry::{
+    Admission, Adoption, ModelRegistry, ServeModel, ServingState, TenantInfo, TenantLookup,
+};
 pub use server::{ServeConfig, Server};

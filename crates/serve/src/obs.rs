@@ -93,6 +93,78 @@ counter!(
     "Successful hot-swaps of a tenant's active model",
     "swaps"
 );
+counter!(
+    catalog_scans,
+    "serve_catalog_scans_total",
+    "Catalog directory scans performed by the supervisor (startup sync plus every watch interval)",
+    "scans"
+);
+counter!(
+    catalog_adoptions,
+    "serve_catalog_adoptions_total",
+    "Models adopted from the catalog into the live registry (newest valid version per tenant)",
+    "models"
+);
+counter!(
+    catalog_rejects,
+    "serve_catalog_rejects_total",
+    "Catalog artifacts rejected by validation (torn, truncated, corrupt, or mislabeled files)",
+    "files"
+);
+counter!(
+    drift_samples,
+    "serve_drift_samples_total",
+    "Classified sequences forwarded into the drift loop",
+    "sequences"
+);
+counter!(
+    drift_samples_dropped,
+    "serve_drift_samples_dropped_total",
+    "Classified sequences dropped by the drift loop (full channel, full buffer, or unknown tenant)",
+    "sequences"
+);
+counter!(
+    remine_attempts,
+    "serve_remine_attempts_total",
+    "Supervised in-server re-mine attempts started by the drift loop",
+    "attempts"
+);
+counter!(
+    remines_completed,
+    "serve_remines_completed_total",
+    "Supervised re-mines that completed, validated, and self-swapped a new model",
+    "remines"
+);
+counter!(
+    remine_failures,
+    "serve_remine_failures_total",
+    "Supervised re-mine attempts that failed (panic, timeout, mine error, or invalid artifact)",
+    "attempts"
+);
+counter!(
+    remine_panics,
+    "serve_remine_panics_total",
+    "Supervised re-mine attempts that panicked (isolated; the server keeps serving)",
+    "attempts"
+);
+counter!(
+    remine_timeouts,
+    "serve_remine_timeouts_total",
+    "Supervised re-mine attempts abandoned at the re-mine deadline",
+    "attempts"
+);
+counter!(
+    breaker_opens,
+    "serve_breaker_opens_total",
+    "Circuit-breaker open transitions (failure budget exhausted or half-open trial failed)",
+    "transitions"
+);
+counter!(
+    self_swaps,
+    "serve_self_swaps_total",
+    "Model swaps initiated by the drift loop itself (no operator involved)",
+    "swaps"
+);
 
 /// Connections currently open (accepted and not yet closed).
 pub(crate) fn open_connections() -> &'static Gauge {
@@ -114,6 +186,43 @@ pub(crate) fn idle_connections() -> &'static Gauge {
             "serve_idle_connections",
             "Keep-alive connections parked in the readiness loop awaiting their next request",
             "connections",
+        )
+    })
+}
+
+/// Sequences currently buffered across all tenants for the next re-mine.
+pub(crate) fn drift_buffered() -> &'static Gauge {
+    static H: OnceLock<Gauge> = OnceLock::new();
+    H.get_or_init(|| {
+        obs::gauge(
+            "serve_drift_buffered_sequences",
+            "Sequences currently buffered across all tenants for the next re-mine",
+            "sequences",
+        )
+    })
+}
+
+/// Per-tenant circuit-breaker state gauge
+/// (`0` = closed, `1` = half-open, `2` = open).
+pub(crate) fn set_breaker(tenant: &str, value: f64) {
+    let t = sanitize_tenant(tenant);
+    obs::gauge(
+        &format!("serve_tenant_{t}_breaker_state"),
+        "Re-mine circuit-breaker state for this tenant (0=closed, 1=half_open, 2=open)",
+        "state",
+    )
+    .set(value);
+}
+
+/// Supervised re-mine latency (prepare to adopted model).
+pub(crate) fn remine_seconds() -> &'static Histogram {
+    static H: OnceLock<Histogram> = OnceLock::new();
+    H.get_or_init(|| {
+        obs::histogram(
+            "serve_remine_seconds",
+            "Wall-clock time of a successful supervised re-mine, prepare through adoption",
+            "seconds",
+            obs::duration_buckets(),
         )
     })
 }
@@ -156,6 +265,9 @@ pub(crate) struct TenantMetrics {
     pub sequences: Counter,
     /// The tenant's active model version.
     pub model_version: Gauge,
+    /// The tenant's serving state
+    /// (`0` = current, `1` = stale, `2` = remining, `3` = circuit_open).
+    pub serving_state: Gauge,
 }
 
 impl TenantMetrics {
@@ -181,6 +293,11 @@ impl TenantMetrics {
                 &format!("serve_tenant_{t}_model_version"),
                 "The tenant's active model version",
                 "version",
+            ),
+            serving_state: obs::gauge(
+                &format!("serve_tenant_{t}_serving_state"),
+                "The tenant's serving state (0=current, 1=stale, 2=remining, 3=circuit_open)",
+                "state",
             ),
         }
     }

@@ -35,10 +35,18 @@
 //! |------------------------|--------|---------|
 //! | `/v1/classify`         | POST   | Score sequences against the tenant's active model |
 //! | `/metrics`             | GET    | Prometheus rendering of the process metrics registry |
-//! | `/healthz`             | GET    | Liveness probe |
-//! | `/admin/models`        | GET    | Tenants, active versions, pattern counts |
+//! | `/healthz`             | GET    | Liveness probe — always `200` while the process can answer |
+//! | `/readyz`              | GET    | Readiness probe — `200` only when every tenant has a valid model; degraded tenants listed with reasons |
+//! | `/admin/models`        | GET    | Tenants, active versions, pattern counts, serving states |
 //! | `/admin/swap`          | POST   | Load an `NMMODEL` artifact and hot-swap it in |
 //! | `/admin/shutdown`      | POST   | Graceful drain + shutdown |
+//!
+//! Liveness and readiness are deliberately distinct: `/healthz` answers
+//! `200` as long as the event loop breathes (restart the process only if
+//! *that* fails), while `/readyz` reports whether every configured tenant
+//! can actually be served (`503` + per-tenant reasons otherwise — route
+//! traffic away, don't restart; the catalog supervisor or drift loop is
+//! already working the problem).
 //!
 //! See `docs/SERVING.md` for request/response examples and the full
 //! connection-lifecycle contract.
@@ -55,13 +63,14 @@ use std::time::{Duration, Instant};
 use noisemine_core::Symbol;
 
 use crate::classify::classify;
+use crate::drift::DriftController;
 use crate::http::{
     read_request_buffered, try_parse_request, write_response, ConnBuf, Request, Response,
 };
 use crate::json::{self, Value};
 use crate::model_io::read_model;
 use crate::poll::{poll_fds, PollFd, WakePipe};
-use crate::registry::{Admission, ModelRegistry, ServeModel};
+use crate::registry::{Admission, ModelRegistry, ServeModel, TenantLookup};
 
 /// Bound on one response write (a stuck reader cannot pin a worker).
 const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
@@ -126,6 +135,9 @@ pub(crate) struct Ctx {
     /// Interrupts the event loop's poll when shutdown is requested from a
     /// route handler (`None` in router-only tests).
     wake: Option<Arc<WakePipe>>,
+    /// Classified batches are forwarded here (best-effort) when the
+    /// in-server drift loop is enabled.
+    drift: Option<Arc<DriftController>>,
 }
 
 impl Ctx {
@@ -189,6 +201,17 @@ impl Server {
     /// Also enables the process metrics registry — a serving process is an
     /// observability surface by definition (`/metrics` is a core route).
     pub fn start(config: &ServeConfig, registry: Arc<ModelRegistry>) -> io::Result<Server> {
+        Self::start_with(config, registry, None)
+    }
+
+    /// [`Server::start`] with the in-server drift loop attached: every
+    /// successfully classified batch is forwarded to `drift` (best-effort,
+    /// never blocking the request).
+    pub fn start_with(
+        config: &ServeConfig,
+        registry: Arc<ModelRegistry>,
+        drift: Option<Arc<DriftController>>,
+    ) -> io::Result<Server> {
         noisemine_obs::enable();
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
@@ -200,6 +223,7 @@ impl Server {
             shutdown: Arc::clone(&shutdown),
             start: Instant::now(),
             wake: Some(Arc::clone(&wake)),
+            drift,
         });
         let (dispatch_tx, dispatch_rx) = mpsc::channel::<Job>();
         let (return_tx, return_rx) = mpsc::channel::<Conn>();
@@ -571,7 +595,10 @@ pub(crate) fn handle_request(ctx: &Ctx, request: &Request) -> Response {
     // separately at accept).
     crate::obs::requests().inc();
     match (request.method.as_str(), request.path.as_str()) {
+        // Pure liveness: the process parsed and routed this request, so it
+        // is alive. Model availability is /readyz's business.
         ("GET", "/healthz") => Response::json(200, "{\"status\": \"ok\"}".to_string()),
+        ("GET", "/readyz") => readyz_response(&ctx.registry),
         ("GET", "/metrics") => Response {
             status: 200,
             content_type: "text/plain; version=0.0.4",
@@ -586,8 +613,8 @@ pub(crate) fn handle_request(ctx: &Ctx, request: &Request) -> Response {
         ("POST", "/v1/classify") => classify_route(ctx, request),
         (
             _,
-            "/healthz" | "/metrics" | "/admin/models" | "/admin/swap" | "/admin/shutdown"
-            | "/v1/classify",
+            "/healthz" | "/readyz" | "/metrics" | "/admin/models" | "/admin/swap"
+            | "/admin/shutdown" | "/v1/classify",
         ) => {
             crate::obs::client_errors().inc();
             Response::error(405, "method not allowed for this route")
@@ -601,16 +628,57 @@ pub(crate) fn handle_request(ctx: &Ctx, request: &Request) -> Response {
 
 fn models_response(registry: &ModelRegistry) -> Response {
     let rows: Vec<String> = registry
-        .tenant_versions()
+        .tenants()
         .into_iter()
-        .map(|(tenant, version, patterns)| {
+        .map(|info| {
+            let version = match info.version {
+                Some(v) => v.to_string(),
+                None => "null".to_string(),
+            };
             format!(
-                "{{\"tenant\": {}, \"version\": {version}, \"patterns\": {patterns}}}",
-                json::escape(&tenant)
+                "{{\"tenant\": {}, \"version\": {version}, \"patterns\": {}, \
+                 \"state\": {}, \"reason\": {}}}",
+                json::escape(&info.tenant),
+                info.patterns,
+                json::escape(info.state.name()),
+                json::escape(&info.reason)
             )
         })
         .collect();
     Response::json(200, format!("{{\"tenants\": [{}]}}", rows.join(", ")))
+}
+
+/// Readiness: `200` only when every known tenant has a model to serve.
+/// Degraded tenants (modelless, or with an open breaker) are listed with
+/// their reasons so an operator — or a load balancer — can see exactly
+/// what is wrong without grepping logs. The server itself keeps serving
+/// every healthy tenant; readiness is per-process, degradation per-tenant.
+fn readyz_response(registry: &ModelRegistry) -> Response {
+    let tenants = registry.tenants();
+    let degraded: Vec<&crate::registry::TenantInfo> =
+        tenants.iter().filter(|t| t.version.is_none()).collect();
+    let rows: Vec<String> = tenants
+        .iter()
+        .map(|info| {
+            format!(
+                "{{\"tenant\": {}, \"ready\": {}, \"state\": {}, \"reason\": {}}}",
+                json::escape(&info.tenant),
+                info.version.is_some(),
+                json::escape(info.state.name()),
+                json::escape(&info.reason)
+            )
+        })
+        .collect();
+    let ready = degraded.is_empty();
+    let status = if ready { 200 } else { 503 };
+    Response::json(
+        status,
+        format!(
+            "{{\"ready\": {ready}, \"degraded\": {}, \"tenants\": [{}]}}",
+            degraded.len(),
+            rows.join(", ")
+        ),
+    )
 }
 
 fn swap(ctx: &Ctx, request: &Request) -> Response {
@@ -672,9 +740,21 @@ fn classify_route(ctx: &Ctx, request: &Request) -> Response {
         .and_then(Value::as_str)
         .unwrap_or("default")
         .to_string();
-    let Some(model) = ctx.registry.model(&tenant) else {
-        crate::obs::client_errors().inc();
-        return Response::error(404, &format!("no model installed for tenant {tenant:?}"));
+    let model = match ctx.registry.lookup(&tenant) {
+        TenantLookup::Model(model) => model,
+        TenantLookup::Unknown => {
+            crate::obs::client_errors().inc();
+            return Response::error(404, &format!("no model installed for tenant {tenant:?}"));
+        }
+        // Known tenant, no valid model yet (catalog had nothing adoptable):
+        // degraded, not a client error — 503 says "retry later", and
+        // /readyz carries the reason.
+        TenantLookup::NoModel => {
+            return Response::error(
+                503,
+                &format!("tenant {tenant:?} is degraded: no valid model available"),
+            );
+        }
     };
     let Some(raw) = doc.get("sequences").and_then(Value::as_arr) else {
         crate::obs::client_errors().inc();
@@ -737,6 +817,11 @@ fn classify_route(ctx: &Ctx, request: &Request) -> Response {
     crate::obs::sequences_classified().add(sequences.len() as u64);
     ctx.registry
         .record_classification(&tenant, sequences.len() as u64);
+    // Feed the drift loop *after* the response is computed: sampling is
+    // best-effort and must never affect what the client receives.
+    if let Some(drift) = &ctx.drift {
+        drift.ingest(&tenant, &sequences);
+    }
     let mut patterns_json = Vec::with_capacity(model.num_patterns());
     for (p, fragment) in model.pattern_json.iter().enumerate() {
         let scores: Vec<String> = result
@@ -796,6 +881,7 @@ mod tests {
             shutdown: Arc::new(AtomicBool::new(false)),
             start: Instant::now(),
             wake: None,
+            drift: None,
         })
     }
 
@@ -809,6 +895,69 @@ mod tests {
                 close: false,
             },
         )
+    }
+
+    fn get(ctx: &Ctx, path: &str) -> Response {
+        handle_request(
+            ctx,
+            &Request {
+                method: "GET".to_string(),
+                path: path.to_string(),
+                body: String::new(),
+                close: false,
+            },
+        )
+    }
+
+    /// `/healthz` is liveness only; `/readyz` is readiness. A declared
+    /// tenant without a model degrades readiness (503 + reason) while
+    /// liveness stays green.
+    #[test]
+    fn readyz_distinguishes_liveness_from_readiness() {
+        let ctx = ctx_with_model(0.0);
+        assert_eq!(get(&ctx, "/healthz").status, 200);
+        let r = get(&ctx, "/readyz");
+        assert_eq!(r.status, 200, "{}", r.body);
+        assert!(r.body.contains("\"ready\": true"), "{}", r.body);
+
+        ctx.registry.declare("pending");
+        assert_eq!(get(&ctx, "/healthz").status, 200, "liveness must not dip");
+        let r = get(&ctx, "/readyz");
+        assert_eq!(r.status, 503, "{}", r.body);
+        assert!(r.body.contains("\"degraded\": 1"), "{}", r.body);
+        assert!(r.body.contains("pending"), "{}", r.body);
+    }
+
+    /// A known-but-modelless tenant answers 503 (degraded, retry later),
+    /// not 404 (no such tenant).
+    #[test]
+    fn degraded_tenant_classify_is_503_not_404() {
+        let ctx = ctx_with_model(0.0);
+        ctx.registry.declare("pending");
+        let r = post(
+            &ctx,
+            "/v1/classify",
+            r#"{"tenant": "pending", "sequences": [["d0"]]}"#,
+        );
+        assert_eq!(r.status, 503, "{}", r.body);
+        assert!(r.body.contains("degraded"), "{}", r.body);
+    }
+
+    /// `/admin/models` reports the per-tenant serving state.
+    #[test]
+    fn models_response_reports_serving_state() {
+        let ctx = ctx_with_model(0.0);
+        let r = get(&ctx, "/admin/models");
+        assert_eq!(r.status, 200, "{}", r.body);
+        assert!(r.body.contains("\"state\": \"current\""), "{}", r.body);
+        ctx.registry.set_state(
+            "default",
+            crate::registry::ServingState::Remining,
+            "drift detected; re-mining",
+        );
+        let r = get(&ctx, "/admin/models");
+        assert!(r.body.contains("\"state\": \"remining\""), "{}", r.body);
+        assert!(r.body.contains("drift detected"), "{}", r.body);
     }
 
     #[test]

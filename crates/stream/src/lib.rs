@@ -27,4 +27,4 @@ pub(crate) mod obs;
 mod state;
 
 pub use error::{Error, Result};
-pub use state::{MineSnapshot, StreamState};
+pub use state::{MinePrep, MineSnapshot, StreamState};

@@ -47,6 +47,31 @@ pub struct MineSnapshot {
     pub symbol_match: Vec<f64>,
 }
 
+/// Everything a re-mine needs, detached from the engine.
+///
+/// [`StreamState::prepare_mine`] snapshots the engine's phase-1 view,
+/// tracked exact matches, matrix, and configuration into one owned value,
+/// so the expensive mining step ([`mine_from_phase1_with_known`]) can run
+/// on another thread — panic-isolated and time-bounded — without borrowing
+/// the engine. On success the caller feeds the result back through
+/// [`StreamState::complete_mine`]; on failure (panic, timeout, error) the
+/// engine was never touched and simply retries later. [`StreamState::mine`]
+/// itself is the prepare → mine → complete composition, so a supervised
+/// out-of-band mine is bit-identical to an in-place one.
+#[derive(Debug, Clone)]
+pub struct MinePrep {
+    /// Phase-1 view (normalized symbol matches + reservoir sample).
+    pub p1: Phase1Output,
+    /// Tracked border patterns with normalized exact matches.
+    pub known: Vec<(Pattern, f64)>,
+    /// The engine's compatibility matrix.
+    pub matrix: CompatibilityMatrix,
+    /// The engine's miner configuration.
+    pub config: MinerConfig,
+    /// Stream position the snapshot was taken at.
+    pub total: u64,
+}
+
 /// Incremental mining engine over an append-only sequence stream.
 ///
 /// The engine owns everything phase 1 produces (symbol matches, sample) and
@@ -316,19 +341,62 @@ impl StreamState {
     /// scans. Afterwards the tracked set is replaced by the borders this
     /// mine probed, and the drift detector is re-anchored.
     pub fn mine<S: SequenceScan + ?Sized>(&mut self, db: &S) -> Result<MineOutcome> {
-        let p1 = self.phase1_output();
-        let known = self.known_matches();
+        let prep = self.prepare_mine();
         let (outcome, p3) =
-            mine_from_phase1_with_known(db, &self.matrix, &self.config, &p1, &known)?;
+            mine_from_phase1_with_known(db, &prep.matrix, &prep.config, &prep.p1, &prep.known)?;
+        self.complete_mine(&prep, &p3);
+        Ok(outcome)
+    }
+
+    /// Snapshots everything a re-mine needs (see [`MinePrep`]). The caller
+    /// runs [`mine_from_phase1_with_known`] over the snapshot — possibly on
+    /// another thread, under a panic guard and a deadline — and applies the
+    /// result with [`Self::complete_mine`].
+    pub fn prepare_mine(&self) -> MinePrep {
+        MinePrep {
+            p1: self.phase1_output(),
+            known: self.known_matches(),
+            matrix: self.matrix.clone(),
+            config: self.config.clone(),
+            total: self.total,
+        }
+    }
+
+    /// Applies a finished re-mine: adopts the borders phase 3 probed as the
+    /// new tracked set and re-anchors the drift detector at the snapshot.
+    ///
+    /// Exactness of the tracked sums requires that nothing was ingested
+    /// between [`Self::prepare_mine`] and this call (the serve-layer drift
+    /// loop runs both from one thread, so the window is empty by
+    /// construction). A supervised mine that fails never reaches this
+    /// point, leaving the engine exactly as prepared — drift stays fired
+    /// and the caller retries.
+    pub fn complete_mine(&mut self, prep: &MinePrep, p3: &CollapseResult) {
+        debug_assert_eq!(
+            prep.total, self.total,
+            "sequences were ingested between prepare_mine and complete_mine"
+        );
         crate::obs::remines().inc();
         crate::obs::border_reuse_hits().add(p3.known_applied as u64);
-        self.adopt_borders(&p3);
+        self.adopt_borders(p3);
         crate::obs::tracked_patterns().set(self.tracked.len() as f64);
         self.last_mine = Some(MineSnapshot {
-            total: self.total,
-            symbol_match: p1.symbol_match,
+            total: prep.total,
+            symbol_match: prep.p1.symbol_match.clone(),
         });
-        Ok(outcome)
+    }
+
+    /// Re-anchors the drift detector at the current prefix **without**
+    /// mining: subsequent [`Self::drift_exceeded`] calls measure movement
+    /// relative to now. Used by the serve-layer drift loop to calibrate a
+    /// freshly attached traffic stream against the model already serving,
+    /// so the first few requests don't count as "drift" from an empty
+    /// baseline.
+    pub fn anchor(&mut self) {
+        self.last_mine = Some(MineSnapshot {
+            total: self.total,
+            symbol_match: self.symbol_match(),
+        });
     }
 
     /// Convenience driver: re-mines only if the drift bound is exceeded.

@@ -4,4 +4,5 @@ pub use noisemine_core as core;
 pub use noisemine_datagen as datagen;
 pub use noisemine_obs as obs;
 pub use noisemine_seqdb as seqdb;
+pub use noisemine_serve as serve;
 pub use noisemine_stream as stream;

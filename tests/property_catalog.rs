@@ -1,0 +1,199 @@
+//! Seeded property suite for the model catalog's adoption contract:
+//! whatever mixture of valid, corrupt, partial, and foreign files a
+//! tenant's directory holds — and in whatever order they were written —
+//! adoption always selects the **highest valid version**, and never
+//! adopts anything else.
+
+mod common;
+
+use common::run_cases;
+use noisemine::core::lattice::Border;
+use noisemine::core::miner::{FrequentPattern, MineOutcome, MineStats, Provenance};
+use noisemine::core::{Alphabet, CompatibilityMatrix, Pattern, PatternModel, Symbol};
+use noisemine::serve::{model_bytes, Catalog, ModelRegistry};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+fn sample_model(version: u64) -> PatternModel {
+    let alphabet = Alphabet::synthetic(4);
+    let matrix = CompatibilityMatrix::uniform_noise(4, 0.1).unwrap();
+    let outcome = MineOutcome {
+        frequent: vec![FrequentPattern {
+            pattern: Pattern::contiguous(&[Symbol(0), Symbol(1)]).unwrap(),
+            match_estimate: 0.5,
+            provenance: Provenance::Verified,
+        }],
+        border: Border::default(),
+        symbol_match: vec![0.4; 4],
+        stats: MineStats::default(),
+    };
+    PatternModel::from_outcome(&outcome, &alphabet, &matrix, 0.1, version)
+}
+
+/// One randomly planted catalog entry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Entry {
+    /// A fully valid artifact at this version.
+    Valid(u64),
+    /// A corrupt artifact at this version (random byte damaged).
+    Corrupt(u64),
+    /// A truncated artifact at this version (torn write).
+    Truncated(u64),
+    /// A `.tmp` file (writer died before rename).
+    Partial(u64),
+    /// A foreign file the scanner must not even see.
+    Foreign,
+}
+
+fn plant(cat: &Catalog, tenant: &str, entry: Entry, rng: &mut StdRng) {
+    let dir = cat.root().join(tenant);
+    std::fs::create_dir_all(&dir).unwrap();
+    match entry {
+        Entry::Valid(v) => {
+            cat.write(tenant, &sample_model(v)).unwrap();
+        }
+        Entry::Corrupt(v) => {
+            let mut bytes = model_bytes(&sample_model(v));
+            let at = rng.gen_range(0..bytes.len());
+            bytes[at] ^= 1 << rng.gen_range(0..8u8);
+            std::fs::write(cat.model_path(tenant, v), bytes).unwrap();
+        }
+        Entry::Truncated(v) => {
+            let bytes = model_bytes(&sample_model(v));
+            let len = rng.gen_range(0..bytes.len());
+            std::fs::write(cat.model_path(tenant, v), &bytes[..len]).unwrap();
+        }
+        Entry::Partial(v) => {
+            let bytes = model_bytes(&sample_model(v));
+            let len = rng.gen_range(0..=bytes.len());
+            std::fs::write(dir.join(format!("{v}.nmmodel.tmp")), &bytes[..len]).unwrap();
+        }
+        Entry::Foreign => {
+            let names = ["README.md", "x9.nmmodel", "007.nmmodel", ".hidden", "12"];
+            let name = names[rng.gen_range(0..names.len())];
+            std::fs::write(dir.join(name), b"not a model").unwrap();
+        }
+    }
+}
+
+/// Adoption always lands on the highest *valid* version — across random
+/// version sets, random corruption mixtures, and random write order.
+#[test]
+fn adoption_selects_highest_valid_version() {
+    let mut case_id = 0u64;
+    run_cases(40, |rng| {
+        case_id += 1;
+        let root = std::env::temp_dir().join(format!(
+            "noisemine-propcat-{}-{case_id}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&root).ok();
+        let cat = Catalog::new(&root);
+
+        // Distinct versions, then a random disposition for each — written
+        // in a shuffled order so directory-entry creation order varies.
+        let count = rng.gen_range(1..8usize);
+        let mut versions: Vec<u64> = Vec::new();
+        while versions.len() < count {
+            let v = rng.gen_range(1..50u64);
+            if !versions.contains(&v) {
+                versions.push(v);
+            }
+        }
+        let mut entries: Vec<Entry> = versions
+            .iter()
+            .map(|&v| match rng.gen_range(0..4u8) {
+                0 => Entry::Valid(v),
+                1 => Entry::Corrupt(v),
+                2 => Entry::Truncated(v),
+                _ => Entry::Partial(v),
+            })
+            .collect();
+        for _ in 0..rng.gen_range(0..3usize) {
+            entries.push(Entry::Foreign);
+        }
+        // Fisher–Yates: write order (hence inode/creation order) random.
+        for i in (1..entries.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            entries.swap(i, j);
+        }
+        for &entry in &entries {
+            plant(&cat, "t", entry, rng);
+        }
+
+        let expected = entries
+            .iter()
+            .filter_map(|e| match e {
+                Entry::Valid(v) => Some(*v),
+                _ => None,
+            })
+            .max();
+
+        // The scan primitive agrees with the expectation…
+        let scanned = cat.scan_tenant("t", None).newest_valid.map(|(v, _)| v);
+        assert_eq!(
+            scanned, expected,
+            "scan picked {scanned:?}, expected {expected:?} from {entries:?}"
+        );
+
+        // …and so does a sync against a fresh registry: either the highest
+        // valid version is adopted, or the tenant is declared modelless.
+        let registry = ModelRegistry::new(0.0);
+        let report = cat.sync(&registry);
+        assert_eq!(
+            registry.current_version("t"),
+            expected,
+            "sync adopted {:?}, expected {expected:?} from {entries:?}",
+            registry.current_version("t")
+        );
+        match expected {
+            Some(v) => assert_eq!(report.adopted, vec![("t".to_string(), v)]),
+            None => assert_eq!(report.modelless, vec!["t".to_string()]),
+        }
+
+        // Re-syncing is idempotent: nothing new to adopt, no downgrade.
+        let again = cat.sync(&registry);
+        assert!(again.adopted.is_empty(), "{again:?}");
+        assert_eq!(registry.current_version("t"), expected);
+
+        std::fs::remove_dir_all(&root).ok();
+    });
+}
+
+/// The floor short-circuit never changes the outcome: scanning with the
+/// currently served version as floor either finds the same strictly newer
+/// artifact a full scan finds, or nothing.
+#[test]
+fn floor_short_circuit_is_equivalent_for_adoption() {
+    let mut case_id = 0u64;
+    run_cases(30, |rng| {
+        case_id += 1;
+        let root = std::env::temp_dir().join(format!(
+            "noisemine-propfloor-{}-{case_id}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&root).ok();
+        let cat = Catalog::new(&root);
+
+        for _ in 0..rng.gen_range(1..6usize) {
+            let v = rng.gen_range(1..30u64);
+            let entry = if rng.gen_range(0..2u8) == 0 {
+                Entry::Valid(v)
+            } else {
+                Entry::Corrupt(v)
+            };
+            plant(&cat, "t", entry, rng);
+        }
+        let floor = rng.gen_range(0..30u64);
+        let full = cat.scan_tenant("t", None).newest_valid.map(|(v, _)| v);
+        let floored = cat
+            .scan_tenant("t", Some(floor))
+            .newest_valid
+            .map(|(v, _)| v);
+        match full {
+            Some(v) if v > floor => assert_eq!(floored, Some(v)),
+            _ => assert_eq!(floored, None, "floor {floor} full {full:?}"),
+        }
+        std::fs::remove_dir_all(&root).ok();
+    });
+}
