@@ -640,6 +640,7 @@ pub fn cmd_serve(opts: &Opts) -> CliResult<()> {
         "model",
         "addr",
         "threads",
+        "kernel",
         "tenant-quota",
         "metrics-out",
         "max-requests-per-conn",
@@ -743,6 +744,7 @@ pub fn cmd_serve(opts: &Opts) -> CliResult<()> {
         threads: opts.num("threads", 4usize)?.max(1),
         max_requests_per_conn: opts.num("max-requests-per-conn", 0usize)?,
         idle_timeout: std::time::Duration::from_secs_f64(idle_timeout),
+        kernel: parse_kernel(opts)?,
         ..noisemine_serve::ServeConfig::default()
     };
     let server = noisemine_serve::Server::start_with(&config, registry, drift_controller)
@@ -773,13 +775,16 @@ fn positive_secs(opts: &Opts, name: &str, default: f64) -> CliResult<std::time::
     Ok(std::time::Duration::from_secs_f64(secs))
 }
 
-/// Parses `--kernel trie|naive` into a [`MatchKernel`] (default: trie —
-/// the batched candidate-trie kernel; naive is the per-pattern reference
-/// oracle, bit-identical but slower).
+/// Parses `--kernel trie|naive|simd` into a [`MatchKernel`] (default:
+/// trie — the batched candidate-trie kernel; naive is the per-pattern
+/// reference oracle, bit-identical but slower; simd is the columnar
+/// AVX2 kernel, held to the trie's values by a zero-ULP contract, with a
+/// portable scalar path on hosts without AVX2+FMA or under
+/// `NOISEMINE_FORCE_SCALAR=1`).
 fn parse_kernel(opts: &Opts) -> CliResult<MatchKernel> {
     let name = opts.get_or("kernel", "trie");
     MatchKernel::parse(name)
-        .ok_or_else(|| format!("unknown --kernel {name:?}; use trie or naive").into())
+        .ok_or_else(|| format!("unknown --kernel {name:?}; use trie, naive, or simd").into())
 }
 
 /// Parses `--index off|build|use` into an [`IndexMode`] (default: off).

@@ -114,6 +114,45 @@ fn gen_stats_match_mine_round_trip() {
 }
 
 #[test]
+fn kernel_simd_mines_identically_to_trie() {
+    let db = tmp("kernel_simd_db.txt");
+    let matrix = tmp("kernel_simd_m.txt");
+    generate(&db, &matrix);
+    let mine_with = |kernel: &str| {
+        let out = noisemine(&[
+            "mine",
+            "--db",
+            db.to_str().unwrap(),
+            "--matrix",
+            matrix.to_str().unwrap(),
+            "--normalize",
+            "--min-match",
+            "0.15",
+            "--max-len",
+            "6",
+            "--limit",
+            "2000",
+            "--kernel",
+            kernel,
+        ]);
+        assert!(out.status.success(), "--kernel {kernel}: {}", stderr(&out));
+        stdout(&out)
+    };
+    let trie = mine_with("trie");
+    let simd = mine_with("simd");
+    assert!(trie.contains("AMTKY"), "{trie}");
+    assert_eq!(simd, trie, "--kernel simd output diverged from trie");
+
+    let out = noisemine(&["mine", "--db", db.to_str().unwrap(), "--kernel", "avx9000"]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(err.contains("use trie, naive, or simd"), "{err}");
+
+    std::fs::remove_file(&db).ok();
+    std::fs::remove_file(&matrix).ok();
+}
+
+#[test]
 fn top_k_mode() {
     let db = tmp("topk-db.txt");
     let matrix = tmp("topk-m.txt");

@@ -177,9 +177,10 @@ pub fn try_collapse_with_known<S: SequenceScan + ?Sized>(
 }
 
 /// [`try_collapse_with_known`] with an explicit [`MatchKernel`] for the
-/// layer-probe scans. Like `threads`, the kernel is purely operational: the
-/// two kernels are bit-identical (see [`crate::match_kernel`]), so the
-/// verdicts never depend on it.
+/// layer-probe scans. Like `threads`, the kernel is purely operational: all
+/// kernels produce identical probe values (see [`crate::match_kernel`] and
+/// the zero [`SIMD_MAX_ULP`](crate::match_kernel::simd::SIMD_MAX_ULP)
+/// contract of the columnar kernel), so the verdicts never depend on it.
 #[allow(clippy::too_many_arguments)]
 pub fn try_collapse_with_known_kernel<S: SequenceScan + ?Sized>(
     space: AmbiguousSpace,

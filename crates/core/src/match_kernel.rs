@@ -45,6 +45,8 @@
 //! scan is tracked by `core_kernel_patterns_per_scan`. See
 //! `docs/OBSERVABILITY.md`.
 
+pub mod simd;
+
 use serde::{Deserialize, Serialize};
 
 use crate::alphabet::Symbol;
@@ -53,9 +55,13 @@ use crate::pattern::{Pattern, PatternElem};
 
 /// Which implementation evaluates multi-pattern match batches.
 ///
-/// The two kernels are bit-identical on every input (asserted by the
-/// property suite and the `match_kernel` bench); the naive path is retained
-/// as a reference oracle and for ablation benchmarks.
+/// All kernels produce the same values on every input (asserted by the
+/// property suites and the `match_kernel` bench): `Naive` and `Trie` are
+/// bit-identical by construction, and `Simd` preserves the same
+/// multiplication order per window, so its results agree within
+/// [`simd::SIMD_MAX_ULP`] (currently zero — see `simd` module docs). The
+/// naive path is retained as a reference oracle and for ablation
+/// benchmarks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum MatchKernel {
     /// Evaluate each pattern independently with
@@ -65,15 +71,20 @@ pub enum MatchKernel {
     /// shared-prefix products, subtree pruning.
     #[default]
     Trie,
+    /// Columnar kernel: 8 sequence windows per vector lane group, matrix
+    /// columns gathered into per-symbol stripes, AVX2 on capable x86-64
+    /// hosts with a portable scalar fallback (see [`simd`]).
+    Simd,
 }
 
 impl MatchKernel {
-    /// Parses a kernel name (`"trie"` / `"naive"`), as accepted by the CLI
-    /// `--kernel` flag.
+    /// Parses a kernel name (`"trie"` / `"naive"` / `"simd"`), as accepted
+    /// by the CLI `--kernel` flag.
     pub fn parse(name: &str) -> Option<Self> {
         match name {
             "trie" => Some(Self::Trie),
             "naive" => Some(Self::Naive),
+            "simd" => Some(Self::Simd),
             _ => None,
         }
     }
@@ -83,6 +94,7 @@ impl MatchKernel {
         match self {
             Self::Naive => "naive",
             Self::Trie => "trie",
+            Self::Simd => "simd",
         }
     }
 }
@@ -93,6 +105,8 @@ const NO_PATTERN: u32 = u32::MAX;
 const NO_PARENT: u32 = u32::MAX;
 /// Element id for the eternal symbol inside a node.
 const ANY_ELEM: u32 = u32::MAX;
+/// Sentinel stripe index: node consumes the eternal symbol (no stripe).
+const NO_STRIPE: u32 = u32::MAX;
 
 /// One trie node, laid out for the window walk: the element it consumes,
 /// its depth (window offset), its parent (for floor propagation), an
@@ -130,6 +144,39 @@ pub struct CandidateTrie {
     /// shares the canonical's terminal node and copies its result.
     dups: Vec<(u32, u32)>,
     patterns: usize,
+    /// Distinct concrete symbols across the batch — one compatibility
+    /// stripe per entry in the columnar kernel (see [`simd`]); per-node
+    /// stripe indices live in [`PreNode::stripe`].
+    stripe_syms: Vec<u16>,
+    /// Shortest terminal pattern length (0 when the trie has no patterns);
+    /// windows past `n + 1 - min_len` cannot complete any pattern.
+    min_len: u32,
+    /// Deepest node depth — the columnar kernel's stripe padding bound.
+    max_depth: u32,
+    /// Preorder flattening of the trie for the columnar kernel's stackless
+    /// walk: visiting slots in order is a DFS, and pruning a subtree is a
+    /// jump to its `skip` slot. One contiguous read stream instead of a
+    /// stack plus scattered `nodes`/`children` loads.
+    pre: Vec<PreNode>,
+}
+
+/// One slot of [`CandidateTrie::pre`]: the hot per-node metadata of the
+/// columnar walk, packed in visit order.
+#[derive(Debug, Clone, Copy)]
+struct PreNode {
+    /// Node id — indexes `nodes` (for the raise-floors parent walk) and the
+    /// scratch floor array.
+    node: u32,
+    /// Preorder slot just past this node's subtree — where a pruned walk
+    /// resumes.
+    skip: u32,
+    /// Stripe row, [`NO_STRIPE`] for `*` nodes.
+    stripe: u32,
+    /// Pattern index, [`NO_PATTERN`] for interior nodes.
+    pattern: u32,
+    /// Node depth: the walk multiplies lane-buffer row `depth` into row
+    /// `depth + 1`.
+    depth: u32,
 }
 
 /// Intermediate adjacency used only during construction.
@@ -209,13 +256,70 @@ impl CandidateTrie {
                 child_end: children.len() as u32,
             });
         }
+        // Columnar metadata: distinct concrete symbols (one compatibility
+        // stripe each), shortest terminal, deepest node.
+        let mut stripe_syms: Vec<u16> = Vec::new();
+        let mut stripe_of = Vec::with_capacity(flat.len());
+        for n in &flat {
+            stripe_of.push(if n.elem == ANY_ELEM {
+                NO_STRIPE
+            } else {
+                let sym = n.elem as u16;
+                match stripe_syms.iter().position(|&s| s == sym) {
+                    Some(i) => i as u32,
+                    None => {
+                        stripe_syms.push(sym);
+                        (stripe_syms.len() - 1) as u32
+                    }
+                }
+            });
+        }
+        let min_len = flat
+            .iter()
+            .filter(|n| n.pattern != NO_PATTERN)
+            .map(|n| n.depth + 1)
+            .min()
+            .unwrap_or(0);
+        let max_depth = flat.iter().map(|n| n.depth).max().unwrap_or(0);
+        let mut pre = Vec::with_capacity(flat.len());
+        for &r in &roots {
+            Self::emit_preorder(r, &flat, &children, &stripe_of, &mut pre);
+        }
         Self {
             nodes: flat,
             children,
             roots,
             dups,
             patterns: patterns.len(),
+            stripe_syms,
+            min_len,
+            max_depth,
+            pre,
         }
+    }
+
+    /// Appends `ni`'s subtree to `pre` in preorder and backpatches each
+    /// slot's prune jump. Recursion depth is the pattern length.
+    fn emit_preorder(
+        ni: u32,
+        flat: &[TrieNode],
+        children: &[u32],
+        stripe_of: &[u32],
+        pre: &mut Vec<PreNode>,
+    ) {
+        let slot = pre.len();
+        let n = &flat[ni as usize];
+        pre.push(PreNode {
+            node: ni,
+            skip: 0,
+            stripe: stripe_of[ni as usize],
+            pattern: n.pattern,
+            depth: n.depth,
+        });
+        for &c in &children[n.child_start as usize..n.child_end as usize] {
+            Self::emit_preorder(c, flat, children, stripe_of, pre);
+        }
+        pre[slot].skip = pre.len() as u32;
     }
 
     /// Number of patterns in the batch.
@@ -338,24 +442,70 @@ impl CandidateTrie {
     /// the terminal at `node` increased, walking toward the root until a
     /// floor stops changing.
     fn raise_floors(&self, node: u32, scratch: &mut TrieScratch) {
+        self.raise_floors_in(node, &scratch.best, &mut scratch.floor);
+    }
+
+    /// [`Self::raise_floors`] over caller-owned `best`/`floor` buffers —
+    /// shared by [`TrieScratch`] and the columnar kernel's
+    /// [`simd::SimdScratch`], whose floors obey the same invariant.
+    fn raise_floors_in(&self, node: u32, best: &[f64], floor: &mut [f64]) {
         let mut ni = node;
         loop {
             let n = &self.nodes[ni as usize];
             let mut f = if n.pattern == NO_PATTERN {
                 f64::INFINITY
             } else {
-                scratch.best[n.pattern as usize]
+                best[n.pattern as usize]
             };
             for &c in &self.children[n.child_start as usize..n.child_end as usize] {
-                let cf = scratch.floor[c as usize];
+                let cf = floor[c as usize];
                 if cf < f {
                     f = cf;
                 }
             }
-            if f == scratch.floor[ni as usize] {
+            if f == floor[ni as usize] {
                 break; // ancestors already see this minimum
             }
-            scratch.floor[ni as usize] = f;
+            floor[ni as usize] = f;
+            if n.parent == NO_PARENT {
+                break;
+            }
+            ni = n.parent;
+        }
+    }
+
+    /// [`Self::raise_floors_in`] that also records every node whose floor
+    /// left zero in `dirty`, so the columnar kernel can reset floors by
+    /// walking the dirty list instead of memsetting the whole node array
+    /// each sequence (the memset dominates once the walk itself is cheap).
+    fn raise_floors_in_tracked(
+        &self,
+        node: u32,
+        best: &[f64],
+        floor: &mut [f64],
+        dirty: &mut Vec<u32>,
+    ) {
+        let mut ni = node;
+        loop {
+            let n = &self.nodes[ni as usize];
+            let mut f = if n.pattern == NO_PATTERN {
+                f64::INFINITY
+            } else {
+                best[n.pattern as usize]
+            };
+            for &c in &self.children[n.child_start as usize..n.child_end as usize] {
+                let cf = floor[c as usize];
+                if cf < f {
+                    f = cf;
+                }
+            }
+            if f == floor[ni as usize] {
+                break; // ancestors already see this minimum
+            }
+            if floor[ni as usize] == 0.0 {
+                dirty.push(ni);
+            }
+            floor[ni as usize] = f;
             if n.parent == NO_PARENT {
                 break;
             }
@@ -548,9 +698,23 @@ mod tests {
     fn kernel_parse_round_trips() {
         assert_eq!(MatchKernel::parse("trie"), Some(MatchKernel::Trie));
         assert_eq!(MatchKernel::parse("naive"), Some(MatchKernel::Naive));
+        assert_eq!(MatchKernel::parse("simd"), Some(MatchKernel::Simd));
         assert_eq!(MatchKernel::parse("fast"), None);
         assert_eq!(MatchKernel::default().name(), "trie");
         assert_eq!(MatchKernel::Naive.name(), "naive");
+        assert_eq!(MatchKernel::Simd.name(), "simd");
+    }
+
+    #[test]
+    fn columnar_metadata_is_computed() {
+        let patterns = vec![pat("d0 d1"), pat("d0 * d2"), pat("d1 d0 d3 d4")];
+        let trie = CandidateTrie::new(&patterns);
+        // Distinct concrete symbols: d0, d1, d2, d3, d4 (the `*` has none).
+        assert_eq!(trie.stripe_syms.len(), 5);
+        assert_eq!(trie.min_len, 2);
+        assert_eq!(trie.max_depth, 3);
+        let any_nodes = trie.pre.iter().filter(|pn| pn.stripe == NO_STRIPE).count();
+        assert_eq!(any_nodes, 1);
     }
 
     #[test]

@@ -22,6 +22,7 @@
 use crate::alphabet::Symbol;
 use crate::error::ScanError;
 use crate::index::SkipPlan;
+use crate::match_kernel::simd::SimdScratch;
 use crate::match_kernel::{CandidateTrie, MatchKernel, TrieScratch};
 use crate::matrix::CompatibilityMatrix;
 use crate::pattern::{Pattern, PatternElem};
@@ -520,6 +521,39 @@ pub fn try_db_match_many_kernel_indexed<S: SequenceScan + ?Sized>(
                             nonzero |= v != 0.0;
                             *t += v;
                         }
+                        stats.contributed(nonzero);
+                    }
+                    stats.record();
+                    partial
+                },
+            )?
+        }
+        MatchKernel::Simd => {
+            let trie = CandidateTrie::new(patterns);
+            crate::obs::kernel_patterns_per_scan().set(p as f64);
+            try_scan_map_reduce(
+                db,
+                SCAN_BLOCK_SIZE,
+                threads,
+                &mut |block| visited += block.len(),
+                &|| trie.simd_scratch(),
+                &|scratch: &mut SimdScratch, block_idx, block| {
+                    let mut partial = vec![0.0f64; p];
+                    let mut stats = BlockSkipStats::default();
+                    for (i, (_, seq)) in block.iter().enumerate() {
+                        if !stats.visit(plan, block_idx * SCAN_BLOCK_SIZE + i) {
+                            continue;
+                        }
+                        // The sum variant accumulates only the patterns this
+                        // sequence actually touched — bit-identical to the
+                        // dense loop above because `x += 0.0` never changes
+                        // the bits of a non-negative partial.
+                        let nonzero = trie.batch_sequence_match_columnar_sum(
+                            seq,
+                            matrix,
+                            scratch,
+                            &mut partial,
+                        );
                         stats.contributed(nonzero);
                     }
                     stats.record();

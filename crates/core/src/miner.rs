@@ -74,10 +74,13 @@ pub struct MinerConfig {
     pub threads: usize,
     /// Which match kernel evaluates candidate batches in phases 2 and 3 —
     /// the batched [`CandidateTrie`](crate::match_kernel::CandidateTrie)
-    /// (default) or the naive per-pattern reference. Purely operational,
-    /// like `threads`: the kernels are bit-identical (see
-    /// [`crate::match_kernel`]), so this knob never changes mining output
-    /// and is not part of any checkpointed state.
+    /// (default), the naive per-pattern reference, or the columnar SIMD
+    /// kernel (`simd`, 8 windows per step). Purely operational, like
+    /// `threads`: all three kernels produce identical values (trie/naive
+    /// are bit-identical by construction; simd is bound to them by
+    /// [`SIMD_MAX_ULP`](crate::match_kernel::simd::SIMD_MAX_ULP), currently
+    /// zero), so this knob never changes mining output and is not part of
+    /// any checkpointed state.
     pub match_kernel: MatchKernel,
     /// Positional symbol index mode (see [`crate::index`]). With
     /// [`IndexMode::Build`] (or `Use` without a supplied sidecar), phase 1

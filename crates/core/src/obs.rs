@@ -142,6 +142,38 @@ gauge!(
     "patterns"
 );
 
+// Columnar SIMD kernel (match_kernel/simd.rs).
+counter!(
+    simd_sequences,
+    "core_simd_sequences_total",
+    "Sequences evaluated on the AVX2 columnar path of the simd kernel",
+    "sequences"
+);
+counter!(
+    simd_scalar_fallback,
+    "core_simd_scalar_fallback_total",
+    "Sequences evaluated on the portable scalar path of the simd kernel (no AVX2, Miri, or NOISEMINE_FORCE_SCALAR)",
+    "sequences"
+);
+counter!(
+    simd_lane_slots,
+    "core_simd_lane_slots_total",
+    "Window-lane slots processed by the columnar kernel (LANES per chunk, filled or not)",
+    "lanes"
+);
+counter!(
+    simd_lanes_filled,
+    "core_simd_lanes_filled_total",
+    "Window-lane slots that held a real window (the rest were tail padding)",
+    "lanes"
+);
+gauge!(
+    simd_lane_occupancy,
+    "core_simd_lane_occupancy",
+    "Filled-lane fraction of the most recent columnar-kernel sequence (1.0 = every lane useful)",
+    "ratio"
+);
+
 // Positional symbol index skip-scans (index.rs; beyond the paper).
 counter!(
     index_builds,

@@ -226,13 +226,13 @@ pub fn sum_sequence_matches_kernel(
     }
     let trie = match kernel {
         MatchKernel::Naive => None,
-        MatchKernel::Trie => {
+        MatchKernel::Trie | MatchKernel::Simd => {
             crate::obs::kernel_patterns_per_scan().set(p as f64);
             Some(CandidateTrie::new(patterns))
         }
     };
     // One reusable evaluation context per worker thread.
-    let make_eval = || EvalContext::new(patterns, matrix, trie.as_ref());
+    let make_eval = || EvalContext::new(patterns, matrix, trie.as_ref(), kernel);
     let threads = threads.max(1).min(sequences.len().div_ceil(CHUNK_SIZE));
     if threads == 1 || p * sequences.len() < PARALLEL_THRESHOLD {
         // Serial path, but with the *same* chunked accumulation grouping as
@@ -302,6 +302,12 @@ enum EvalContext<'a> {
         scratch: crate::match_kernel::TrieScratch,
         out: Vec<f64>,
     },
+    Simd {
+        trie: &'a CandidateTrie,
+        matrix: &'a CompatibilityMatrix,
+        scratch: crate::match_kernel::simd::SimdScratch,
+        out: Vec<f64>,
+    },
 }
 
 impl<'a> EvalContext<'a> {
@@ -309,9 +315,16 @@ impl<'a> EvalContext<'a> {
         patterns: &'a [Pattern],
         matrix: &'a CompatibilityMatrix,
         trie: Option<&'a CandidateTrie>,
+        kernel: MatchKernel,
     ) -> Self {
         match trie {
             None => Self::Naive { patterns, matrix },
+            Some(trie) if kernel == MatchKernel::Simd => Self::Simd {
+                trie,
+                matrix,
+                scratch: trie.simd_scratch(),
+                out: vec![0.0; trie.num_patterns()],
+            },
             Some(trie) => Self::Trie {
                 trie,
                 matrix,
@@ -340,6 +353,19 @@ impl<'a> EvalContext<'a> {
             } => {
                 for seq in sequences {
                     trie.batch_sequence_match(seq, matrix, scratch, out);
+                    for (total, &v) in totals.iter_mut().zip(out.iter()) {
+                        *total += v;
+                    }
+                }
+            }
+            Self::Simd {
+                trie,
+                matrix,
+                scratch,
+                out,
+            } => {
+                for seq in sequences {
+                    trie.batch_sequence_match_columnar(seq, matrix, scratch, out);
                     for (total, &v) in totals.iter_mut().zip(out.iter()) {
                         *total += v;
                     }

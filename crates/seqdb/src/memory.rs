@@ -89,24 +89,25 @@ impl SequenceScan for MemoryDb {
     }
 
     fn scan_blocks(&self, block_size: usize, sink: &mut dyn FnMut(SequenceBlock) -> SequenceBlock) {
+        assert!(block_size >= 1, "block_size must be at least 1");
+        // No producer thread here, unlike the disk store: an in-memory
+        // producer does no I/O to overlap, so the double-buffer hand-off
+        // (spawn + channel + a context switch per block on small hosts) is
+        // pure overhead at kernel timescales. Blocks are assembled inline
+        // with the same grouping and order — matching the default
+        // `try_scan_blocks` path — so every layered reduction stays
+        // bit-identical.
         self.scans.fetch_add(1, Ordering::Relaxed);
-        // Double buffering matters less here than for the disk store, but a
-        // producer thread still overlaps block assembly with the consumer's
-        // compute, and keeps the two stores behaviorally identical.
-        let result = crate::pipeline::double_buffered(
-            block_size,
-            |emitter| {
-                for (id, seq) in &self.sequences {
-                    emitter.push(*id, seq);
-                }
-                Ok(())
-            },
-            sink,
-        );
-        // An in-memory producer has no I/O to fail; the only conceivable
-        // error is a captured panic, which deserves to stay a panic.
-        if let Err(e) = result {
-            panic!("in-memory block scan failed: {e}");
+        let mut block = SequenceBlock::new();
+        for (id, seq) in &self.sequences {
+            block.push(*id, seq);
+            if block.len() >= block_size {
+                block = sink(std::mem::take(&mut block));
+                block.clear();
+            }
+        }
+        if !block.is_empty() {
+            sink(block);
         }
     }
 }

@@ -14,9 +14,14 @@ Usage:
 
 The two files must come from the same bench (their ``"bench"`` field picks
 the row schema). Rows present in the baseline but missing from the current
-run fail the gate — a silently shrunk grid is not a pass. Rows only in the
+run fail the gate — a silently shrunk grid is not a pass, and a baseline
+with no rows at all is an error for the same reason. Rows only in the
 current run are reported but don't fail anything (the next baseline refresh
-picks them up). Only the standard library is used.
+picks them up). Some rows gate a within-run ratio instead of absolute
+throughput (see ``SCHEMAS``): the kernel bench's ``simd`` rows compare
+``speedup_vs_trie``, so the "simd stays >= 3x over trie" contract is
+enforced hardware-relatively rather than against another machine's clock.
+Only the standard library is used.
 
 Seeding a baseline: a gate needs a committed baseline to compare against.
 To seed one for a new bench (or refresh an old one), run the bench bin on a
@@ -33,17 +38,36 @@ import argparse
 import json
 import sys
 
-# bench name -> (identity fields, gated metric) for one row. The index
-# bench gates on `speedup` (indexed vs full scan, measured in the same run)
-# rather than absolute throughput: its indexed rows finish in microseconds,
-# where absolute evals/s is runner noise, but the within-run ratio is stable
-# and directly encodes the "skip-scan stays >= 2x" contract.
+# bench name -> (identity fields, gated metric, per-row metric overrides)
+# for one row. Ratio metrics (`speedup`, `speedup_vs_trie`) are measured
+# within a single run, so they stay meaningful across hosts and noisy
+# runners where absolute throughput is not comparable: the index bench's
+# indexed rows and the kernel bench's simd rows finish in microseconds,
+# where absolute evals/s is runner noise, but the within-run ratio directly
+# encodes the contract ("skip-scan stays >= 2x", "simd stays >= 3x over
+# trie on the gated grid rows"). An override maps ``field == value`` to the
+# metric gated for matching rows instead of the default.
 SCHEMAS = {
-    "match_kernel": (("symbols", "len", "candidates", "kernel"), "evals_per_sec"),
-    "scan_parallel": (("backend", "threads"), "seqs_per_sec"),
-    "serve_load": (("patterns", "concurrency", "mode"), "rps"),
-    "index_scan": (("symbols", "len", "candidates", "mode"), "speedup"),
+    "match_kernel": (
+        ("symbols", "len", "candidates", "kernel"),
+        "evals_per_sec",
+        {("kernel", "simd"): "speedup_vs_trie"},
+    ),
+    "scan_parallel": (("backend", "threads"), "seqs_per_sec", {}),
+    "serve_load": (("patterns", "concurrency", "mode"), "rps", {}),
+    "index_scan": (("symbols", "len", "candidates", "mode"), "speedup", {}),
 }
+
+
+def row_metric(bench, row):
+    """The metric gated for this row: a schema override if one matches,
+    else the bench default."""
+    key_fields, default, overrides = SCHEMAS[bench]
+    del key_fields
+    for (field, value), metric in overrides.items():
+        if row.get(field) == value:
+            return metric
+    return default
 
 
 def load(path):
@@ -63,9 +87,10 @@ def load(path):
     bench = doc.get("bench")
     if bench not in SCHEMAS:
         sys.exit(f"error: {path}: unknown bench {bench!r} (expected one of {sorted(SCHEMAS)})")
-    key_fields, metric = SCHEMAS[bench]
+    key_fields = SCHEMAS[bench][0]
     rows = {}
     for i, row in enumerate(doc.get("rows", [])):
+        metric = row_metric(bench, row)
         missing = [k for k in (*key_fields, metric) if k not in row]
         if missing:
             sys.exit(
@@ -76,8 +101,8 @@ def load(path):
         key = tuple(row[k] for k in key_fields)
         if key in rows:
             sys.exit(f"error: {path}: duplicate row for {dict(zip(key_fields, key))}")
-        rows[key] = float(row[metric])
-    return bench, key_fields, metric, rows
+        rows[key] = (metric, float(row[metric]))
+    return bench, key_fields, rows
 
 
 def main():
@@ -93,39 +118,47 @@ def main():
     ap.add_argument("--out", help="also write the delta table to this file (markdown)")
     args = ap.parse_args()
 
-    base_bench, key_fields, metric, base = load(args.baseline)
-    cur_bench, _, _, cur = load(args.current)
+    base_bench, key_fields, base = load(args.baseline)
+    cur_bench, _, cur = load(args.current)
     if base_bench != cur_bench:
         sys.exit(f"error: bench mismatch: baseline is {base_bench!r}, current is {cur_bench!r}")
+    if not base:
+        sys.exit(
+            f"error: {args.baseline}: baseline has no rows — an empty baseline gates"
+            f" nothing and would let any regression through. Reseed it from a real"
+            f" bench run (see the docstring at the top of scripts/bench_gate.py)."
+        )
 
-    header = [*key_fields, f"base {metric}", f"current {metric}", "delta", "status"]
+    header = [*key_fields, "metric", "base", "current", "delta", "status"]
     table = [header, ["---"] * len(header)]
     failures = []
     for key in sorted(base):
-        base_v = base[key]
-        cur_v = cur.get(key)
+        metric, base_v = base[key]
+        cur_v = cur.get(key, (metric, None))[1]
         if cur_v is None:
             failures.append(f"row {dict(zip(key_fields, key))} missing from current run")
-            table.append([*map(str, key), f"{base_v:.0f}", "-", "-", "MISSING"])
+            table.append([*map(str, key), metric, f"{base_v:g}", "-", "-", "MISSING"])
             continue
         delta = (cur_v - base_v) / base_v if base_v else 0.0
         regressed = delta < -args.threshold
         if regressed:
             failures.append(
                 f"row {dict(zip(key_fields, key))} regressed {-delta:.1%} "
-                f"({base_v:.0f} -> {cur_v:.0f} {metric}, threshold {args.threshold:.0%})"
+                f"({base_v:g} -> {cur_v:g} {metric}, threshold {args.threshold:.0%})"
             )
         table.append(
             [
                 *map(str, key),
-                f"{base_v:.0f}",
-                f"{cur_v:.0f}",
+                metric,
+                f"{base_v:g}",
+                f"{cur_v:g}",
                 f"{delta:+.1%}",
                 "FAIL" if regressed else "ok",
             ]
         )
     for key in sorted(set(cur) - set(base)):
-        table.append([*map(str, key), "-", f"{cur[key]:.0f}", "-", "new"])
+        metric, cur_v = cur[key]
+        table.append([*map(str, key), metric, "-", f"{cur_v:g}", "-", "new"])
 
     lines = [f"## Bench gate: {base_bench} (threshold {args.threshold:.0%} drop)", ""]
     lines += ["| " + " | ".join(row) + " |" for row in table]

@@ -80,6 +80,37 @@ class TestVerdicts(GateHarness):
         self.assertEqual(res.returncode, 1)
         self.assertIn("missing from current run", res.stdout)
 
+    def test_simd_rows_gate_on_within_run_trie_ratio(self):
+        def simd_row(evals, ratio):
+            row = kernel_row(kernel="simd", evals=evals)
+            row["speedup_vs_trie"] = ratio
+            return row
+
+        base = kernel_doc([simd_row(evals=1000.0, ratio=3.5)])
+        # Absolute throughput halves (slower runner) but the within-run
+        # ratio holds: not a regression.
+        ok = self.run_gate(base, kernel_doc([simd_row(evals=500.0, ratio=3.4)]))
+        self.assertEqual(ok.returncode, 0, ok.stderr)
+        self.assertIn("speedup_vs_trie", ok.stdout)
+        # Throughput doubles but the ratio collapsed: the simd kernel lost
+        # its edge over trie, and that is what the row gates.
+        bad = self.run_gate(base, kernel_doc([simd_row(evals=2000.0, ratio=1.2)]))
+        self.assertEqual(bad.returncode, 1)
+        self.assertIn("regressed", bad.stdout)
+        self.assertIn("speedup_vs_trie", bad.stdout)
+
+    def test_simd_row_missing_ratio_metric_is_an_error(self):
+        row = kernel_row(kernel="simd")  # has evals_per_sec, lacks the ratio
+        res = self.run_gate(kernel_doc([row]), kernel_doc([row]))
+        self.assertEqual(res.returncode, 1)
+        self.assertIn("missing field(s) speedup_vs_trie", res.stderr)
+        self.assertNotIn("Traceback", res.stderr)
+
+    def test_empty_baseline_fails_not_passes(self):
+        res = self.run_gate(kernel_doc([]), kernel_doc([kernel_row()]))
+        self.assertEqual(res.returncode, 1)
+        self.assertIn("baseline has no rows", res.stderr)
+
     def test_index_scan_schema_gates_speedup(self):
         def idx_row(speedup):
             return {
